@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures, asserts
+its *shape* against the paper, and writes the rendered artifact to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can record
+paper-vs-measured values.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.mac.catalog import testbed_dddu
+from repro.mac.types import AccessMode
+from repro.net.session import RanConfig, RanSystem
+from repro.phy.timebase import tc_from_ms
+from repro.radio.interface import usb3
+from repro.radio.os_jitter import gpos
+from repro.radio.radio_head import RadioHead
+from repro.sim.rng import RngRegistry
+from repro.traffic.generators import uniform_in_horizon
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_artifact(name: str, content: str) -> None:
+    """Persist a rendered artifact for the experiment record."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(content + "\n",
+                                             encoding="utf-8")
+
+
+def testbed_system(access: AccessMode, seed: int) -> RanSystem:
+    """The §7 testbed: DDDU @ 0.5 ms slots, USB B210, stock kernel."""
+    radio_head = RadioHead("b210", usb3(), gpos())
+    return RanSystem(testbed_dddu(),
+                     RanConfig(access=access, gnb_radio_head=radio_head,
+                               seed=seed))
+
+
+def uniform_arrivals(n: int, horizon_ms: float, seed: int) -> list[int]:
+    """The §7 workload: packets uniform within the pattern."""
+    return uniform_in_horizon(n, tc_from_ms(horizon_ms),
+                              RngRegistry(seed).stream("arrivals"))

@@ -1,0 +1,67 @@
+"""Ablation A4 — OS jitter vs reliability (§6).
+
+Paper: non-deterministic OS scheduling delays "if not accounted for
+with sufficient margin, can cause packet loss and reliability issues";
+a real-time kernel is the suggested mitigation.  The benchmark sweeps
+the scheduling margin under GPOS and RT-kernel jitter and records the
+deadline-miss probability and the latency cost of each margin.
+"""
+
+import numpy as np
+from conftest import write_artifact
+
+from repro.analysis.report import render_table
+from repro.core.reliability import margin_tradeoff, required_margin_us
+from repro.radio.os_jitter import gpos, rt_kernel
+
+DETERMINISTIC_US = 200.0  # bus + RF floor of the transfer
+MARGINS_US = [200.0, 250.0, 350.0, 600.0, 1_000.0]
+
+
+def run_sweep():
+    rng = np.random.default_rng(9)
+    curves = {
+        model.name: margin_tradeoff(model, DETERMINISTIC_US,
+                                    MARGINS_US, rng, draws=60_000)
+        for model in (gpos(), rt_kernel())
+    }
+    needed = {
+        model.name: required_margin_us(model, DETERMINISTIC_US,
+                                       0.99999, rng, draws=300_000)
+        for model in (gpos(), rt_kernel())
+    }
+    return curves, needed
+
+
+def test_ablation_os_jitter(benchmark):
+    curves, needed = benchmark.pedantic(run_sweep, rounds=1,
+                                        iterations=1)
+
+    # Misses decrease monotonically with margin in both regimes.
+    for name, points in curves.items():
+        misses = [p.deadline_miss_probability for p in points]
+        assert misses == sorted(misses, reverse=True), name
+
+    # GPOS needs a much larger margin for five-nines than RT.
+    assert needed["gpos"] > needed["rt-kernel"] + 100.0
+
+    # With the bare deterministic margin, GPOS misses often; RT with a
+    # small cushion is already clean.
+    gpos_bare = curves["gpos"][0].deadline_miss_probability
+    rt_cushion = curves["rt-kernel"][1].deadline_miss_probability
+    assert gpos_bare > 0.02
+    assert rt_cushion < 1e-3
+
+    rows = []
+    for margin, gpos_point, rt_point in zip(
+            MARGINS_US, curves["gpos"], curves["rt-kernel"]):
+        rows.append((f"{margin:g}",
+                     f"{gpos_point.deadline_miss_probability:.5f}",
+                     f"{rt_point.deadline_miss_probability:.5f}",
+                     f"{gpos_point.added_latency_us:g}"))
+    table = render_table(
+        ("margin µs", "GPOS miss P", "RT miss P", "added latency µs"),
+        rows, title="Deadline-miss probability vs scheduling margin")
+    footer = (f"\nmargin for 99.999%: GPOS {needed['gpos']:.0f} µs, "
+              f"RT kernel {needed['rt-kernel']:.0f} µs")
+    write_artifact("ablation_os_jitter", table + footer)

@@ -1,0 +1,53 @@
+"""Ablation A1 — slot duration vs radio latency (§4's bottleneck claim).
+
+Paper: "if the radio latency is 0.3 ms, halving the slot duration from
+0.25 ms might not reduce latency and could even increase it."  The
+benchmark sweeps the DM worst-case DL latency across numerologies for
+several radio latencies and asserts the flattening: with no radio
+latency every halving helps; with 300+ µs of radio latency the gain
+from µ=1 to µ=2 collapses.
+"""
+
+from conftest import write_artifact
+
+from repro.analysis.report import render_table
+from repro.core.budget import slot_duration_sweep
+from repro.mac.catalog import minimal_dm
+from repro.mac.types import AccessMode, Direction
+
+RADIO_VALUES = [0.0, 100.0, 300.0, 500.0]
+MUS = [0, 1, 2]
+
+
+def run_sweep():
+    return slot_duration_sweep(minimal_dm, MUS, Direction.DL,
+                               AccessMode.GRANT_FREE, RADIO_VALUES)
+
+
+def test_ablation_slot_duration(benchmark):
+    sweep = benchmark(run_sweep)
+
+    # Radio-free: strictly decreasing with numerology.
+    clean = sweep[0.0]
+    assert clean[0] > clean[1] > clean[2]
+
+    # With heavy radio latency the relative gain of halving the slot
+    # shrinks dramatically (the protocol saving is a constant, the
+    # floor is not).
+    def relative_gain(per_mu):
+        return (per_mu[1] - per_mu[2]) / per_mu[1]
+
+    assert relative_gain(sweep[0.0]) >= 1.8 * relative_gain(sweep[500.0])
+
+    # And the absolute total at µ=2 with 500 µs radio exceeds the µ=2
+    # total without radio by more than a full slot — the radio
+    # latency dominates the design (§4: "any of these sources can
+    # bottleneck the system").
+    assert sweep[500.0][2] > sweep[0.0][2] + 250.0
+
+    rows = [(f"{radio:g} µs radio",
+             *(f"{sweep[radio][mu]:8.1f}" for mu in MUS))
+            for radio in RADIO_VALUES]
+    write_artifact("ablation_slot_duration", render_table(
+        ("", "µ=0 (1 ms)", "µ=1 (0.5 ms)", "µ=2 (0.25 ms)"), rows,
+        title="Worst-case DL latency (µs), DM configuration"))

@@ -1,0 +1,61 @@
+"""Ablation A2 — TDD pattern length (§4's pattern-duration remark).
+
+Paper: if the SR → grant turnaround exceeds one TDD pattern, "an
+entire pattern is missed before the gNB can respond"; lengthening the
+pattern avoids the miss but "also increases the latency".  The
+benchmark sweeps DDDU-family patterns (one UL slot per pattern) at
+µ=1 and records grant-based and grant-free UL worst cases.
+"""
+
+from conftest import write_artifact
+
+from repro.analysis.report import render_table
+from repro.core.latency_model import LatencyModel
+from repro.mac.catalog import from_letters
+from repro.mac.types import AccessMode, Direction
+from repro.phy.timebase import us_from_tc
+
+# One UL slot per pattern, pattern periods drawn from the TS 38.331
+# allowed set at µ=1: 1, 2, 2.5, 5 and 10 ms.
+PATTERNS = ["DU", "DDDU", "DDDDU", "DDDDDDDDDU",
+            "DDDDDDDDDDDDDDDDDDDU"]
+
+
+def run_sweep():
+    results = {}
+    for letters in PATTERNS:
+        model = LatencyModel(from_letters(letters, mu=1))
+        results[letters] = {
+            "grant-based": model.extremes(
+                Direction.UL, AccessMode.GRANT_BASED).worst_tc,
+            "grant-free": model.extremes(
+                Direction.UL, AccessMode.GRANT_FREE).worst_tc,
+        }
+    return results
+
+
+def test_ablation_tdd_period(benchmark):
+    results = benchmark(run_sweep)
+
+    # Grant-free worst case equals one pattern period: it grows
+    # linearly with pattern length.
+    free = [results[p]["grant-free"] for p in PATTERNS]
+    assert free == sorted(free)
+    assert free[-1] > 4 * free[0]
+
+    # Grant-based pays *two* pattern traversals (SR in one UL slot,
+    # data in the next pattern's): roughly twice the grant-free value
+    # for every pattern length.
+    for letters in PATTERNS:
+        based = results[letters]["grant-based"]
+        ratio = based / results[letters]["grant-free"]
+        assert 1.8 <= ratio <= 2.3, letters
+
+    rows = [(letters, f"{len(letters) / 2:g} ms",
+             f"{us_from_tc(results[letters]['grant-free']):8.1f}",
+             f"{us_from_tc(results[letters]['grant-based']):8.1f}")
+            for letters in PATTERNS]
+    write_artifact("ablation_tdd_period", render_table(
+        ("pattern", "period", "grant-free worst µs",
+         "grant-based worst µs"), rows,
+        title="UL worst-case latency vs TDD pattern length (µ=1)"))

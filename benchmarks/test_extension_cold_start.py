@@ -1,0 +1,73 @@
+"""Extension E2 — connected vs idle-start URLLC.
+
+The paper's analysis (and every URLLC requirement) presumes a
+*connected* UE with configured resources.  This benchmark quantifies
+what that assumption buys: a UE waking from IDLE must run random
+access first, which costs ~10 ms (4-step) on the testbed pattern —
+twenty times the whole URLLC budget — before the first data bit moves.
+2-step RACH helps but stays an order of magnitude out; contention
+makes the tail worse.
+"""
+
+import numpy as np
+from conftest import uniform_arrivals, write_artifact
+
+from repro.analysis.report import render_table
+from repro.mac.catalog import testbed_dddu
+from repro.mac.rach import RachProcedure
+from repro.mac.types import AccessMode
+from repro.net.session import RanConfig, RanSystem
+from repro.sim.rng import RngRegistry
+
+N_SAMPLES = 400
+
+
+def run_comparison():
+    rng = RngRegistry(131).stream("rach")
+    scheme = testbed_dddu()
+    results = {}
+    for label, two_step, contenders in (
+            ("4-step RACH, no contention", False, 1),
+            ("4-step RACH, 20 contenders", False, 20),
+            ("2-step RACH, no contention", True, 1)):
+        rach = RachProcedure(scheme, two_step=two_step)
+        delays = rach.sample_access_delays_us(N_SAMPLES, rng,
+                                              n_contenders=contenders)
+        results[label] = {
+            "mean_us": float(np.mean(delays)),
+            "p99_us": float(np.quantile(delays, 0.99)),
+        }
+    # Connected-mode reference: grant-free UL on the same pattern.
+    system = RanSystem(scheme, RanConfig(access=AccessMode.GRANT_FREE,
+                                         seed=132))
+    probe = system.run_uplink(uniform_arrivals(N_SAMPLES, 2_000,
+                                               seed=133))
+    results["connected (grant-free UL)"] = {
+        "mean_us": probe.summary().mean_us,
+        "p99_us": probe.summary().p99_us,
+    }
+    return results
+
+
+def test_extension_cold_start(benchmark):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    connected = results["connected (grant-free UL)"]["mean_us"]
+    cold = results["4-step RACH, no contention"]["mean_us"]
+    two_step = results["2-step RACH, no contention"]["mean_us"]
+    contended = results["4-step RACH, 20 contenders"]["p99_us"]
+
+    # Cold start costs several times the whole connected-mode latency
+    # before any data moves.
+    assert cold > 3 * connected
+    assert two_step < cold
+    # Contention inflates the access tail further.
+    assert contended > results["4-step RACH, no contention"]["p99_us"]
+    # And the URLLC budget is hopeless from idle.
+    assert cold > 10 * 500.0
+
+    rows = [(name, f"{v['mean_us']:9.1f}", f"{v['p99_us']:9.1f}")
+            for name, v in results.items()]
+    write_artifact("extension_cold_start", render_table(
+        ("scenario", "mean µs", "p99 µs"), rows,
+        title="Access latency from IDLE vs connected mode (DDDU)"))

@@ -1,0 +1,93 @@
+"""Extension E4 — FR2 mmWave in the full DES (§1, §5).
+
+The paper dismisses FR2 for URLLC analytically: 15.625 µs slots buy
+nothing when line-of-sight blockage erases whole transmission windows.
+This benchmark runs the *full* stack at µ=3 (0.125 ms slots, a 0.5 ms
+DDDU-like pattern) over a Gilbert-Elliott blockage channel and
+measures what the short slots actually deliver:
+
+- in LoS the protocol latency indeed shrinks ~4× vs the µ=1 testbed,
+- but blockage episodes strand packets across HARQ rounds, producing a
+  tail that caps reliability far below URLLC's five nines.
+"""
+
+from conftest import uniform_arrivals, write_artifact
+
+from repro.analysis.report import render_table
+from repro.mac.catalog import from_letters, testbed_dddu
+from repro.mac.types import AccessMode
+from repro.net.session import RanConfig, RanSystem
+from repro.phy.channel import GilbertElliottChannel
+from repro.phy.timebase import tc_from_ms
+
+N_PACKETS = 500
+HORIZON_MS = 2_000
+
+
+def fr2_scheme():
+    """A 0.5 ms DDDU pattern at µ=3 (0.125 ms slots, FR2 numerology)."""
+    return from_letters("DDDU", mu=3)
+
+
+def blockage_channel():
+    """Pedestrian blockers: ~300 ms LoS / ~60 ms blocked episodes."""
+    return GilbertElliottChannel(mean_good_tc=tc_from_ms(300),
+                                 mean_bad_tc=tc_from_ms(60),
+                                 bler_good=0.001, bler_bad=0.95)
+
+
+def run_comparison():
+    results = {}
+    # FR1 reference: the µ=1 testbed pattern, clean channel.
+    fr1 = RanSystem(testbed_dddu(),
+                    RanConfig(access=AccessMode.GRANT_FREE, seed=181))
+    results["FR1 µ=1, clean"] = fr1.run_downlink(
+        uniform_arrivals(N_PACKETS, HORIZON_MS, seed=182))
+    # FR2 numerology, clean channel: the short-slot upside.
+    fr2_clean = RanSystem(fr2_scheme(),
+                          RanConfig(access=AccessMode.GRANT_FREE,
+                                    bandwidth_mhz=50, seed=183))
+    results["FR2 µ=3, clean"] = fr2_clean.run_downlink(
+        uniform_arrivals(N_PACKETS, HORIZON_MS, seed=182))
+    # FR2 with line-of-sight blockage: the paper's objection.
+    fr2_blocked = RanSystem(
+        fr2_scheme(),
+        RanConfig(access=AccessMode.GRANT_FREE, bandwidth_mhz=50,
+                  channel=blockage_channel(), seed=184))
+    results["FR2 µ=3, blockage"] = fr2_blocked.run_downlink(
+        uniform_arrivals(N_PACKETS, HORIZON_MS, seed=182))
+    dropped = fr2_blocked.link.counters.packets_dropped
+    return results, dropped
+
+
+def test_extension_fr2_des(benchmark):
+    results, dropped = benchmark.pedantic(run_comparison, rounds=1,
+                                          iterations=1)
+
+    fr1 = results["FR1 µ=1, clean"].summary()
+    clean = results["FR2 µ=3, clean"].summary()
+    blocked = results["FR2 µ=3, blockage"].summary()
+
+    # Short slots genuinely help while the link is clean — but by 2×,
+    # not the 4× the slot ratio suggests: the processing floor does not
+    # shrink with the slots (§4's bottleneck interplay again).
+    assert clean.mean_us < fr1.mean_us / 1.8
+
+    # Blockage wrecks the tail twice over: surviving packets pay HARQ
+    # rounds (p999 more than doubles), and packets caught in a long
+    # episode exhaust HARQ and are *lost* outright.
+    assert blocked.p999_us > 2 * clean.p999_us
+    assert dropped > 0
+    probe = results["FR2 µ=3, blockage"]
+    delivered_within = probe.fraction_within(500.0) * len(probe)
+    assert delivered_within / N_PACKETS < 0.999
+
+    rows = [(name, f"{probe.summary().mean_us:8.1f}",
+             f"{probe.summary().p99_us:8.1f}",
+             f"{probe.summary().max_us:9.1f}",
+             f"{probe.fraction_within(500.0):.1%}")
+            for name, probe in results.items()]
+    write_artifact("extension_fr2_des", render_table(
+        ("scenario", "mean µs", "p99 µs", "max µs", "≤0.5 ms"), rows,
+        title="FR2 short slots vs blockage (DL, grant-free)")
+        + f"\npackets dropped after HARQ exhaustion: {dropped}")

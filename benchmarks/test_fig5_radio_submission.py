@@ -1,0 +1,64 @@
+"""Fig 5 — OS and hardware-imposed delay of sample submission.
+
+Paper: submitting 2 000-20 000 samples to the B210 costs ~150-400 µs
+over USB 2.0 and ~150-190 µs over USB 3.0, growing linearly in the
+sample count, with spikes from OS scheduling on top.
+
+The benchmark sweeps the same x-axis, asserts the linear-plus-spikes
+structure (USB 2.0 slope steeper, spikes above the affine floor), and
+records the two series.
+"""
+
+import numpy as np
+from conftest import write_artifact
+
+from repro.radio.interface import usb2, usb3
+from repro.sim.rng import RngRegistry
+
+SAMPLE_COUNTS = list(range(2_000, 20_001, 1_000))
+REPETITIONS = 300
+
+
+def run_sweep():
+    rngs = RngRegistry(5)
+    return {
+        bus.name: bus.sweep(SAMPLE_COUNTS, rngs.stream(bus.name),
+                            repetitions=REPETITIONS)
+        for bus in (usb2(), usb3())
+    }
+
+
+def test_fig5_radio_submission(benchmark):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    medians = {
+        name: [float(np.median(values[n])) for n in SAMPLE_COUNTS]
+        for name, values in series.items()
+    }
+    # Paper magnitudes at the endpoints.
+    assert 130 <= medians["usb2"][0] <= 200
+    assert 340 <= medians["usb2"][-1] <= 430
+    assert 130 <= medians["usb3"][0] <= 200
+    assert medians["usb3"][-1] <= 210
+
+    # Linear growth: USB 2.0 slope well above USB 3.0's.
+    def slope(values):
+        return ((values[-1] - values[0])
+                / (SAMPLE_COUNTS[-1] - SAMPLE_COUNTS[0]))
+
+    assert slope(medians["usb2"]) > 4 * slope(medians["usb3"])
+
+    # OS-scheduling spikes: maxima sit well above the median floor.
+    for name, values in series.items():
+        spikes = sum(
+            1 for n in SAMPLE_COUNTS
+            for sample in values[n]
+            if sample > np.median(values[n]) + 20.0)
+        assert spikes > 0, f"no spikes observed on {name}"
+
+    lines = ["Fig 5 — sample-submission latency (median µs per count)",
+             "", f"{'samples':>9} {'USB 2.0':>9} {'USB 3.0':>9}"]
+    for index, n in enumerate(SAMPLE_COUNTS):
+        lines.append(f"{n:>9} {medians['usb2'][index]:>9.1f} "
+                     f"{medians['usb3'][index]:>9.1f}")
+    write_artifact("fig5_radio_submission", "\n".join(lines))

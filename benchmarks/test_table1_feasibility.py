@@ -1,0 +1,47 @@
+"""Table 1 — 0.5 ms feasibility of all minimal configurations.
+
+Paper (Table 1):
+
+                DU   DM   MU   Mini-slot  FDD
+Grant-Based UL  ✗    ✗    ✗    ✓          ✓
+Grant-Free UL   ✓    ✓    ✓    ✓          ✓
+DL              ✗    ✓    ✗    ✓          ✓
+
+The benchmark regenerates the matrix analytically and requires an
+exact match — this artifact has no measurement noise.
+"""
+
+from conftest import write_artifact
+
+from repro.core.design_space import (
+    TABLE1_COLUMNS,
+    TABLE1_ROWS,
+    feasibility_matrix,
+    render_table1,
+)
+from repro.phy.timebase import us_from_tc
+
+PAPER_TABLE1 = {
+    "Grant-Based UL": (False, False, False, True, True),
+    "Grant-Free UL": (True, True, True, True, True),
+    "DL": (False, True, False, True, True),
+}
+
+
+def test_table1_feasibility(benchmark):
+    matrix = benchmark(feasibility_matrix)
+
+    for row in TABLE1_ROWS:
+        for column, expected in zip(TABLE1_COLUMNS, PAPER_TABLE1[row]):
+            assert matrix[row][column].meets == expected, (
+                f"({row}, {column}) disagrees with the paper")
+
+    lines = [render_table1(matrix), "", "Worst-case latencies (µs):"]
+    for row in TABLE1_ROWS:
+        for column in TABLE1_COLUMNS:
+            cell = matrix[row][column]
+            lines.append(
+                f"  {row:<16} {column:<10} "
+                f"{us_from_tc(cell.extremes.worst_tc):8.1f} µs "
+                f"{cell.mark}")
+    write_artifact("table1_feasibility", "\n".join(lines))

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Explore the URLLC design space beyond Table 1.
+
+Sweeps the §5 analysis along three axes the paper discusses:
+
+- slot duration (numerology) — "only the 0.25 ms slot duration can
+  feasibly achieve the URLLC requirements",
+- radio latency — "if the radio latency is 0.3 ms, halving the slot
+  duration might not reduce latency" (§4),
+- alternative wireless technologies (§9) — Wi-Fi contention and
+  Bluetooth polling against the same 0.5 ms budget.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import numpy as np
+
+from repro import AccessMode, Direction, SystemProfile, minimal_dm
+from repro.analysis.report import render_table
+from repro.baselines.bluetooth import BluetoothPiconet
+from repro.baselines.mmwave import MmWaveBaseline
+from repro.baselines.wifi import WifiBaseline
+from repro.core.budget import slot_duration_sweep, worst_case_budget
+
+
+def sweep_slot_duration() -> None:
+    print("A. Worst-case DL latency vs slot duration and radio latency")
+    radio_values = [0.0, 100.0, 300.0, 500.0]
+    sweep = slot_duration_sweep(minimal_dm, mus=[0, 1, 2],
+                                direction=Direction.DL,
+                                access=AccessMode.GRANT_FREE,
+                                radio_us_values=radio_values)
+    rows = []
+    for radio_us in radio_values:
+        per_mu = sweep[radio_us]
+        rows.append((f"{radio_us:g} µs radio",
+                     *(f"{per_mu[mu]:7.0f}" for mu in (0, 1, 2))))
+    print(render_table(
+        ("", "µ=0 (1 ms)", "µ=1 (0.5 ms)", "µ=2 (0.25 ms)"), rows))
+    print("→ once the radio dominates, shrinking slots stops paying "
+          "off (§4).\n")
+
+
+def compare_access_modes() -> None:
+    print("B. DM worst cases per access mode (ideal vs testbed radio)")
+    rows = []
+    for label, profile in (("ideal", SystemProfile()),
+                           ("testbed", SystemProfile.testbed())):
+        for access in AccessMode:
+            breakdown = worst_case_budget(minimal_dm(), Direction.UL,
+                                          access, profile)
+            rows.append((label, access.value,
+                         f"{breakdown.total_us:7.0f}",
+                         breakdown.bottleneck()))
+    print(render_table(("system", "UL access", "worst µs",
+                        "bottleneck"), rows))
+    print()
+
+
+def compare_technologies() -> None:
+    print("C. Alternative technologies against the 0.5 ms budget (§9)")
+    rng = np.random.default_rng(3)
+    rows = []
+    mmwave = MmWaveBaseline()
+    rows.append(("5G FR2 mmWave",
+                 f"{mmwave.sub_ms_fraction(rng, draws=40_000):7.1%}",
+                 "LoS blockage + buffering"))
+    for stations in (2, 10):
+        wifi = WifiBaseline(n_stations=stations)
+        reliability = wifi.deadline_reliability(500.0, rng,
+                                                draws=20_000)
+        rows.append((f"Wi-Fi DCF ({stations} stations)",
+                     f"{reliability:7.1%}", "contention tail"))
+    for slaves in (1, 7):
+        piconet = BluetoothPiconet(slaves)
+        meets = piconet.worst_case_uplink_us() <= 500.0
+        rows.append((f"Bluetooth ({slaves} slaves)",
+                     "  0.0%" if not meets else "100.0%",
+                     f"polling cycle {piconet.polling_cycle_us:g} µs"))
+    print(render_table(("technology", "within 0.5 ms", "limiting factor"),
+                       rows))
+    print("→ none approaches 99.999 %; 5G's scheduled slots remain the "
+          "only viable path.")
+
+
+def main() -> None:
+    sweep_slot_duration()
+    compare_access_modes()
+    compare_technologies()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Industrial automation over private 5G — the paper's flagship use case.
+
+A factory deploys a private 5G network (TDD-only spectrum, §2/§9) to
+close 1 kHz control loops with a 0.5 ms one-way deadline at 99.999 %
+reliability.  This example walks the §5 design procedure:
+
+1. pick the only feasible TDD Common Configuration (DM, grant-free UL),
+2. check what the radio head choice does to the budget (§4: the radio
+   can bottleneck the system),
+3. simulate the control traffic and score it against the requirement.
+
+Run:  python examples/industrial_automation.py
+"""
+
+from repro import (
+    AccessMode,
+    Direction,
+    RanConfig,
+    RanSystem,
+    SystemProfile,
+    minimal_dm,
+    worst_case_budget,
+)
+from repro.core.reliability import assess
+from repro.phy.timebase import tc_from_ms, tc_from_us
+from repro.radio.interface import pcie, usb3
+from repro.radio.os_jitter import gpos, rt_kernel
+from repro.radio.radio_head import RadioHead
+from repro.sim.rng import RngRegistry
+from repro.traffic.applications import INDUSTRIAL_AUTOMATION
+from repro.traffic.shaping import align_periodic
+
+
+def main() -> None:
+    workload = INDUSTRIAL_AUTOMATION
+    print(f"Workload: {workload.name}, {workload.payload_bytes}-byte "
+          f"commands every {workload.period_us:g} µs")
+    print(f"Requirement: {workload.requirement}\n")
+
+    # ------------------------------------------------------------------
+    # 1-2. Budget analysis per radio-head option.
+    # ------------------------------------------------------------------
+    print("Worst-case one-way budget for DM + grant-free UL (§5's "
+          "feasible design):")
+    options = {
+        "USB SDR (testbed)": 300.0,   # per-direction RH latency, µs
+        "PCIe SDR": 25.0,
+        "ASIC radio": 5.0,
+    }
+    for label, radio_us in options.items():
+        profile = SystemProfile(gnb_radio_us=radio_us, ue_radio_us=20.0)
+        breakdown = worst_case_budget(minimal_dm(), Direction.UL,
+                                      AccessMode.GRANT_FREE, profile)
+        verdict = ("FEASIBLE" if breakdown.total_us <= 500.0
+                   else "infeasible")
+        print(f"  {label:<20} {breakdown.total_us:7.1f} µs "
+              f"(bottleneck: {breakdown.bottleneck():<10}) → {verdict}")
+
+    # ------------------------------------------------------------------
+    # 3. Simulate the control loop on a ladder of deployments.
+    #
+    # DM's protocol-only worst case is *exactly* 0.5 ms (Fig 4), so the
+    # budget has zero slack: every microsecond of processing or radio
+    # latency converts directly into deadline misses.  The ladder shows
+    # how close each hardware/software tier gets — the paper's
+    # conclusion that URLLC needs "very specific circumstances with
+    # stringent hardware and software conditions".
+    # ------------------------------------------------------------------
+    arrivals = workload.arrivals(
+        2_000, tc_from_ms(2_000), RngRegistry(7).stream("arrivals"))
+    deployments = {
+        "USB SDR + stock kernel (testbed tier)": RanConfig(
+            access=AccessMode.GRANT_FREE,
+            gnb_radio_head=RadioHead("b210", usb3(), gpos()),
+            ue_processing_scale=1.0,
+            payload_bytes=workload.payload_bytes, seed=43),
+        "PCIe SDR + RT kernel": RanConfig(
+            access=AccessMode.GRANT_FREE,
+            gnb_radio_head=RadioHead("pcie-sdr", pcie(), rt_kernel(),
+                                     rf_chain_us=5.0),
+            ue_processing_scale=1.0,
+            payload_bytes=workload.payload_bytes, seed=42),
+        "ASIC-grade stack (paper footnote 1)": RanConfig(
+            access=AccessMode.GRANT_FREE,
+            gnb_radio_head=RadioHead("asic", pcie(), rt_kernel(),
+                                     rf_chain_us=2.0),
+            ue_processing_scale=0.02,
+            gnb_processing_scale=0.02,
+            payload_bytes=workload.payload_bytes, seed=41),
+    }
+    print("\nSimulating 2 000 control packets per deployment "
+          "(DM, grant-free UL):")
+    for label, config in deployments.items():
+        system = RanSystem(minimal_dm(), config)
+        probe = system.run_uplink(arrivals)
+        print(f"\n  {label}")
+        print(f"    {probe.summary()}")
+        print(f"    {assess(probe, workload.requirement)}")
+
+    # ------------------------------------------------------------------
+    # 4. The missing ingredient: a 1 kHz loop is isochronous, so it can
+    # be *phase-aligned* with the TDD pattern — generate each command
+    # shortly before the UL region opens instead of at the worst phase.
+    # ------------------------------------------------------------------
+    scheme = minimal_dm()
+    aligned = align_periodic(arrivals, scheme, Direction.UL,
+                             headroom_tc=tc_from_us(90.0))
+    system = RanSystem(minimal_dm(),
+                       deployments["ASIC-grade stack (paper footnote 1)"])
+    probe = system.run_uplink(aligned)
+    print("\n  ASIC-grade stack + traffic phase-aligned to the "
+          "UL region")
+    print(f"    {probe.summary()}")
+    print(f"    {assess(probe, workload.requirement)}")
+    print("\n→ the feasible design's protocol budget has zero slack: "
+          "URLLC at 0.5 ms needs\n  ASIC-grade processing AND "
+          "pattern-aware traffic placement — \"very specific\n  "
+          "circumstances with stringent hardware and software "
+          "conditions\" (§10).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Trace the journey of a ping (paper §3, Fig 2/3).
+
+Runs one traced ping through the full UE → gNB → UPF → server → UE
+path and prints the reconstructed step-by-step temporal breakdown,
+including the SR/grant handshake when grant-based access is used.
+
+Run:  python examples/ping_journey.py
+"""
+
+from repro import (
+    AccessMode,
+    RanConfig,
+    RanSystem,
+    reconstruct_ping_journey,
+    testbed_dddu,
+)
+from repro.phy.timebase import tc_from_ms
+from repro.radio.interface import usb3
+from repro.radio.os_jitter import gpos
+from repro.radio.radio_head import RadioHead
+
+
+def main() -> None:
+    radio_head = RadioHead("b210", usb3(), gpos())
+    for access in (AccessMode.GRANT_BASED, AccessMode.GRANT_FREE):
+        print(f"=== {access.value} uplink ===")
+        system = RanSystem(
+            testbed_dddu(),
+            RanConfig(access=access, gnb_radio_head=radio_head,
+                      trace=True, seed=5))
+        results = system.run_ping([tc_from_ms(0.1)])
+        journey = reconstruct_ping_journey(results[0], system.tracer)
+        print(journey.render())
+        print()
+    print("Note how the grant-based journey spends most of its uplink "
+          "time in steps ②-⑥\n(the SR → grant handshake, §4), which "
+          "grant-free access removes entirely.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The §9 scalability question, end to end.
+
+"Our analysis focused on a single UE.  As the number of UEs increases,
+factors like processing time, radio latency, contention, and
+scheduling complexity become more challenging."
+
+This study grows the UE population on the testbed pattern and watches
+all four §9 factors at once:
+
+- configured-grant waste (pre-allocated UL capacity nobody used),
+- gNB processing inflation on a single core,
+- PDCCH DCI blocking at URLLC aggregation levels,
+- the resulting per-UE latency.
+
+Run:  python examples/scalability_study.py
+"""
+
+import numpy as np
+
+from repro import AccessMode, RanConfig, RanSystem, testbed_dddu
+from repro.analysis.report import render_table
+from repro.phy.timebase import tc_from_ms, us_from_tc
+from repro.sim.rng import RngRegistry
+from repro.traffic.generators import uniform_in_horizon
+
+UE_COUNTS = (1, 4, 16)
+PACKETS_PER_UE = 100
+HORIZON_MS = 600
+
+
+def run_population(n_ues: int) -> dict:
+    system = RanSystem(
+        testbed_dddu(),
+        RanConfig(access=AccessMode.GRANT_FREE, n_ues=n_ues,
+                  gnb_cpu_cores=1, pdcch_cces=16,
+                  aggregation_level=8, seed=160 + n_ues))
+    for ue_id in range(1, n_ues + 1):
+        arrivals = uniform_in_horizon(
+            PACKETS_PER_UE, tc_from_ms(HORIZON_MS),
+            RngRegistry(500 + ue_id).stream("arrivals"))
+        system.queue_uplink(arrivals, ue_id=ue_id)
+        system.queue_downlink(arrivals, ue_id=ue_id)
+    system.run()
+    counters = system.gnb.scheduler.counters
+    assert system.pdcch is not None and system.gnb_cpu is not None
+    return {
+        "ul_mean": system.ul_probe.summary().mean_us,
+        "dl_p99": system.dl_probe.summary().p99_us,
+        "cg_waste": counters.cg_waste_fraction(),
+        "cpu_wait": system.gnb_cpu.mean_queueing_us(),
+        "dci_blocking": system.pdcch.counters.blocking_probability(),
+    }
+
+
+def main() -> None:
+    rows = []
+    for n_ues in UE_COUNTS:
+        result = run_population(n_ues)
+        rows.append((n_ues,
+                     f"{result['ul_mean']:8.1f}",
+                     f"{result['dl_p99']:8.1f}",
+                     f"{result['cg_waste']:.1%}",
+                     f"{result['cpu_wait']:6.1f}",
+                     f"{result['dci_blocking']:.1%}"))
+    print(render_table(
+        ("UEs", "UL mean µs", "DL p99 µs", "CG waste",
+         "CPU wait µs", "DCI blocking"), rows,
+        title="Scaling the testbed cell (1 CPU core, 16-CCE CORESET, "
+              "AL-8)"))
+    print(
+        "\nEvery §9 factor moves at once: grant-free pre-allocation is\n"
+        "mostly wasted yet shrinks per-UE, the single core queues layer\n"
+        "work, and URLLC-grade DCIs exhaust the control channel — the\n"
+        "paper's call for multi-UE latency models in one picture.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's §7 demonstration in simulation.
+
+The testbed: srsRAN on an Intel i7, USRP B210 over USB, band n78,
+0.5 ms slots, TDD DDDU, packets generated uniformly within the pattern.
+This script regenerates the §7 artifacts:
+
+- Fig 6a/6b — one-way latency histograms for DL and UL under
+  grant-based and grant-free access,
+- Table 2 — per-layer gNB processing times plus the emergent RLC
+  queue waiting time.
+
+Run:  python examples/testbed_demonstration.py
+"""
+
+import numpy as np
+
+from repro import AccessMode, RanConfig, RanSystem, testbed_dddu
+from repro.analysis.report import render_layer_table
+from repro.analysis.stats import histogram
+from repro.calibration import GNB_LAYER_STATS, PAPER_RLC_QUEUE_STATS
+from repro.phy.timebase import tc_from_ms
+from repro.radio.interface import usb3
+from repro.radio.os_jitter import gpos
+from repro.radio.radio_head import RadioHead
+from repro.sim.rng import RngRegistry
+from repro.traffic.generators import uniform_in_horizon
+
+N_PACKETS = 1_000
+HORIZON_MS = 4_000
+
+
+def build_system(access: AccessMode, seed: int) -> RanSystem:
+    radio_head = RadioHead("b210", usb3(), gpos())
+    return RanSystem(testbed_dddu(),
+                     RanConfig(access=access, gnb_radio_head=radio_head,
+                               seed=seed))
+
+
+def arrivals(seed: int) -> list[int]:
+    return uniform_in_horizon(N_PACKETS, tc_from_ms(HORIZON_MS),
+                              RngRegistry(seed).stream("arrivals"))
+
+
+def main() -> None:
+    print("Fig 6 — one-way latency distributions "
+          f"({N_PACKETS} packets per series)\n")
+    for access in (AccessMode.GRANT_BASED, AccessMode.GRANT_FREE):
+        print(f"--- {access.value} ---")
+        for direction in ("Downlink", "Uplink"):
+            system = build_system(access, seed=11)
+            if direction == "Downlink":
+                probe = system.run_downlink(arrivals(seed=3))
+            else:
+                probe = system.run_uplink(arrivals(seed=4))
+            hist = histogram(probe.latencies_ms(), bin_width=0.5,
+                             low=0.0, high=8.0)
+            print(hist.render(width=40,
+                              label=f"{direction} (one-way ms): "
+                                    f"{probe.summary()}"))
+            print()
+
+    # ------------------------------------------------------------------
+    # Table 2: sampled layer times + the emergent RLC-q.
+    # ------------------------------------------------------------------
+    system = build_system(AccessMode.GRANT_FREE, seed=17)
+    system.run_downlink(arrivals(seed=5))
+    measured: dict[str, tuple[float, float]] = {}
+    for name in ("SDAP", "PDCP", "RLC"):
+        samples = system.gnb.down_pipeline.layer(name).samples_us
+        measured[name] = (float(np.mean(samples)), float(np.std(samples)))
+    waits = system.gnb.scheduler.dl_queue(1).wait_samples_us
+    measured["RLC-q"] = (float(np.mean(waits)), float(np.std(waits)))
+    paper = dict(GNB_LAYER_STATS)
+    paper["RLC-q"] = PAPER_RLC_QUEUE_STATS
+    print(render_layer_table(
+        measured, paper,
+        title="Table 2 — gNB processing and queuing times "
+              "(simulated vs paper)"))
+    print("\nNote: SDAP/PDCP/RLC are calibrated inputs (they should "
+          "match); RLC-q is emergent —\nthe simulation must produce the "
+          "paper's few-hundred-µs dominance on its own.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs on offline machines
+where the ``wheel`` package is unavailable (metadata lives in
+``pyproject.toml``)."""
+
+from setuptools import setup
+
+setup()

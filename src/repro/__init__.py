@@ -1,0 +1,96 @@
+"""urllc5g — system-level 5G URLLC latency analysis and simulation.
+
+A reproduction of "Ultra-Reliable Low-Latency in 5G: A Close Reality or
+a Distant Goal?" (HotNets 2024): an exact analytical model of protocol
+latency for every 5G duplexing configuration, a calibrated
+discrete-event simulation of a software gNB/UE stack with an SDR radio
+head, and the baselines (FR2 mmWave, Wi-Fi, Bluetooth) the paper
+compares against.
+
+Quick start::
+
+    from repro import feasibility_matrix, render_table1
+    print(render_table1(feasibility_matrix()))   # the paper's Table 1
+
+    from repro import RanSystem, RanConfig, testbed_dddu
+    system = RanSystem(testbed_dddu())           # the §7 testbed
+    probe = system.run_downlink(arrivals=[0, 10_000, 20_000])
+    print(probe.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core import (
+    URLLC_5G,
+    URLLC_6G,
+    LatencyModel,
+    ProtocolTimings,
+    Requirement,
+    SystemProfile,
+    feasibility_matrix,
+    feasible_designs,
+    reconstruct_ping_journey,
+    render_table1,
+    worst_case_budget,
+)
+from repro.mac import (
+    AccessMode,
+    Direction,
+    FddConfig,
+    MiniSlotConfig,
+    SlotFormatConfig,
+    TddCommonConfig,
+    TddPattern,
+    fdd,
+    from_letters,
+    minimal_dm,
+    minimal_du,
+    minimal_mini_slot,
+    minimal_mu,
+    testbed_dddu,
+)
+from repro.net import LatencyProbe, PingResult, RanConfig, RanSystem
+from repro.phy import Carrier, FrequencyRange, Numerology
+from repro.radio import RadioHead, usb2, usb3
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "URLLC_5G",
+    "URLLC_6G",
+    "LatencyModel",
+    "ProtocolTimings",
+    "Requirement",
+    "SystemProfile",
+    "feasibility_matrix",
+    "feasible_designs",
+    "reconstruct_ping_journey",
+    "render_table1",
+    "worst_case_budget",
+    "AccessMode",
+    "Direction",
+    "FddConfig",
+    "MiniSlotConfig",
+    "SlotFormatConfig",
+    "TddCommonConfig",
+    "TddPattern",
+    "fdd",
+    "from_letters",
+    "minimal_dm",
+    "minimal_du",
+    "minimal_mini_slot",
+    "minimal_mu",
+    "testbed_dddu",
+    "LatencyProbe",
+    "PingResult",
+    "RanConfig",
+    "RanSystem",
+    "Carrier",
+    "FrequencyRange",
+    "Numerology",
+    "RadioHead",
+    "usb2",
+    "usb3",
+    "__version__",
+]

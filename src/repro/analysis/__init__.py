@@ -1,0 +1,28 @@
+"""Analysis utilities: histograms, CDFs, and paper-style renderers."""
+
+from repro.analysis.export import (
+    export_histogram,
+    export_probe,
+    export_series,
+)
+from repro.analysis.stats import Cdf, Histogram, cdf, histogram
+from repro.analysis.report import (
+    render_layer_table,
+    render_table,
+    render_tdd_configuration,
+    render_worst_case_bars,
+)
+
+__all__ = [
+    "export_histogram",
+    "export_probe",
+    "export_series",
+    "Cdf",
+    "Histogram",
+    "cdf",
+    "histogram",
+    "render_layer_table",
+    "render_table",
+    "render_tdd_configuration",
+    "render_worst_case_bars",
+]

@@ -1,0 +1,81 @@
+"""CSV export of measurement results.
+
+The repository renders its artifacts as text (no plotting dependency),
+but downstream users will want the raw series for their own tooling.
+These helpers write standard CSV with a stable column layout:
+
+- :func:`export_probe` — one row per delivered packet, with the
+  three-source latency decomposition;
+- :func:`export_histogram` — a rendered histogram's bins;
+- :func:`export_series` — generic {x: [samples]} sweeps (e.g. Fig 5).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.analysis.stats import Histogram
+from repro.net.probes import LatencyProbe
+from repro.stack.packets import LatencySource
+from repro.phy.timebase import us_from_tc
+
+
+def export_probe(probe: LatencyProbe, path: str | Path) -> int:
+    """Write one row per delivered packet; returns the row count."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow((
+            "packet_id", "ue_id", "kind", "direction",
+            "created_tc", "delivered_tc", "latency_us",
+            "protocol_us", "processing_us", "radio_us",
+            "harq_retransmissions", "payload_bytes",
+        ))
+        for packet in probe.packets:
+            assert packet.latency_tc is not None
+            writer.writerow((
+                packet.packet_id,
+                packet.ue_id,
+                packet.kind.value,
+                packet.direction.value,
+                packet.created_tc,
+                packet.delivered_tc,
+                f"{us_from_tc(packet.latency_tc):.3f}",
+                f"{us_from_tc(packet.budget[LatencySource.PROTOCOL]):.3f}",
+                f"{us_from_tc(packet.budget[LatencySource.PROCESSING]):.3f}",
+                f"{us_from_tc(packet.budget[LatencySource.RADIO]):.3f}",
+                packet.harq_retransmissions,
+                packet.payload_bytes,
+            ))
+    return len(probe.packets)
+
+
+def export_histogram(histogram: Histogram, path: str | Path,
+                     x_label: str = "bin_center") -> int:
+    """Write a histogram's bins; returns the bin count."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow((x_label, "probability"))
+        for center, probability in zip(histogram.bin_centers,
+                                       histogram.probabilities):
+            writer.writerow((f"{center:.6g}", f"{probability:.6g}"))
+    return len(histogram.probabilities)
+
+
+def export_series(series: Mapping[object, Sequence[float]],
+                  path: str | Path,
+                  x_label: str = "x", y_label: str = "y") -> int:
+    """Write an {x: [samples]} sweep long-form; returns the row count."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow((x_label, y_label))
+        for x_value, samples in series.items():
+            for sample in samples:
+                writer.writerow((x_value, f"{sample:.6g}"))
+                rows += 1
+    return rows

@@ -1,0 +1,92 @@
+"""Text renderers for the paper's figures and tables.
+
+Benchmarks print these so a run's output can be compared side-by-side
+with the paper; everything is plain text (the repository has no plotting
+dependency by design).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.mac.tdd import TddCommonConfig
+from repro.mac.types import SymbolRole
+from repro.phy.timebase import us_from_tc
+
+
+def render_tdd_configuration(config: TddCommonConfig) -> str:
+    """Fig 1a-style rendering of a Common Configuration.
+
+    One row per slot, symbols drawn as D/U/- (flexible/guard).
+    """
+    char = {SymbolRole.DL: "D", SymbolRole.UL: "U",
+            SymbolRole.FLEXIBLE: "-"}
+    lines = [config.describe()]
+    letters = config.slot_letters()
+    for index, roles in enumerate(config.slot_roles()[:len(letters)]):
+        symbols = "".join(char[role] for role in roles)
+        lines.append(f"  slot {index} [{letters[index]}]  {symbols}")
+    return "\n".join(lines)
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Generic fixed-width table renderer."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} does not match {columns} headers")
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in cells))
+              if cells else len(headers[i]) for i in range(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(columns)))
+    return "\n".join(lines)
+
+
+def render_layer_table(measured: Mapping[str, tuple[float, float]],
+                       paper: Mapping[str, tuple[float, float]],
+                       title: str = "gNB layer processing times"
+                       ) -> str:
+    """Table 2 side-by-side: measured (simulated) vs paper values."""
+    rows = []
+    for layer, (mean, std) in measured.items():
+        paper_mean, paper_std = paper.get(layer, (float("nan"),) * 2)
+        rows.append((layer, f"{mean:.2f}", f"{std:.2f}",
+                     f"{paper_mean:.2f}", f"{paper_std:.2f}"))
+    return render_table(
+        ("Layer", "Mean [µs]", "STD [µs]",
+         "Paper mean", "Paper STD"),
+        rows, title=title)
+
+
+def render_worst_case_bars(entries: Mapping[str, int],
+                           budget_tc: int,
+                           width: int = 60) -> str:
+    """Fig 4-style bars: worst-case latency per mode vs the budget."""
+    peak = max(max(entries.values()), budget_tc)
+    budget_col = round(width * budget_tc / peak)
+    lines = []
+    for name, worst_tc in entries.items():
+        bar_len = round(width * worst_tc / peak)
+        bar = ""
+        for position in range(max(bar_len, budget_col) + 1):
+            if position == budget_col:
+                bar += "|"
+            elif position < bar_len:
+                bar += "#"
+            else:
+                bar += " "
+        lines.append(f"{name:<22} {bar} {us_from_tc(worst_tc):7.1f} µs")
+    lines.append(f"{'':<22} {' ' * budget_col}^ budget "
+                 f"{us_from_tc(budget_tc):.0f} µs")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Histogram/CDF utilities used by the figure reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A normalised histogram (Fig 6's y-axis is probability)."""
+
+    bin_edges: tuple[float, ...]
+    probabilities: tuple[float, ...]
+
+    @property
+    def bin_centers(self) -> tuple[float, ...]:
+        edges = self.bin_edges
+        return tuple((edges[i] + edges[i + 1]) / 2
+                     for i in range(len(edges) - 1))
+
+    def mode_bin(self) -> float:
+        """Center of the most probable bin."""
+        index = int(np.argmax(self.probabilities))
+        return self.bin_centers[index]
+
+    def render(self, width: int = 50, label: str = "") -> str:
+        """ASCII rendering (one row per bin)."""
+        peak = max(self.probabilities) or 1.0
+        lines = [label] if label else []
+        for center, probability in zip(self.bin_centers,
+                                       self.probabilities):
+            bar = "█" * round(width * probability / peak)
+            lines.append(f"{center:9.2f} | {probability:6.3f} {bar}")
+        return "\n".join(lines)
+
+
+def histogram(samples: list[float], bin_width: float,
+              low: float | None = None,
+              high: float | None = None) -> Histogram:
+    """Probability histogram with fixed-width bins."""
+    if not samples:
+        raise ValueError("no samples")
+    if bin_width <= 0:
+        raise ValueError("bin width must be positive")
+    array = np.asarray(samples, dtype=float)
+    lo = low if low is not None else 0.0
+    hi = high if high is not None else float(array.max()) + bin_width
+    edges = np.arange(lo, hi + bin_width, bin_width)
+    counts, edges = np.histogram(array, bins=edges)
+    probabilities = counts / len(array)
+    return Histogram(tuple(float(e) for e in edges),
+                     tuple(float(p) for p in probabilities))
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """Empirical CDF."""
+
+    values: tuple[float, ...]       #: sorted samples
+    cumulative: tuple[float, ...]   #: P(X <= value)
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        return float(np.quantile(np.asarray(self.values), q))
+
+    def probability_at_or_below(self, threshold: float) -> float:
+        """P(X <= threshold) — e.g. the fraction of sub-ms packets."""
+        values = np.asarray(self.values)
+        return float(np.mean(values <= threshold))
+
+
+def cdf(samples: list[float]) -> Cdf:
+    """Build an empirical CDF."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    n = len(ordered)
+    return Cdf(tuple(ordered), tuple((i + 1) / n for i in range(n)))

@@ -1,0 +1,24 @@
+"""Comparison baselines: FR2 mmWave, Wi-Fi DCF, Bluetooth piconets."""
+
+from repro.baselines.bluetooth import (
+    BLUETOOTH_SLOT_US,
+    MAX_ACTIVE_SLAVES,
+    BluetoothPiconet,
+)
+from repro.baselines.mmwave import (
+    PAPER_SUB_MS_FRACTION,
+    MmWaveBaseline,
+    MmWaveParameters,
+)
+from repro.baselines.wifi import WifiBaseline, WifiParameters
+
+__all__ = [
+    "BLUETOOTH_SLOT_US",
+    "MAX_ACTIVE_SLAVES",
+    "BluetoothPiconet",
+    "PAPER_SUB_MS_FRACTION",
+    "MmWaveBaseline",
+    "MmWaveParameters",
+    "WifiBaseline",
+    "WifiParameters",
+]

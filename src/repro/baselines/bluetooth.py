@@ -1,0 +1,68 @@
+"""Bluetooth baseline (paper §9, Core Spec v5.3 [46]).
+
+Bluetooth classic uses a fixed 625 µs slot, master-slave TDD polling,
+and at most seven active slaves per piconet — structural limits on both
+latency and scalability that the paper contrasts with 5G's adaptable
+slot configurations.  A slave can only transmit after being polled, so
+its uplink delay is its position in the polling cycle; the master's
+2.5 mW transmit-power cap bounds the range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Fixed Bluetooth slot length (µs).
+BLUETOOTH_SLOT_US: float = 625.0
+
+#: Active slaves per piconet.
+MAX_ACTIVE_SLAVES: int = 7
+
+#: Maximum transmit power (mW) — class 2 devices.
+MAX_TX_POWER_MW: float = 2.5
+
+
+@dataclass(frozen=True)
+class BluetoothPiconet:
+    """One piconet under round-robin polling."""
+
+    n_slaves: int = 7
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_slaves <= MAX_ACTIVE_SLAVES:
+            raise ValueError(
+                f"a piconet supports 1..{MAX_ACTIVE_SLAVES} active "
+                f"slaves, got {self.n_slaves}")
+
+    @property
+    def polling_cycle_us(self) -> float:
+        """One full round-robin cycle: each slave gets a master slot
+        (poll, even) plus a slave slot (response, odd)."""
+        return 2 * self.n_slaves * BLUETOOTH_SLOT_US
+
+    def worst_case_uplink_us(self) -> float:
+        """Data arriving just after the slave's poll waits a full cycle
+        and then transmits in its slave slot."""
+        return self.polling_cycle_us + BLUETOOTH_SLOT_US
+
+    def mean_uplink_us(self) -> float:
+        """Uniform arrival phase: half a cycle plus the transmit slot."""
+        return self.polling_cycle_us / 2 + BLUETOOTH_SLOT_US
+
+    def sample_uplink_us(self, rng: np.random.Generator) -> float:
+        """One uplink latency sample (uniform phase in the cycle)."""
+        wait = float(rng.uniform(0.0, self.polling_cycle_us))
+        return wait + BLUETOOTH_SLOT_US
+
+    def sample_uplinks_us(self, n: int,
+                          rng: np.random.Generator) -> list[float]:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return [self.sample_uplink_us(rng) for _ in range(n)]
+
+    def meets_urllc_latency(self, budget_us: float = 500.0) -> bool:
+        """Whether the worst case fits a URLLC-style one-way budget —
+        already false for more than a couple of slaves."""
+        return self.worst_case_uplink_us() <= budget_us

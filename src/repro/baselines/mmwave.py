@@ -1,0 +1,87 @@
+"""FR2 mmWave baseline (paper §1, §5; Fezeu et al. [19]).
+
+mmWave offers 15.625 µs slots (µ=6) — protocol latency becomes
+negligible — but the band is fragile: line-of-sight blockage, beam
+failures and PHY/RAN buffering dominate, and the measurement study the
+paper cites found **sub-millisecond latency only 4.4 % of the time**.
+
+The baseline combines
+
+- the µ=6 protocol model (tiny — the point of FR2),
+- a calibrated in-LoS latency distribution (PHY/RAN buffering of a
+  commercial deployment),
+- a Gilbert-Elliott blockage process whose BAD state adds beam-recovery
+  delays of tens of milliseconds.
+
+``sub_ms_fraction`` reproduces the 4.4 % figure (within Monte-Carlo
+noise); the benchmark records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.channel import GilbertElliottChannel
+from repro.phy.timebase import tc_from_ms
+from repro.sim.distributions import Exponential, LogNormal
+
+
+@dataclass(frozen=True)
+class MmWaveParameters:
+    """Calibration of the FR2 baseline."""
+
+    #: long-run fraction of time with line of sight
+    los_fraction: float = 0.70
+    #: mean LoS / blocked sojourn (ms) — urban walking blockers
+    mean_los_ms: float = 700.0
+    #: in-LoS one-way latency (µs): PHY + RAN buffering of a
+    #: commercial mmWave deployment (heavy-tailed)
+    los_latency_mean_us: float = 4500.0
+    los_latency_std_us: float = 4000.0
+    #: beam-failure recovery time once blocked (ms, exponential mean)
+    recovery_mean_ms: float = 20.0
+
+
+class MmWaveBaseline:
+    """Sampled one-way latency of a commercial-style FR2 deployment."""
+
+    def __init__(self, params: MmWaveParameters | None = None):
+        self.params = params or MmWaveParameters()
+        if not 0.0 < self.params.los_fraction < 1.0:
+            raise ValueError("los_fraction must be in (0, 1)")
+        mean_good = tc_from_ms(self.params.mean_los_ms)
+        mean_bad = int(mean_good
+                       * (1.0 - self.params.los_fraction)
+                       / self.params.los_fraction)
+        self.channel = GilbertElliottChannel(
+            mean_good_tc=mean_good, mean_bad_tc=max(1, mean_bad))
+        self._los_latency = LogNormal(self.params.los_latency_mean_us,
+                                      self.params.los_latency_std_us)
+        self._recovery = Exponential(self.params.recovery_mean_ms * 1000)
+
+    def sample_latency_us(self, rng: np.random.Generator) -> float:
+        """One one-way latency sample (µs)."""
+        latency = self._los_latency.sample(rng)
+        if rng.random() >= self.params.los_fraction:
+            # Packet hit a blockage episode: beam recovery first.
+            latency += self._recovery.sample(rng)
+        return latency
+
+    def sample_latencies_us(self, n: int,
+                            rng: np.random.Generator) -> list[float]:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return [self.sample_latency_us(rng) for _ in range(n)]
+
+    def sub_ms_fraction(self, rng: np.random.Generator,
+                        draws: int = 100_000) -> float:
+        """Fraction of packets under 1 ms one-way — the paper quotes
+        4.4 % for real deployments."""
+        samples = self.sample_latencies_us(draws, rng)
+        return float(np.mean(np.asarray(samples) <= 1000.0))
+
+
+#: The reliability figure the paper cites from Fezeu et al.
+PAPER_SUB_MS_FRACTION: float = 0.044

@@ -1,0 +1,87 @@
+"""Wi-Fi (802.11 DCF) baseline (paper §9).
+
+Wi-Fi's decentralised, contention-based access leads to "unpredictable
+medium access delays": every transmission waits DIFS plus a random
+backoff, collides with probability growing in the station count, and
+doubles its contention window on each retry.  The model is a standard
+slotted-DCF abstraction (Bianchi-style constant collision probability)
+— enough to exhibit the heavy access-delay tail the paper contrasts
+with 5G's centrally scheduled slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WifiParameters:
+    """802.11 MAC timing (defaults ≈ 802.11n/ac 5 GHz OFDM)."""
+
+    slot_us: float = 9.0
+    difs_us: float = 34.0
+    cw_min: int = 15
+    cw_max: int = 1023
+    max_retries: int = 7
+    #: time on air for one data frame + SIFS + ACK
+    frame_airtime_us: float = 120.0
+
+
+class WifiBaseline:
+    """Sampled medium-access delay of one station among ``n_stations``."""
+
+    def __init__(self, n_stations: int = 5,
+                 params: WifiParameters | None = None):
+        if n_stations < 1:
+            raise ValueError("need at least one station")
+        self.n_stations = n_stations
+        self.params = params or WifiParameters()
+
+    def collision_probability(self) -> float:
+        """Probability a transmission attempt collides.
+
+        Bianchi's decoupling approximation with a fixed per-slot attempt
+        rate τ ≈ 2/(CWmin+1) for the competing stations.
+        """
+        if self.n_stations == 1:
+            return 0.0
+        tau = 2.0 / (self.params.cw_min + 1)
+        return 1.0 - (1.0 - tau) ** (self.n_stations - 1)
+
+    def sample_access_delay_us(self, rng: np.random.Generator) -> float:
+        """One medium-access delay sample (µs), retries included.
+
+        Returns ``inf`` when the retry limit is exhausted (the frame is
+        dropped — Wi-Fi gives no delivery guarantee)."""
+        params = self.params
+        collision_p = self.collision_probability()
+        delay = 0.0
+        cw = params.cw_min
+        for _ in range(params.max_retries + 1):
+            backoff_slots = int(rng.integers(0, cw + 1))
+            delay += params.difs_us + backoff_slots * params.slot_us
+            # Other stations' transmissions freeze our backoff; charge
+            # the expected busy time per deferred slot.
+            busy_slots = rng.binomial(backoff_slots,
+                                      collision_p / 2.0)
+            delay += busy_slots * params.frame_airtime_us
+            delay += params.frame_airtime_us
+            if rng.random() >= collision_p:
+                return delay
+            cw = min(params.cw_max, 2 * cw + 1)
+        return float("inf")
+
+    def sample_access_delays_us(self, n: int, rng: np.random.Generator
+                                ) -> list[float]:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return [self.sample_access_delay_us(rng) for _ in range(n)]
+
+    def deadline_reliability(self, budget_us: float,
+                             rng: np.random.Generator,
+                             draws: int = 50_000) -> float:
+        """Fraction of frames delivered within a latency budget."""
+        samples = np.asarray(self.sample_access_delays_us(draws, rng))
+        return float(np.mean(samples <= budget_us))

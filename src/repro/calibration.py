@@ -1,0 +1,127 @@
+"""Calibration constants fitted to the paper's testbed measurements.
+
+The paper's evaluation ran on a physical srsRAN + USRP B210 testbed; we
+reproduce it in simulation by drawing the stochastic model parameters
+from the numbers the paper reports:
+
+- :data:`GNB_LAYER_DELAYS` — Table 2's per-layer processing times
+  (mean/std in µs).  ``RLC-q`` is deliberately *absent*: the RLC queue
+  waiting time is an emergent quantity the simulation must produce, not
+  an input (the Table 2 benchmark compares the emergent value against
+  the paper's 484.20 ± 89.46 µs).
+- :data:`UE_LAYER_DELAYS` — the UE "needs more time for processing than
+  gNB" (§7); the modem-side totals are scaled up accordingly.  The
+  paper does not publish per-layer UE numbers, so these are set to
+  plausible multiples of the gNB ones (documented substitution).
+- USB interface parameters — fitted to Fig 5's series: latency grows
+  linearly with the number of submitted samples from ≈160 µs at 2 000
+  samples, reaching ≈400 µs (USB 2.0) vs ≈190 µs (USB 3.0) at 20 000,
+  with OS-scheduling spikes on top.
+
+A user with a real testbed can re-fit everything here without touching
+the models.
+"""
+
+from __future__ import annotations
+
+from repro.sim.distributions import DelaySampler, Exponential, from_mean_std
+
+# ---------------------------------------------------------------------------
+# Table 2: gNB per-layer processing times (µs).
+# ---------------------------------------------------------------------------
+
+#: (mean µs, std µs) per gNB layer, from the paper's Table 2.
+GNB_LAYER_STATS: dict[str, tuple[float, float]] = {
+    "SDAP": (4.65, 6.71),
+    "PDCP": (8.29, 8.99),
+    "RLC": (4.12, 8.37),
+    "MAC": (55.21, 16.31),
+    "PHY": (41.55, 10.83),
+}
+
+#: Paper's measured RLC queue waiting time (µs) — the value the DDDU
+#: simulation must *reproduce*, not consume.
+PAPER_RLC_QUEUE_STATS: tuple[float, float] = (484.20, 89.46)
+
+
+def gnb_layer_delays(scale: float = 1.0) -> dict[str, DelaySampler]:
+    """Delay samplers for each gNB layer, calibrated to Table 2.
+
+    ``scale`` < 1 models hardware acceleration (the paper's footnote 1:
+    an ASIC implementation could meet the requirements but forfeits the
+    software-based flexibility of §9).
+    """
+    return {layer: from_mean_std(mean * scale, std * scale)
+            for layer, (mean, std) in GNB_LAYER_STATS.items()}
+
+
+# ---------------------------------------------------------------------------
+# UE processing (documented substitution; see module docstring).
+# ---------------------------------------------------------------------------
+
+#: UE-to-gNB processing scale factors (§7: "the UE needs more time for
+#: processing than gNB").  The asymmetry reflects commercial modems:
+#: the transmit path (firmware MAC scheduling, uplink preparation) is
+#: slow, while receive decoding runs in dedicated hardware.
+UE_TX_PROCESSING_SCALE: float = 8.0
+UE_RX_PROCESSING_SCALE: float = 3.0
+
+#: Extra fixed APP-layer delay at the UE (socket + kernel path), µs.
+UE_APP_DELAY_US: tuple[float, float] = (30.0, 10.0)
+
+
+def _scaled_layer_delays(scale: float) -> dict[str, DelaySampler]:
+    return {layer: from_mean_std(mean * scale, std * scale)
+            for layer, (mean, std) in GNB_LAYER_STATS.items()}
+
+
+def ue_tx_layer_delays(
+        scale: float = UE_TX_PROCESSING_SCALE) -> dict[str, DelaySampler]:
+    """Delay samplers for the UE transmit (APP↓...PHY) path."""
+    delays = _scaled_layer_delays(scale)
+    delays["APP"] = from_mean_std(*UE_APP_DELAY_US)
+    return delays
+
+
+def ue_rx_layer_delays(
+        scale: float = UE_RX_PROCESSING_SCALE) -> dict[str, DelaySampler]:
+    """Delay samplers for the UE receive (PHY↑...APP) path."""
+    delays = _scaled_layer_delays(scale)
+    delays["APP"] = from_mean_std(*UE_APP_DELAY_US)
+    return delays
+
+
+# ---------------------------------------------------------------------------
+# Fig 5: radio sample-submission latency over the host interface bus.
+# ---------------------------------------------------------------------------
+
+#: Per-interface (setup µs, per-sample µs, spike probability,
+#: spike mean µs) fitted to Fig 5's two series.
+INTERFACE_PARAMS: dict[str, tuple[float, float, float, float]] = {
+    "usb2": (135.0, 0.0125, 0.06, 45.0),
+    "usb3": (145.0, 0.0022, 0.04, 35.0),
+    # Not in Fig 5, used by the design-choice ablations:
+    "pcie": (15.0, 0.0004, 0.01, 8.0),
+    "ethernet": (60.0, 0.0010, 0.02, 20.0),
+}
+
+
+def interface_spike(name: str) -> tuple[float, Exponential]:
+    """Spike probability and magnitude sampler for a bus."""
+    _, _, probability, mean = INTERFACE_PARAMS[name]
+    return probability, Exponential(mean)
+
+
+# ---------------------------------------------------------------------------
+# Radio head totals (§7: "the RH in use introduces around 500 µs
+# latency", forcing a one-slot scheduling delay at 0.5 ms slots).
+# ---------------------------------------------------------------------------
+
+#: End-to-end one-way radio-head latency of the testbed's USB B210 (µs).
+TESTBED_RH_LATENCY_US: float = 500.0
+
+#: OS-jitter regimes (§6): mean extra delay and spike shape.
+OS_JITTER_GPOS = {"spike_probability": 0.05, "spike_mean_us": 120.0,
+                  "base_std_us": 12.0}
+OS_JITTER_RT_KERNEL = {"spike_probability": 0.002, "spike_mean_us": 15.0,
+                       "base_std_us": 2.0}

@@ -1,0 +1,171 @@
+"""Command-line interface: regenerate the paper's analyses from a shell.
+
+Usage (after installation)::
+
+    urllc5g table1                # the feasibility matrix
+    urllc5g fig4                  # DM worst cases
+    urllc5g journey               # the traced ping breakdown (Fig 3)
+    urllc5g fig6 --packets 400    # testbed latency distributions
+    urllc5g sweep                 # slot duration × radio latency
+    urllc5g technologies          # Wi-Fi / Bluetooth / mmWave (§9)
+
+or ``python -m repro.cli <command>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.report import render_table, render_worst_case_bars
+from repro.analysis.stats import histogram
+from repro.baselines.bluetooth import BluetoothPiconet
+from repro.baselines.mmwave import MmWaveBaseline
+from repro.baselines.wifi import WifiBaseline
+from repro.core.budget import slot_duration_sweep
+from repro.core.design_space import feasibility_matrix, render_table1
+from repro.core.journey import reconstruct_ping_journey
+from repro.core.latency_model import LatencyModel
+from repro.mac.catalog import minimal_dm, testbed_dddu
+from repro.mac.types import AccessMode, Direction
+from repro.net.session import RanConfig, RanSystem
+from repro.phy.timebase import tc_from_ms
+from repro.radio.interface import usb3
+from repro.radio.os_jitter import gpos
+from repro.radio.radio_head import RadioHead
+from repro.sim.rng import RngRegistry
+from repro.traffic.generators import uniform_in_horizon
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    print(render_table1(feasibility_matrix(mu=args.mu)))
+
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    model = LatencyModel(minimal_dm(mu=args.mu))
+    entries = {
+        "Grant-free UL": model.extremes(
+            Direction.UL, AccessMode.GRANT_FREE).worst_tc,
+        "Grant-based UL": model.extremes(
+            Direction.UL, AccessMode.GRANT_BASED).worst_tc,
+        "DL": model.extremes(Direction.DL).worst_tc,
+    }
+    print(render_worst_case_bars(entries, tc_from_ms(0.5)))
+
+
+def _testbed(access: AccessMode, seed: int, trace: bool = False
+             ) -> RanSystem:
+    radio_head = RadioHead("b210", usb3(), gpos())
+    return RanSystem(testbed_dddu(),
+                     RanConfig(access=access, gnb_radio_head=radio_head,
+                               seed=seed, trace=trace))
+
+
+def _cmd_journey(args: argparse.Namespace) -> None:
+    access = (AccessMode.GRANT_FREE if args.grant_free
+              else AccessMode.GRANT_BASED)
+    system = _testbed(access, seed=args.seed, trace=True)
+    results = system.run_ping([tc_from_ms(0.2)])
+    print(reconstruct_ping_journey(results[0], system.tracer).render())
+
+
+def _cmd_fig6(args: argparse.Namespace) -> None:
+    arrivals = uniform_in_horizon(
+        args.packets, tc_from_ms(args.packets * 5),
+        RngRegistry(args.seed).stream("arrivals"))
+    for access in (AccessMode.GRANT_BASED, AccessMode.GRANT_FREE):
+        print(f"--- {access.value} ---")
+        for direction in ("Downlink", "Uplink"):
+            system = _testbed(access, seed=args.seed)
+            probe = (system.run_downlink(arrivals)
+                     if direction == "Downlink"
+                     else system.run_uplink(arrivals))
+            hist = histogram(probe.latencies_ms(), bin_width=0.5,
+                             low=0.0, high=8.0)
+            print(hist.render(width=40,
+                              label=f"{direction}: {probe.summary()}"))
+            print()
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    radio_values = [float(v) for v in args.radio_us]
+    sweep = slot_duration_sweep(minimal_dm, mus=[0, 1, 2],
+                                direction=Direction.DL,
+                                access=AccessMode.GRANT_FREE,
+                                radio_us_values=radio_values)
+    rows = [(f"{radio:g} µs radio",
+             *(f"{sweep[radio][mu]:8.1f}" for mu in (0, 1, 2)))
+            for radio in radio_values]
+    print(render_table(
+        ("", "µ=0 (1 ms)", "µ=1 (0.5 ms)", "µ=2 (0.25 ms)"), rows,
+        title="Worst-case DL latency (µs), DM configuration"))
+
+
+def _cmd_technologies(args: argparse.Namespace) -> None:
+    rng = np.random.default_rng(args.seed)
+    rows = [("5G FR2 mmWave",
+             f"{MmWaveBaseline().sub_ms_fraction(rng, 30_000):.1%} sub-ms")]
+    for stations in (2, 10):
+        reliability = WifiBaseline(stations).deadline_reliability(
+            500.0, rng, draws=10_000)
+        rows.append((f"Wi-Fi DCF ({stations} stations)",
+                     f"{reliability:.1%} within 0.5 ms"))
+    for slaves in (1, 7):
+        piconet = BluetoothPiconet(slaves)
+        rows.append((f"Bluetooth ({slaves} slaves)",
+                     f"worst {piconet.worst_case_uplink_us():g} µs"))
+    print(render_table(("technology", "vs the 0.5 ms budget"), rows))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="urllc5g",
+        description="System-level 5G URLLC latency analysis "
+                    "(HotNets '24 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="the Table 1 matrix")
+    table1.add_argument("--mu", type=int, default=2)
+    table1.set_defaults(func=_cmd_table1)
+
+    fig4 = sub.add_parser("fig4", help="DM worst cases (Fig 4)")
+    fig4.add_argument("--mu", type=int, default=2)
+    fig4.set_defaults(func=_cmd_fig4)
+
+    journey = sub.add_parser("journey",
+                             help="traced ping breakdown (Fig 3)")
+    journey.add_argument("--grant-free", action="store_true")
+    journey.add_argument("--seed", type=int, default=5)
+    journey.set_defaults(func=_cmd_journey)
+
+    fig6 = sub.add_parser("fig6",
+                          help="testbed latency distributions (Fig 6)")
+    fig6.add_argument("--packets", type=int, default=200)
+    fig6.add_argument("--seed", type=int, default=11)
+    fig6.set_defaults(func=_cmd_fig6)
+
+    sweep = sub.add_parser("sweep",
+                           help="slot duration × radio latency (§4)")
+    sweep.add_argument("--radio-us", nargs="+",
+                       default=["0", "100", "300", "500"])
+    sweep.set_defaults(func=_cmd_sweep)
+
+    tech = sub.add_parser("technologies",
+                          help="Wi-Fi/Bluetooth/mmWave baselines (§9)")
+    tech.add_argument("--seed", type=int, default=3)
+    tech.set_defaults(func=_cmd_technologies)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

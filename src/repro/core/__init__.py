@@ -1,0 +1,94 @@
+"""The paper's primary contribution: system-level URLLC latency analysis.
+
+- :mod:`repro.core.latency_model` — exact worst/best-case one-way
+  latency for any duplexing configuration (Fig 4);
+- :mod:`repro.core.design_space` — the Table 1 feasibility matrix;
+- :mod:`repro.core.feasibility` — URLLC/6G requirement definitions;
+- :mod:`repro.core.budget` — protocol/processing/radio budget
+  composition and bottleneck analysis (§4);
+- :mod:`repro.core.journey` — Fig 3 packet-journey reconstruction;
+- :mod:`repro.core.reliability` — §6 latency-based reliability.
+"""
+
+from repro.core.budget import (
+    BudgetBreakdown,
+    SystemProfile,
+    slot_duration_sweep,
+    system_extremes,
+    worst_case_budget,
+)
+from repro.core.design_space import (
+    TABLE1_COLUMNS,
+    TABLE1_ROWS,
+    FeasibilityCell,
+    enumerate_common_configurations,
+    evaluate_cell,
+    exhaustive_search,
+    feasibility_matrix,
+    feasible_designs,
+    render_table1,
+    table1_schemes,
+)
+from repro.core.sensitivity import SensitivityResult, tornado
+from repro.core.feasibility import (
+    URLLC_5G,
+    URLLC_5G_RELAXED,
+    URLLC_6G,
+    Requirement,
+    verdict_mark,
+)
+from repro.core.journey import (
+    JourneyStep,
+    PingJourney,
+    reconstruct_ping_journey,
+)
+from repro.core.latency_model import (
+    GrantChainTrace,
+    LatencyExtremes,
+    LatencyModel,
+    ProtocolTimings,
+)
+from repro.core.reliability import (
+    MarginTradeoff,
+    ReliabilityReport,
+    assess,
+    margin_tradeoff,
+    required_margin_us,
+)
+
+__all__ = [
+    "BudgetBreakdown",
+    "SystemProfile",
+    "slot_duration_sweep",
+    "system_extremes",
+    "worst_case_budget",
+    "TABLE1_COLUMNS",
+    "TABLE1_ROWS",
+    "FeasibilityCell",
+    "enumerate_common_configurations",
+    "exhaustive_search",
+    "SensitivityResult",
+    "tornado",
+    "evaluate_cell",
+    "feasibility_matrix",
+    "feasible_designs",
+    "render_table1",
+    "table1_schemes",
+    "URLLC_5G",
+    "URLLC_5G_RELAXED",
+    "URLLC_6G",
+    "Requirement",
+    "verdict_mark",
+    "JourneyStep",
+    "PingJourney",
+    "reconstruct_ping_journey",
+    "GrantChainTrace",
+    "LatencyExtremes",
+    "LatencyModel",
+    "ProtocolTimings",
+    "MarginTradeoff",
+    "ReliabilityReport",
+    "assess",
+    "margin_tradeoff",
+    "required_margin_us",
+]

@@ -1,0 +1,199 @@
+"""Three-source latency budgets and their interdependency (paper §4).
+
+The paper's central analytical device is splitting one-way latency into
+**protocol**, **processing** and **radio** sources and observing that
+
+1. any of them can bottleneck the system,
+2. they interact: processing and radio latency consume protocol
+   opportunities (a transmission that is not ready when its window
+   starts waits for the next one), so halving the slot duration stops
+   helping once radio latency dominates — and can even hurt, because
+   per-slot overheads recur twice as often.
+
+:class:`SystemProfile` carries the deterministic planning values (means
+of the calibrated distributions); :func:`system_extremes` folds them
+into the analytical protocol model via the chain-delay fields of
+:class:`~repro.core.latency_model.ProtocolTimings`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.latency_model import (
+    LatencyExtremes,
+    LatencyModel,
+    ProtocolTimings,
+)
+from repro.mac.scheme import DuplexingScheme
+from repro.mac.types import AccessMode, Direction
+from repro.phy.timebase import tc_from_us, us_from_tc
+from repro import calibration
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """Deterministic (planning) system latencies, in µs.
+
+    Defaults follow the calibrated testbed: Table 2 means for the gNB,
+    the scaled UE stack, and a USB radio head.
+    """
+
+    gnb_tx_processing_us: float = 0.0   #: SDAP↓..RLC before the queue
+    gnb_rx_processing_us: float = 0.0   #: PHY↑..SDAP after reception
+    ue_tx_processing_us: float = 0.0    #: APP↓..MAC before access
+    ue_rx_processing_us: float = 0.0    #: PHY↑..APP after reception
+    gnb_radio_us: float = 0.0           #: gNB-side RH one-way
+    ue_radio_us: float = 0.0            #: UE-side RH one-way
+    sr_decode_us: float = 0.0           #: gNB PHY decode of the SR
+    grant_decode_us: float = 0.0        #: UE PDCCH decode
+
+    @classmethod
+    def testbed(cls, gnb_radio_us: float =
+                calibration.TESTBED_RH_LATENCY_US) -> "SystemProfile":
+        """Profile matching the §7 testbed calibration."""
+        stats = calibration.GNB_LAYER_STATS
+        tx_scale = calibration.UE_TX_PROCESSING_SCALE
+        rx_scale = calibration.UE_RX_PROCESSING_SCALE
+        gnb_down = sum(stats[l][0] for l in ("SDAP", "PDCP", "RLC"))
+        gnb_up = sum(stats[l][0] for l in
+                     ("PHY", "MAC", "RLC", "PDCP", "SDAP"))
+        ue_down = (calibration.UE_APP_DELAY_US[0]
+                   + tx_scale * sum(stats[l][0] for l in
+                                    ("SDAP", "PDCP", "RLC", "MAC",
+                                     "PHY")))
+        ue_up = rx_scale * sum(stats[l][0] for l in
+                               ("PHY", "MAC", "RLC", "PDCP", "SDAP"))
+        return cls(
+            gnb_tx_processing_us=gnb_down,
+            gnb_rx_processing_us=gnb_up,
+            ue_tx_processing_us=ue_down,
+            ue_rx_processing_us=ue_up,
+            gnb_radio_us=gnb_radio_us,
+            ue_radio_us=50.0,  # integrated modem front-end
+            sr_decode_us=stats["PHY"][0],
+            grant_decode_us=rx_scale * stats["PHY"][0],
+        )
+
+    # ------------------------------------------------------------------
+    def protocol_timings(self, direction: Direction) -> ProtocolTimings:
+        """Fold the profile into the analytical chain delays."""
+        if direction is Direction.DL:
+            return ProtocolTimings(
+                dl_lead=tc_from_us(self.gnb_radio_us))
+        return ProtocolTimings(
+            ul_lead=tc_from_us(self.ue_radio_us),
+            sr_decode=tc_from_us(self.sr_decode_us
+                                 + self.gnb_radio_us),
+            grant_duration=tc_from_us(self.grant_decode_us
+                                      + self.gnb_radio_us),
+            ue_grant_processing=tc_from_us(self.ue_radio_us),
+        )
+
+    def processing_us(self, direction: Direction) -> float:
+        """Total (non-protocol-coupled) processing on the path."""
+        if direction is Direction.DL:
+            return self.gnb_tx_processing_us + self.ue_rx_processing_us
+        return self.ue_tx_processing_us + self.gnb_rx_processing_us
+
+    def radio_us(self, direction: Direction) -> float:
+        """Radio latency on both ends of the data hop."""
+        return self.gnb_radio_us + self.ue_radio_us
+
+
+@dataclass(frozen=True)
+class BudgetBreakdown:
+    """Worst-case one-way latency split into the three sources (µs)."""
+
+    scheme_name: str
+    direction: Direction
+    access: AccessMode | None
+    protocol_us: float
+    processing_us: float
+    radio_us: float
+
+    @property
+    def total_us(self) -> float:
+        return self.protocol_us + self.processing_us + self.radio_us
+
+    def bottleneck(self) -> str:
+        """The dominating latency source (§4: any can bottleneck)."""
+        values = {
+            "protocol": self.protocol_us,
+            "processing": self.processing_us,
+            "radio": self.radio_us,
+        }
+        return max(values, key=values.get)  # type: ignore[arg-type]
+
+    def __str__(self) -> str:
+        return (f"{self.scheme_name} {self.direction.value}: "
+                f"total {self.total_us:.0f} µs = protocol "
+                f"{self.protocol_us:.0f} + processing "
+                f"{self.processing_us:.0f} + radio {self.radio_us:.0f}")
+
+
+def system_extremes(scheme: DuplexingScheme, direction: Direction,
+                    access: AccessMode, profile: SystemProfile
+                    ) -> LatencyExtremes:
+    """Protocol extremes with the profile's chain delays folded in."""
+    model = LatencyModel(scheme, profile.protocol_timings(direction))
+    return model.extremes(direction, access)
+
+
+def worst_case_budget(scheme: DuplexingScheme, direction: Direction,
+                      access: AccessMode, profile: SystemProfile
+                      ) -> BudgetBreakdown:
+    """End-to-end worst-case latency, decomposed.
+
+    The protocol model already *contains* the radio leads (they consume
+    opportunities); the decomposition reports them under "radio" and the
+    residual structural wait under "protocol", then adds the pure
+    processing tails outside the access chain.
+    """
+    extremes = system_extremes(scheme, direction, access, profile)
+    # Radio time folded into the protocol extremes (transmit side):
+    if direction is Direction.DL:
+        tx_radio = profile.gnb_radio_us
+        rx_radio = profile.ue_radio_us
+    else:
+        tx_radio = profile.ue_radio_us
+        rx_radio = profile.gnb_radio_us
+    if access is AccessMode.GRANT_BASED and direction is Direction.UL:
+        # The SR (UE→gNB) and the grant (gNB→UE) each crossed the
+        # gNB radio once more inside the chain.
+        tx_radio += 2 * profile.gnb_radio_us
+    protocol = max(0.0, us_from_tc(extremes.worst_tc) - tx_radio)
+    return BudgetBreakdown(
+        scheme_name=scheme.name,
+        direction=direction,
+        access=access if direction is Direction.UL else None,
+        protocol_us=protocol,
+        processing_us=profile.processing_us(direction),
+        radio_us=tx_radio + rx_radio,
+    )
+
+
+def slot_duration_sweep(make_scheme, mus: list[int],
+                        direction: Direction, access: AccessMode,
+                        radio_us_values: list[float]
+                        ) -> dict[float, dict[int, float]]:
+    """The §4 ablation: worst-case total latency across numerologies
+    for several radio latencies.
+
+    ``make_scheme(mu)`` builds the configuration at each numerology.
+    Returns ``{radio_us: {mu: total_worst_us}}``; the flattening of the
+    curves as ``radio_us`` grows is the "halving the slot duration might
+    not reduce latency" effect.
+    """
+    results: dict[float, dict[int, float]] = {}
+    for radio_us in radio_us_values:
+        per_mu: dict[int, float] = {}
+        for mu in mus:
+            scheme = make_scheme(mu)
+            profile = SystemProfile(gnb_radio_us=radio_us,
+                                    ue_radio_us=radio_us)
+            breakdown = worst_case_budget(scheme, direction, access,
+                                          profile)
+            per_mu[mu] = breakdown.total_us
+        results[radio_us] = per_mu
+    return results

@@ -1,0 +1,208 @@
+"""Design-space enumeration and the Table 1 feasibility matrix.
+
+§5 of the paper evaluates the 0.5 ms one-way requirement for every
+*minimal* TDD Common Configuration (DU, DM, MU at the 0.5 ms minimum
+pattern period), the Mini-Slot configuration and FDD, under three access
+rows: grant-based UL, grant-free UL, and DL.  This module reproduces
+that matrix from the analytical model and also exposes the wider sweep
+(slot durations, pattern lengths) used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.feasibility import URLLC_5G, Requirement, verdict_mark
+from repro.core.latency_model import (
+    LatencyExtremes,
+    LatencyModel,
+    ProtocolTimings,
+)
+from repro.mac.catalog import (
+    fdd,
+    minimal_dm,
+    minimal_du,
+    minimal_mini_slot,
+    minimal_mu,
+)
+from repro.mac.scheme import DuplexingScheme
+from repro.mac.tdd import TddCommonConfig
+from repro.mac.types import AccessMode, Direction
+from repro.phy.numerology import Numerology
+
+#: Row labels in the paper's Table 1 order.
+TABLE1_ROWS: tuple[str, ...] = ("Grant-Based UL", "Grant-Free UL", "DL")
+
+#: Column labels in the paper's Table 1 order.
+TABLE1_COLUMNS: tuple[str, ...] = ("DU", "DM", "MU", "Mini-slot", "FDD")
+
+
+@dataclass(frozen=True)
+class FeasibilityCell:
+    """One cell of the feasibility matrix."""
+
+    scheme_name: str
+    row: str
+    extremes: LatencyExtremes
+    meets: bool
+
+    @property
+    def mark(self) -> str:
+        return verdict_mark(self.meets)
+
+
+def table1_schemes(mu: int = 2) -> list[DuplexingScheme]:
+    """The five columns of Table 1, as configured schemes (µ=2 →
+    0.25 ms slots, the only FR1 slot duration that can feasibly meet
+    URLLC, §5)."""
+    return [
+        minimal_du(mu),
+        minimal_dm(mu),
+        minimal_mu(mu),
+        minimal_mini_slot(mu),
+        fdd(mu),
+    ]
+
+
+def evaluate_cell(scheme: DuplexingScheme, row: str,
+                  requirement: Requirement = URLLC_5G,
+                  timings: ProtocolTimings | None = None
+                  ) -> FeasibilityCell:
+    """Evaluate one (configuration, access-row) cell analytically."""
+    model = LatencyModel(scheme, timings)
+    if row == "DL":
+        extremes = model.extremes(Direction.DL)
+    elif row == "Grant-Free UL":
+        extremes = model.extremes(Direction.UL, AccessMode.GRANT_FREE)
+    elif row == "Grant-Based UL":
+        extremes = model.extremes(Direction.UL, AccessMode.GRANT_BASED)
+    else:
+        raise ValueError(f"unknown Table 1 row {row!r}; "
+                         f"expected one of {TABLE1_ROWS}")
+    meets = requirement.met_by_worst_case(extremes)
+    return FeasibilityCell(scheme.name, row, extremes, meets)
+
+
+def feasibility_matrix(mu: int = 2,
+                       requirement: Requirement = URLLC_5G,
+                       timings: ProtocolTimings | None = None
+                       ) -> dict[str, dict[str, FeasibilityCell]]:
+    """The full Table 1 matrix: ``matrix[row][column] -> cell``."""
+    schemes = {scheme.name: scheme for scheme in table1_schemes(mu)}
+    matrix: dict[str, dict[str, FeasibilityCell]] = {}
+    for row in TABLE1_ROWS:
+        matrix[row] = {}
+        for column in TABLE1_COLUMNS:
+            key = "mini-slot/7" if column == "Mini-slot" else column
+            matrix[row][column] = evaluate_cell(
+                schemes[key], row, requirement, timings)
+    return matrix
+
+
+def feasible_designs(mu: int = 2,
+                     requirement: Requirement = URLLC_5G
+                     ) -> list[tuple[str, str]]:
+    """All (configuration, UL access) pairs meeting the requirement on
+    *both* directions — the paper's conclusion is that this set is
+    small: DM/Mini-slot/FDD with grant-free UL, plus Mini-slot/FDD with
+    grant-based UL."""
+    matrix = feasibility_matrix(mu, requirement)
+    designs = []
+    for column in TABLE1_COLUMNS:
+        dl_ok = matrix["DL"][column].meets
+        for access_row in ("Grant-Based UL", "Grant-Free UL"):
+            if dl_ok and matrix[access_row][column].meets:
+                designs.append((column, access_row))
+    return designs
+
+
+def enumerate_common_configurations(
+        mu: int = 2,
+        max_period_ms: float = 2.5,
+        mixed_splits: tuple[tuple[int, int, int], ...] = ((4, 2, 8),
+                                                          (8, 2, 4)),
+) -> list[TddCommonConfig]:
+    """Every expressible single-pattern TDD Common Configuration.
+
+    Walks the TS 38.331 grammar: for each allowed period that holds an
+    integer slot count at µ, every slot-count split into leading DL
+    slots, an optional mixed slot (with each candidate symbol split),
+    and trailing UL slots.  §10's "we propose all possible
+    configurations" made concrete — the exhaustive-search benchmark
+    runs the feasibility check over this whole set.
+    """
+    from repro.mac.tdd import ALLOWED_PERIODS_MS, TddPattern
+
+    numerology = Numerology(mu)
+    configurations: list[TddCommonConfig] = []
+    for period in ALLOWED_PERIODS_MS:
+        if float(period) > max_period_ms:
+            continue
+        slots = period * numerology.slots_per_subframe
+        if slots.denominator != 1 or slots < 2:
+            continue
+        n_slots = int(slots)
+        for dl_slots in range(0, n_slots + 1):
+            for ul_slots in range(0, n_slots - dl_slots + 1):
+                free = n_slots - dl_slots - ul_slots
+                if free == 0:
+                    if dl_slots and ul_slots:
+                        pattern = TddPattern(period_ms=period,
+                                             dl_slots=dl_slots,
+                                             ul_slots=ul_slots)
+                        configurations.append(TddCommonConfig(
+                            numerology, [pattern]))
+                    continue
+                if free != 1:
+                    continue  # more than one flexible slot is waste
+                for split in mixed_splits:
+                    dl_symbols, _, ul_symbols = split
+                    pattern = TddPattern(period_ms=period,
+                                         dl_slots=dl_slots,
+                                         dl_symbols=dl_symbols,
+                                         ul_symbols=ul_symbols,
+                                         ul_slots=ul_slots)
+                    configurations.append(TddCommonConfig(
+                        numerology, [pattern]))
+    return configurations
+
+
+def exhaustive_search(mu: int = 2,
+                      requirement: Requirement = URLLC_5G,
+                      max_period_ms: float = 2.5
+                      ) -> list[tuple[TddCommonConfig, str]]:
+    """All (configuration, UL-access) pairs meeting the requirement on
+    both directions, over the full Common Configuration grammar."""
+    feasible: list[tuple[TddCommonConfig, str]] = []
+    for config in enumerate_common_configurations(mu, max_period_ms):
+        model = LatencyModel(config)
+        try:
+            dl = model.extremes(Direction.DL)
+        except LookupError:
+            continue  # no DL windows at all
+        if not requirement.met_by_worst_case(dl):
+            continue
+        for access in (AccessMode.GRANT_FREE, AccessMode.GRANT_BASED):
+            try:
+                ul = model.extremes(Direction.UL, access)
+            except LookupError:
+                continue
+            if requirement.met_by_worst_case(ul):
+                feasible.append((config, access.value))
+    return feasible
+
+
+def render_table1(matrix: dict[str, dict[str, FeasibilityCell]] | None = None,
+                  mu: int = 2) -> str:
+    """Text rendering in the layout of the paper's Table 1."""
+    if matrix is None:
+        matrix = feasibility_matrix(mu)
+    width = max(len(c) for c in TABLE1_COLUMNS) + 2
+    header = " " * 16 + "".join(c.center(width) for c in TABLE1_COLUMNS)
+    lines = [header]
+    for row in TABLE1_ROWS:
+        cells = "".join(
+            matrix[row][column].mark.center(width)
+            for column in TABLE1_COLUMNS)
+        lines.append(f"{row:<16}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""URLLC requirement definitions and verdicts (paper §1, §5).
+
+The 5G URLLC target is a one-way latency of 0.5 ms on both UL and DL
+(1 ms round trip) at a reliability above 99.999 % (TR 38.913); 6G
+discussions tighten this to 0.1 ms one-way (0.2 ms round trip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.latency_model import LatencyExtremes
+from repro.phy.timebase import ms_from_tc, tc_from_ms
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """A latency/reliability service requirement."""
+
+    name: str
+    one_way_budget_tc: int
+    reliability: float
+
+    def __post_init__(self) -> None:
+        if self.one_way_budget_tc <= 0:
+            raise ValueError("budget must be positive")
+        if not 0.0 < self.reliability < 1.0:
+            raise ValueError(
+                f"reliability must be in (0, 1), got {self.reliability}")
+
+    @property
+    def one_way_budget_ms(self) -> float:
+        return ms_from_tc(self.one_way_budget_tc)
+
+    @property
+    def round_trip_budget_tc(self) -> int:
+        return 2 * self.one_way_budget_tc
+
+    def met_by_worst_case(self, extremes: LatencyExtremes) -> bool:
+        """Deterministic check: worst case within the one-way budget."""
+        return extremes.meets(self.one_way_budget_tc)
+
+    def met_by_samples(self, latencies_tc: list[int]) -> bool:
+        """Statistical check: the required quantile fits the budget."""
+        if not latencies_tc:
+            raise ValueError("no latency samples")
+        within = sum(1 for lat in latencies_tc
+                     if lat <= self.one_way_budget_tc)
+        return within / len(latencies_tc) >= self.reliability
+
+    def __str__(self) -> str:
+        return (f"{self.name}: {self.one_way_budget_ms:g} ms one-way @ "
+                f"{self.reliability:.5%}")
+
+
+#: 5G URLLC (TR 38.913 / paper abstract): 0.5 ms one-way, 99.999 %.
+URLLC_5G = Requirement("5G URLLC", tc_from_ms(0.5), 0.99999)
+
+#: Relaxed 99.99 % variant quoted in the paper's introduction.
+URLLC_5G_RELAXED = Requirement("5G URLLC (99.99%)", tc_from_ms(0.5), 0.9999)
+
+#: 6G target discussed in §1: 0.1 ms one-way (0.2 ms round trip).
+URLLC_6G = Requirement("6G URLLC", tc_from_ms(0.1), 0.99999)
+
+
+def verdict_mark(met: bool) -> str:
+    """The ✓/✗ notation of the paper's Table 1."""
+    return "✓" if met else "✗"

@@ -1,0 +1,116 @@
+"""Reliability analysis (paper §6).
+
+URLLC reliability has two faces:
+
+1. channel-induced packet loss (widely studied; modelled in
+   :mod:`repro.phy.channel`), and
+2. **non-deterministic latency**: processing and radio delays fluctuate,
+   and a fluctuation that crosses a deadline *is* a loss even though the
+   packet eventually arrives.  This module quantifies that second face:
+   latency-percentile reliability, the margin a scheduler must budget to
+   survive a jitter regime, and the margin-vs-latency trade-off the
+   paper says system design must balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.feasibility import Requirement
+from repro.net.probes import LatencyProbe
+from repro.radio.os_jitter import OsJitterModel
+from repro.phy.timebase import us_from_tc
+
+
+@dataclass(frozen=True)
+class ReliabilityReport:
+    """Latency-based reliability of one measured run."""
+
+    requirement_name: str
+    budget_us: float
+    target_reliability: float
+    achieved_reliability: float
+    delivered: int
+    dropped: int
+
+    @property
+    def met(self) -> bool:
+        return self.achieved_reliability >= self.target_reliability
+
+    def __str__(self) -> str:
+        verdict = "MET" if self.met else "VIOLATED"
+        return (f"{self.requirement_name}: "
+                f"{self.achieved_reliability:.5%} within "
+                f"{self.budget_us:.0f} µs "
+                f"(target {self.target_reliability:.5%}) — {verdict}")
+
+
+def assess(probe: LatencyProbe, requirement: Requirement,
+           dropped: int = 0) -> ReliabilityReport:
+    """Score a measured latency distribution against a requirement.
+
+    Dropped packets count against reliability — a packet that never
+    arrives certainly missed its deadline.
+    """
+    budget_us = us_from_tc(requirement.one_way_budget_tc)
+    delivered = len(probe)
+    total = delivered + dropped
+    if total == 0:
+        raise ValueError("no packets to assess")
+    within = sum(1 for lat in probe.latencies_us() if lat <= budget_us)
+    return ReliabilityReport(
+        requirement_name=requirement.name,
+        budget_us=budget_us,
+        target_reliability=requirement.reliability,
+        achieved_reliability=within / total,
+        delivered=delivered,
+        dropped=dropped,
+    )
+
+
+@dataclass(frozen=True)
+class MarginTradeoff:
+    """One point of the §6 margin-vs-latency trade-off."""
+
+    margin_us: float
+    deadline_miss_probability: float
+    added_latency_us: float
+
+
+def margin_tradeoff(jitter: OsJitterModel,
+                    deterministic_us: float,
+                    margins_us: list[float],
+                    rng: np.random.Generator,
+                    draws: int = 100_000) -> list[MarginTradeoff]:
+    """How much margin buys how much reliability.
+
+    A transmission is prepared ``margin_us`` before its window; it makes
+    the deadline iff ``deterministic + jitter <= margin``.  Larger
+    margins cut the miss probability but add their full length to every
+    packet's latency — the §6 balance.
+    """
+    if deterministic_us < 0:
+        raise ValueError("deterministic latency must be >= 0")
+    samples = np.array([jitter.sample_us(rng) for _ in range(draws)])
+    results = []
+    for margin_us in margins_us:
+        misses = float(np.mean(deterministic_us + samples > margin_us))
+        results.append(MarginTradeoff(
+            margin_us=margin_us,
+            deadline_miss_probability=misses,
+            added_latency_us=max(0.0, margin_us - deterministic_us),
+        ))
+    return results
+
+
+def required_margin_us(jitter: OsJitterModel, deterministic_us: float,
+                       reliability: float,
+                       rng: np.random.Generator,
+                       draws: int = 200_000) -> float:
+    """Smallest margin achieving the target deadline reliability."""
+    if not 0.0 < reliability < 1.0:
+        raise ValueError("reliability must be in (0, 1)")
+    samples = np.array([jitter.sample_us(rng) for _ in range(draws)])
+    return deterministic_us + float(np.quantile(samples, reliability))

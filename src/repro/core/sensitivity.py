@@ -1,0 +1,64 @@
+"""One-at-a-time (tornado) sensitivity analysis.
+
+The simulation's constants come from one measured testbed
+(`repro.calibration`); before trusting a conclusion elsewhere, it pays
+to know which parameter moves the result.  :func:`tornado` perturbs
+each parameter to its low/high bound while holding the others at
+baseline and ranks the swings — the classic tornado chart, in data
+form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Metric swing from perturbing one parameter."""
+
+    parameter: str
+    low_value: float
+    high_value: float
+    metric_at_low: float
+    metric_at_high: float
+
+    @property
+    def swing(self) -> float:
+        """Absolute metric range across the parameter's bounds."""
+        return abs(self.metric_at_high - self.metric_at_low)
+
+    def __str__(self) -> str:
+        return (f"{self.parameter}: metric {self.metric_at_low:.1f} → "
+                f"{self.metric_at_high:.1f} (swing {self.swing:.1f})")
+
+
+def tornado(metric: Callable[[Mapping[str, float]], float],
+            parameters: Mapping[str, tuple[float, float, float]],
+            ) -> list[SensitivityResult]:
+    """Rank parameters by their one-at-a-time metric swing.
+
+    Args:
+        metric: evaluates the model for a full parameter assignment
+            (name → value).
+        parameters: name → (low, baseline, high).
+
+    Returns:
+        Results sorted by decreasing swing.
+    """
+    if not parameters:
+        raise ValueError("no parameters to analyse")
+    for name, (low, base, high) in parameters.items():
+        if not low <= base <= high:
+            raise ValueError(
+                f"{name}: bounds must satisfy low <= base <= high, "
+                f"got ({low}, {base}, {high})")
+    baseline = {name: bounds[1] for name, bounds in parameters.items()}
+    results = []
+    for name, (low, _, high) in parameters.items():
+        at_low = metric({**baseline, name: low})
+        at_high = metric({**baseline, name: high})
+        results.append(SensitivityResult(name, low, high,
+                                         at_low, at_high))
+    return sorted(results, key=lambda r: r.swing, reverse=True)

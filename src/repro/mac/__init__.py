@@ -1,0 +1,65 @@
+"""MAC-layer substrate: duplexing configurations and opportunity timelines."""
+
+from repro.mac.catalog import (
+    fdd,
+    from_letters,
+    minimal_common_configurations,
+    minimal_dm,
+    minimal_du,
+    minimal_mini_slot,
+    minimal_mu,
+    testbed_dddu,
+)
+from repro.mac.bsr import bsr_index, quantize, reported_bytes
+from repro.mac.fdd import FddConfig
+from repro.mac.harq import (
+    HarqFeedbackModel,
+    HarqProcessPool,
+    HarqTiming,
+)
+from repro.mac.minislot import MiniSlotConfig
+from repro.mac.pdcch import PdcchCounters, PdcchModel
+from repro.mac.rach import RachOutcome, RachProcedure
+from repro.mac.opportunities import (
+    OpportunityTimeline,
+    PeriodicInstants,
+    Window,
+)
+from repro.mac.scheme import DuplexingScheme
+from repro.mac.slot_format import SLOT_FORMATS, SlotFormatConfig
+from repro.mac.tdd import TddCommonConfig, TddPattern
+from repro.mac.types import AccessMode, Direction, SymbolRole
+
+__all__ = [
+    "fdd",
+    "from_letters",
+    "minimal_common_configurations",
+    "minimal_dm",
+    "minimal_du",
+    "minimal_mini_slot",
+    "minimal_mu",
+    "testbed_dddu",
+    "bsr_index",
+    "quantize",
+    "reported_bytes",
+    "FddConfig",
+    "HarqFeedbackModel",
+    "HarqProcessPool",
+    "HarqTiming",
+    "MiniSlotConfig",
+    "PdcchCounters",
+    "PdcchModel",
+    "RachOutcome",
+    "RachProcedure",
+    "OpportunityTimeline",
+    "PeriodicInstants",
+    "Window",
+    "DuplexingScheme",
+    "SLOT_FORMATS",
+    "SlotFormatConfig",
+    "TddCommonConfig",
+    "TddPattern",
+    "AccessMode",
+    "Direction",
+    "SymbolRole",
+]

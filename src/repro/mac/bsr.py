@@ -1,0 +1,57 @@
+"""Buffer Status Reporting (TS 38.321 §6.1.3.1).
+
+With grant-based access the scheduler does not know how much data a UE
+holds; the UE reports its buffer occupancy in quantised *BSR levels*
+and the scheduler sizes grants accordingly.  Over-reporting wastes
+uplink capacity, under-reporting forces extra SR cycles — a second,
+quieter protocol-latency source on top of the SR/grant handshake.
+
+The table below is the 5-bit short-BSR quantisation (32 levels,
+exponentially spaced as in TS 38.321 table 6.1.3.1-1); level k means
+"buffer ≤ table[k] bytes", with the top level unbounded.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+#: Upper edge (bytes) of each 5-bit BSR level (TS 38.321 table
+#: 6.1.3.1-1).  Level 0 = empty buffer; level 31 = above the table.
+BSR_TABLE_BYTES: tuple[int, ...] = (
+    0, 10, 14, 20, 28, 38, 53, 74, 102, 142, 198, 276, 384, 535, 745,
+    1038, 1446, 2014, 2806, 3909, 5446, 7587, 10570, 14726, 20516,
+    28581, 39818, 55474, 77284, 107669, 150000, 150000,
+)
+
+#: Reported size of the unbounded top level (bytes) — the scheduler
+#: must assume at least this much.
+TOP_LEVEL_BYTES: int = 150_000
+
+
+def bsr_index(buffer_bytes: int) -> int:
+    """Smallest BSR level whose upper edge covers ``buffer_bytes``."""
+    if buffer_bytes < 0:
+        raise ValueError(f"buffer must be >= 0, got {buffer_bytes}")
+    if buffer_bytes == 0:
+        return 0
+    index = bisect.bisect_left(BSR_TABLE_BYTES, buffer_bytes, lo=1, hi=31)
+    return index
+
+
+def reported_bytes(index: int) -> int:
+    """Bytes the scheduler should assume for a report at ``index``.
+
+    The level's *upper* edge: the grant must cover the whole reported
+    range or the UE needs another cycle.
+    """
+    if not 0 <= index <= 31:
+        raise ValueError(f"BSR index must be in 0..31, got {index}")
+    if index >= 30:
+        return TOP_LEVEL_BYTES
+    return BSR_TABLE_BYTES[index]
+
+
+def quantize(buffer_bytes: int) -> int:
+    """Round a buffer size up through the BSR quantisation — the bytes
+    the scheduler will grant for it."""
+    return reported_bytes(bsr_index(buffer_bytes))

@@ -1,0 +1,143 @@
+"""Named duplexing configurations used throughout the paper.
+
+The minimal TDD Common Configurations of §5 (0.5 ms period, 0.25 ms
+slots — the only slot duration that can feasibly meet URLLC in FR1) are
+
+- ``DU`` — one downlink slot, one uplink slot,
+- ``DM`` — one downlink slot, one mixed slot (the only configuration
+  satisfying both DL and grant-free UL, Table 1),
+- ``MU`` — one mixed slot, one uplink slot,
+
+plus the testbed configuration of §7: ``DDDU`` with 0.5 ms slots (µ=1)
+on band n78, and the Mini-Slot / FDD alternatives of Table 1.
+
+Mixed slots default to a 4 DL / 2 flexible (guard) / 8 UL symbol split;
+the guard region is mandatory when switching DL→UL (§2).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.mac.fdd import FddConfig
+from repro.mac.minislot import MiniSlotConfig
+from repro.mac.tdd import ALLOWED_PERIODS_MS, TddCommonConfig, TddPattern
+from repro.phy.numerology import Numerology
+
+#: Default mixed-slot split: DL symbols, flexible (guard), UL symbols.
+DEFAULT_MIXED_SPLIT: tuple[int, int, int] = (4, 2, 8)
+
+
+def _minimal_period_ms(mu: int) -> Fraction:
+    """Shortest allowed pattern period holding the two-slot minimal
+    configurations: 0.5 ms at µ=2 (§5), one slot-pair otherwise."""
+    period = Fraction(2, 2 ** mu)
+    if period not in ALLOWED_PERIODS_MS:
+        allowed = ", ".join(str(p) for p in ALLOWED_PERIODS_MS)
+        raise ValueError(
+            f"no allowed two-slot period at µ={mu} (allowed: {allowed})")
+    return period
+
+
+def minimal_du(mu: int = 2) -> TddCommonConfig:
+    """Minimal-period DU configuration (0.5 ms period at µ=2)."""
+    pattern = TddPattern(period_ms=_minimal_period_ms(mu), dl_slots=1,
+                         ul_slots=1)
+    return TddCommonConfig(Numerology(mu), [pattern], name="DU")
+
+
+def minimal_dm(mu: int = 2,
+               mixed_split: tuple[int, int, int] = DEFAULT_MIXED_SPLIT
+               ) -> TddCommonConfig:
+    """Minimal-period DM configuration — the paper's feasible choice."""
+    dl_symbols, guard, ul_symbols = _checked_split(mixed_split)
+    pattern = TddPattern(period_ms=_minimal_period_ms(mu), dl_slots=1,
+                         dl_symbols=dl_symbols, ul_symbols=ul_symbols)
+    return TddCommonConfig(Numerology(mu), [pattern], name="DM")
+
+
+def minimal_mu(mu: int = 2,
+               mixed_split: tuple[int, int, int] = DEFAULT_MIXED_SPLIT
+               ) -> TddCommonConfig:
+    """Minimal-period MU configuration."""
+    dl_symbols, guard, ul_symbols = _checked_split(mixed_split)
+    pattern = TddPattern(period_ms=_minimal_period_ms(mu), dl_slots=0,
+                         dl_symbols=dl_symbols, ul_symbols=ul_symbols,
+                         ul_slots=1)
+    return TddCommonConfig(Numerology(mu), [pattern], name="MU")
+
+
+def testbed_dddu(mu: int = 1) -> TddCommonConfig:
+    """The §7 testbed configuration: DDDU, 0.5 ms slots (µ=1), 2 ms period."""
+    slots = 4
+    period = Fraction(slots, 2 ** mu)
+    pattern = TddPattern(period_ms=period, dl_slots=3, ul_slots=1)
+    return TddCommonConfig(Numerology(mu), [pattern], name="DDDU")
+
+
+def minimal_mini_slot(mu: int = 2, mini_slot_symbols: int = 7
+                      ) -> MiniSlotConfig:
+    """Mini-Slot configuration on 0.25 ms slots (§5's candidate)."""
+    return MiniSlotConfig(Numerology(mu),
+                          mini_slot_symbols=mini_slot_symbols)
+
+
+def fdd(mu: int = 2) -> FddConfig:
+    """FDD reference configuration."""
+    return FddConfig(Numerology(mu))
+
+
+def from_letters(letters: str, mu: int,
+                 mixed_split: tuple[int, int, int] = DEFAULT_MIXED_SPLIT
+                 ) -> TddCommonConfig:
+    """Build a Common Configuration from a slot-letter string.
+
+    ``from_letters("DDDU", mu=1)`` gives the testbed pattern;
+    ``from_letters("DM", mu=2)`` the minimal feasible one.  The string
+    must have the shape ``D* M? U*`` (at most one mixed slot, between the
+    DL and UL runs), which is all the Common Configuration grammar can
+    express (§2).
+    """
+    if not letters:
+        raise ValueError("letters must be non-empty")
+    letters = letters.upper()
+    if set(letters) - set("DMU"):
+        raise ValueError(f"letters must be D, M or U, got {letters!r}")
+    dl_slots = len(letters) - len(letters.lstrip("D"))
+    ul_slots = len(letters) - len(letters.rstrip("U"))
+    middle = letters[dl_slots:len(letters) - ul_slots or None]
+    if middle not in ("", "M"):
+        raise ValueError(
+            f"{letters!r} is not expressible as a Common Configuration "
+            "pattern (shape must be D*M?U*)")
+    numerology = Numerology(mu)
+    period = Fraction(len(letters), numerology.slots_per_subframe)
+    if period not in ALLOWED_PERIODS_MS:
+        raise ValueError(
+            f"{letters!r} at µ={mu} implies a {period} ms period, which "
+            "TS 38.331 does not allow")
+    dl_symbols = ul_symbols = 0
+    if middle == "M":
+        dl_symbols, _, ul_symbols = _checked_split(mixed_split)
+    pattern = TddPattern(period_ms=period, dl_slots=dl_slots,
+                         dl_symbols=dl_symbols, ul_symbols=ul_symbols,
+                         ul_slots=ul_slots)
+    return TddCommonConfig(numerology, [pattern], name=letters)
+
+
+def minimal_common_configurations(mu: int = 2) -> list[TddCommonConfig]:
+    """The three minimal TDD Common Configurations of §5 / Table 1."""
+    return [minimal_du(mu), minimal_dm(mu), minimal_mu(mu)]
+
+
+def _checked_split(split: tuple[int, int, int]) -> tuple[int, int, int]:
+    dl_symbols, guard, ul_symbols = split
+    if dl_symbols <= 0 or ul_symbols <= 0:
+        raise ValueError("mixed slot needs DL and UL symbols")
+    if guard <= 0:
+        raise ValueError(
+            "guard symbols are mandatory when switching DL to UL (§2)")
+    if dl_symbols + guard + ul_symbols != 14:
+        raise ValueError(
+            f"mixed-slot split must total 14 symbols, got {split}")
+    return dl_symbols, guard, ul_symbols

@@ -1,0 +1,70 @@
+"""FDD duplexing.
+
+FDD allocates two distinct, equal, non-overlapping bandwidths to DL and
+UL (paper §2), realising a full-duplex channel: every slot is an
+opportunity in both directions.  The costs the paper weighs against this
+are captured here too: the guard-band frequency overhead
+(:meth:`FddConfig.frequency_overhead_mhz`) and the sub-2.6 GHz band
+restriction that rules FDD out for private 5G
+(:func:`repro.phy.bands.fdd_bands`).
+"""
+
+from __future__ import annotations
+
+from repro.mac.opportunities import (
+    OpportunityTimeline,
+    PeriodicInstants,
+    Window,
+)
+from repro.phy.frame import FrameStructure
+from repro.phy.numerology import Numerology
+from repro.phy.timebase import TC_PER_MS
+
+
+class FddConfig:
+    """Full-duplex: every slot carries both a DL and a UL opportunity."""
+
+    def __init__(self, numerology: Numerology,
+                 duplex_spacing_mhz: float = 120.0,
+                 guard_band_mhz: float = 10.0,
+                 name: str = "FDD"):
+        if duplex_spacing_mhz <= 0 or guard_band_mhz < 0:
+            raise ValueError("duplex spacing must be > 0 and guard >= 0")
+        self.numerology = numerology
+        self.duplex_spacing_mhz = duplex_spacing_mhz
+        self.guard_band_mhz = guard_band_mhz
+        self.frame = FrameStructure(numerology)
+        self.period_tc = TC_PER_MS  # one subframe repeats exactly
+        self.name = name
+        self._windows = tuple(
+            Window(self.frame.slot_start(s), self.frame.slot_end(s))
+            for s in range(numerology.slots_per_subframe))
+
+    # ------------------------------------------------------------------
+    # DuplexingScheme interface
+    # ------------------------------------------------------------------
+    def dl_timeline(self) -> OpportunityTimeline:
+        return OpportunityTimeline(self.period_tc, self._windows)
+
+    def ul_timeline(self) -> OpportunityTimeline:
+        return OpportunityTimeline(self.period_tc, self._windows)
+
+    def dl_control_instants(self) -> PeriodicInstants:
+        return PeriodicInstants(
+            self.period_tc, (w.start for w in self._windows))
+
+    def scheduling_instants(self) -> PeriodicInstants:
+        return PeriodicInstants(
+            self.period_tc, (w.start for w in self._windows))
+
+    # ------------------------------------------------------------------
+    # trade-offs (paper §5 overview)
+    # ------------------------------------------------------------------
+    def frequency_overhead_mhz(self) -> float:
+        """Spectrum lost to the duplexing guard band."""
+        return self.guard_band_mhz
+
+    def describe(self) -> str:
+        return (f"FDD ({self.numerology}, duplex spacing "
+                f"{self.duplex_spacing_mhz:g} MHz, guard band "
+                f"{self.guard_band_mhz:g} MHz)")

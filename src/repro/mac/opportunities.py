@@ -1,0 +1,232 @@
+"""Periodic transmission-opportunity timelines.
+
+Every duplexing scheme in the library (TDD Common Configuration,
+Mini-Slot, Slot Format, FDD) is lowered to two periodic sets of
+*windows* — half-open Tc intervals ``[start, end)`` in which the medium
+is available for DL or UL transmission — plus periodic *instants* for
+control signalling and scheduling.  The worst-case latency analysis
+(paper Fig 4 / Table 1) and the discrete-event MAC scheduler both run on
+this single abstraction, which guarantees that the analytical and
+simulated models agree on what the protocol permits.
+
+Three completion rules capture how 5G actually grants access:
+
+- **slot-aligned, strict** (DL data): control information is emitted once
+  per transmission window, at its start; data arriving at or after a
+  window's start has missed that window ("the specific slot is already
+  allocated for other DL data", §5) and completes at the end of the next
+  window that starts strictly later.
+- **slot-aligned** (granted UL data): the grant designates a window; the
+  first window starting at or after the grant becomes usable.
+- **joining** (grant-free UL, scheduling requests): the UE owns
+  pre-allocated resources across the whole UL region and can start on
+  any symbol with enough remaining room, completing at the window end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+
+@dataclass(frozen=True, order=True)
+class Window:
+    """Half-open interval ``[start, end)`` in Tc ticks."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(
+                f"window must satisfy 0 <= start < end, "
+                f"got [{self.start}, {self.end})")
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def contains(self, time: int) -> bool:
+        return self.start <= time < self.end
+
+    def shifted(self, offset: int) -> "Window":
+        return Window(self.start + offset, self.end + offset)
+
+
+def _validated(windows: Iterable[Window], period: int) -> tuple[Window, ...]:
+    ordered = tuple(sorted(windows))
+    previous_end = 0
+    for window in ordered:
+        if window.end > period:
+            raise ValueError(
+                f"window {window} exceeds the period ({period})")
+        if window.start < previous_end:
+            raise ValueError(f"windows overlap near {window}")
+        previous_end = window.end
+    return ordered
+
+
+class OpportunityTimeline:
+    """Periodic windows with absolute-time queries.
+
+    The window list describes one period; the timeline repeats it
+    forever.  All queries take and return absolute Tc ticks.
+    """
+
+    def __init__(self, period_tc: int, windows: Iterable[Window]):
+        if period_tc <= 0:
+            raise ValueError(f"period must be positive, got {period_tc}")
+        self.period_tc = int(period_tc)
+        self.windows = _validated(windows, self.period_tc)
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+    def windows_from(self, time: int) -> Iterator[Window]:
+        """Absolute windows whose end is after ``time``, in order."""
+        if time < 0:
+            time = 0
+        if not self.windows:
+            return
+        cycle = time // self.period_tc
+        while True:
+            offset = cycle * self.period_tc
+            for window in self.windows:
+                shifted = window.shifted(offset)
+                if shifted.end > time:
+                    yield shifted
+            cycle += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not self.windows
+
+    def window_at(self, time: int) -> Optional[Window]:
+        """The absolute window containing ``time``, if any."""
+        for window in self.windows_from(time):
+            if window.contains(time):
+                return window
+            if window.start > time:
+                return None
+        return None
+
+    def first_start_at_or_after(self, time: int) -> Window:
+        """First window whose start is >= ``time``."""
+        for window in self.windows_from(time):
+            if window.start >= time:
+                return window
+        raise LookupError("timeline has no windows")
+
+    def first_start_after(self, time: int) -> Window:
+        """First window whose start is strictly after ``time``."""
+        return self.first_start_at_or_after(time + 1)
+
+    # ------------------------------------------------------------------
+    # completion rules (see module docstring)
+    # ------------------------------------------------------------------
+    def _usable_windows(self, time: int,
+                        min_duration: int) -> Iterator[Window]:
+        """Windows from ``time``, bounded to one full extra period.
+
+        A requirement no window of the period can satisfy will never be
+        satisfiable later either (the timeline repeats), so scanning
+        past one period of candidates means the demand is impossible —
+        raise instead of looping forever.
+        """
+        scanned = 0
+        limit = max(1, len(self.windows)) + 1
+        for window in self.windows_from(time):
+            yield window
+            scanned += 1
+            if scanned > limit:
+                break
+        raise LookupError(
+            f"no window of the timeline can fit {min_duration} ticks")
+
+    def completion_aligned_strict(self, time: int,
+                                  min_duration: int = 1) -> int:
+        """End of the first window starting strictly after ``time``
+        with at least ``min_duration`` ticks (DL-data rule)."""
+        for window in self._usable_windows(time + 1, min_duration):
+            if window.start > time and window.duration >= min_duration:
+                return window.end
+        raise LookupError("timeline has no usable windows")
+
+    def completion_aligned(self, time: int, min_duration: int = 1) -> int:
+        """End of the first window starting at or after ``time`` with at
+        least ``min_duration`` ticks (granted-UL-data rule)."""
+        for window in self._usable_windows(time, min_duration):
+            if window.start >= time and window.duration >= min_duration:
+                return window.end
+        raise LookupError("timeline has no usable windows")
+
+    def completion_joining(self, time: int, min_duration: int = 1) -> int:
+        """End of the first window with ``min_duration`` ticks remaining
+        at or after ``time`` (grant-free rule: mid-window entry allowed)."""
+        for window in self._usable_windows(time, min_duration):
+            entry = max(time, window.start)
+            if window.end - entry >= min_duration:
+                return window.end
+        raise LookupError("timeline has no usable windows")
+
+    def earliest_entry_joining(self, time: int,
+                               min_duration: int = 1) -> int:
+        """Earliest instant >= ``time`` at which a transmission of
+        ``min_duration`` ticks can *start* under the joining rule."""
+        for window in self._usable_windows(time, min_duration):
+            entry = max(time, window.start)
+            if window.end - entry >= min_duration:
+                return entry
+        raise LookupError("timeline has no usable windows")
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def duty_cycle(self) -> float:
+        """Fraction of the period covered by windows."""
+        covered = sum(w.duration for w in self.windows)
+        return covered / self.period_tc
+
+    def boundaries(self) -> tuple[int, ...]:
+        """All window starts and ends within one period, sorted."""
+        points: set[int] = set()
+        for window in self.windows:
+            points.add(window.start)
+            points.add(window.end)
+        return tuple(sorted(points))
+
+    def __repr__(self) -> str:
+        spans = ", ".join(f"[{w.start},{w.end})" for w in self.windows)
+        return f"OpportunityTimeline(period={self.period_tc}, {spans})"
+
+
+class PeriodicInstants:
+    """Periodic set of instants (control/scheduling occasions)."""
+
+    def __init__(self, period_tc: int, instants: Iterable[int]):
+        if period_tc <= 0:
+            raise ValueError(f"period must be positive, got {period_tc}")
+        self.period_tc = int(period_tc)
+        self.instants = tuple(sorted(set(int(i) for i in instants)))
+        for instant in self.instants:
+            if not 0 <= instant < period_tc:
+                raise ValueError(
+                    f"instant {instant} outside [0, {period_tc})")
+
+    def next_at_or_after(self, time: int) -> int:
+        """First instant >= ``time`` (absolute)."""
+        if not self.instants:
+            raise LookupError("no instants configured")
+        if time < 0:
+            time = 0
+        cycle, offset = divmod(time, self.period_tc)
+        for instant in self.instants:
+            if instant >= offset:
+                return cycle * self.period_tc + instant
+        return (cycle + 1) * self.period_tc + self.instants[0]
+
+    def next_after(self, time: int) -> int:
+        """First instant strictly after ``time``."""
+        return self.next_at_or_after(time + 1)

@@ -1,0 +1,101 @@
+"""PDCCH / CORESET capacity: control-channel blocking.
+
+Every DL assignment and UL grant rides a DCI on the PDCCH, which
+occupies *control-channel elements* (CCEs) inside a CORESET of a
+control occasion.  URLLC needs the DCI itself to be ultra-reliable, so
+it uses high aggregation levels (AL 8-16 CCEs per DCI) — and a typical
+CORESET holds only ~16 CCEs, i.e. one or two URLLC DCIs per occasion.
+With many UEs, control capacity, not data capacity, becomes the
+bottleneck: a UE whose DCI does not fit is *blocked* and waits for the
+next occasion.  This is a concrete face of the paper's §9 scalability
+question ("control signaling overhead, which grows with the number of
+UEs").
+
+The model allocates aligned candidate positions (an AL-L DCI may start
+only at multiples of L, as in the real search-space tree), so
+fragmentation behaves realistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PdcchCounters:
+    """Control-channel accounting."""
+
+    attempts: int = 0
+    blocked: int = 0
+
+    def blocking_probability(self) -> float:
+        if self.attempts == 0:
+            return 0.0
+        return self.blocked / self.attempts
+
+
+@dataclass
+class PdcchModel:
+    """CCE allocation across control occasions.
+
+    Args:
+        n_cces: CORESET size per occasion (a 2-symbol CORESET over
+            ~50 PRB yields ≈16 CCEs).
+        keep_occasions: occupancy maps retained for past occasions
+            (bounded memory for long runs).
+    """
+
+    n_cces: int = 16
+    keep_occasions: int = 64
+    counters: PdcchCounters = field(default_factory=PdcchCounters)
+    _occupancy: dict[int, list[bool]] = field(default_factory=dict,
+                                              repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_cces < 1:
+            raise ValueError(f"need >= 1 CCE, got {self.n_cces}")
+        if self.keep_occasions < 1:
+            raise ValueError("keep_occasions must be >= 1")
+
+    # ------------------------------------------------------------------
+    def _occasion(self, occasion_tc: int) -> list[bool]:
+        occupancy = self._occupancy.get(occasion_tc)
+        if occupancy is None:
+            occupancy = [False] * self.n_cces
+            self._occupancy[occasion_tc] = occupancy
+            if len(self._occupancy) > self.keep_occasions:
+                oldest = min(self._occupancy)
+                del self._occupancy[oldest]
+        return occupancy
+
+    def try_allocate(self, occasion_tc: int,
+                     aggregation_level: int) -> bool:
+        """Claim an AL-``aggregation_level`` candidate in the occasion.
+
+        Candidates start at multiples of the aggregation level (the
+        search-space alignment), so interleaved small DCIs can block a
+        large one even with enough total CCEs free.
+        """
+        if aggregation_level < 1:
+            raise ValueError("aggregation level must be >= 1")
+        self.counters.attempts += 1
+        if aggregation_level > self.n_cces:
+            self.counters.blocked += 1
+            return False
+        occupancy = self._occasion(occasion_tc)
+        for start in range(0, self.n_cces - aggregation_level + 1,
+                           aggregation_level):
+            span = occupancy[start:start + aggregation_level]
+            if not any(span):
+                for index in range(start, start + aggregation_level):
+                    occupancy[index] = True
+                return True
+        self.counters.blocked += 1
+        return False
+
+    def free_cces(self, occasion_tc: int) -> int:
+        """CCEs still unallocated in an occasion."""
+        occupancy = self._occupancy.get(occasion_tc)
+        if occupancy is None:
+            return self.n_cces
+        return sum(1 for used in occupancy if not used)

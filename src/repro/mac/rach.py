@@ -1,0 +1,163 @@
+"""Random access (RACH): the price of not being connected.
+
+The paper's whole latency analysis assumes a connected UE with
+configured resources.  A UE arriving from IDLE/INACTIVE must first run
+random access, which adds four over-the-air steps (TS 38.321):
+
+1. **Msg1** — preamble on the next PRACH occasion (occasions recur with
+   a configured period, typically 10 ms);
+2. **Msg2** — random-access response inside the gNB's RAR window;
+3. **Msg3** — the UE's scheduled PUSCH transmission;
+4. **Msg4** — contention resolution on DL.
+
+Release 16's **2-step RACH** folds 1+3 into MsgA and 2+4 into MsgB,
+roughly halving the handshake.  Either way the procedure costs many
+milliseconds — orders of magnitude over the URLLC budget — so URLLC
+traffic must come from already-connected, pre-configured UEs; the
+extension benchmark quantifies this.
+
+Contention: UEs draw from 64 preambles; two contenders picking the
+same one collide, fail contention resolution, back off and retry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mac.opportunities import OpportunityTimeline, PeriodicInstants
+from repro.mac.scheme import DuplexingScheme
+from repro.phy.numerology import SYMBOLS_PER_SLOT
+from repro.phy.timebase import tc_from_ms
+
+#: Contention preambles per PRACH occasion (64 minus reserved).
+N_PREAMBLES: int = 54
+
+#: Maximum preamble transmissions before access failure.
+MAX_ATTEMPTS: int = 10
+
+
+@dataclass(frozen=True)
+class RachOutcome:
+    """One completed random-access procedure."""
+
+    arrival_tc: int
+    msg1_tc: int          #: preamble transmission (last attempt)
+    msg2_tc: int          #: RAR received
+    msg3_tc: int          #: scheduled transmission complete
+    msg4_tc: int          #: contention resolved — UE connected
+    attempts: int         #: preamble transmissions used
+
+    @property
+    def access_delay_tc(self) -> int:
+        return self.msg4_tc - self.arrival_tc
+
+
+class RachProcedure:
+    """Timing model of 4-step (or 2-step) random access."""
+
+    def __init__(self, scheme: DuplexingScheme,
+                 prach_period_ms: float = 10.0,
+                 gnb_processing_slots: int = 3,
+                 ue_processing_slots: int = 2,
+                 two_step: bool = False):
+        if prach_period_ms <= 0:
+            raise ValueError("PRACH period must be positive")
+        if gnb_processing_slots < 0 or ue_processing_slots < 0:
+            raise ValueError("processing slots must be >= 0")
+        self.scheme = scheme
+        self.two_step = two_step
+        self._ul: OpportunityTimeline = scheme.ul_timeline()
+        self._dl: OpportunityTimeline = scheme.dl_timeline()
+        self._control: PeriodicInstants = scheme.dl_control_instants()
+        slot_tc = scheme.numerology.slot_duration_tc
+        self.gnb_processing_tc = gnb_processing_slots * slot_tc
+        self.ue_processing_tc = ue_processing_slots * slot_tc
+        self.symbol_tc = slot_tc // SYMBOLS_PER_SLOT
+        # PRACH occasions: a periodic grid constrained to UL windows.
+        # As an operator would via prach-ConfigurationIndex, phase the
+        # grid onto the scheme's first UL opportunity.
+        self.prach_period_tc = tc_from_ms(prach_period_ms)
+        self.prach_offset_tc = (
+            self._ul.first_start_at_or_after(0).start
+            % self.prach_period_tc)
+
+    # ------------------------------------------------------------------
+    def next_prach_occasion(self, time: int) -> int:
+        """First PRACH occasion at or after ``time``.
+
+        Occasions tick every ``prach_period_tc`` and must begin inside
+        a UL window with room for the preamble (~2 symbols)."""
+        need = 2 * self.symbol_tc
+        candidate = time
+        for _ in range(10_000):
+            remainder = ((candidate - self.prach_offset_tc)
+                         % self.prach_period_tc)
+            if remainder:
+                candidate += self.prach_period_tc - remainder
+            window = self._ul.window_at(candidate)
+            if window is not None and window.end - candidate >= need:
+                return candidate
+            window = self._ul.first_start_at_or_after(candidate + 1)
+            candidate = window.start
+        raise LookupError("no PRACH occasion found")
+
+    # ------------------------------------------------------------------
+    def _one_attempt(self, start: int) -> tuple[int, int, int, int]:
+        """Timing of a single contention round from ``start``."""
+        msg1 = self.next_prach_occasion(start)
+        preamble_end = msg1 + 2 * self.symbol_tc
+        # Msg2 rides DL control after gNB detection/processing.
+        msg2 = self._control.next_at_or_after(
+            preamble_end + self.gnb_processing_tc)
+        if self.two_step:
+            # MsgB already resolves contention.
+            return msg1, msg2, msg2, msg2
+        # Msg3 on the first UL window the UE can make.
+        msg3_window = self._ul.first_start_at_or_after(
+            msg2 + self.ue_processing_tc)
+        msg3 = msg3_window.end
+        # Msg4 on DL after gNB processing.
+        msg4_window = self._dl.first_start_after(
+            msg3 + self.gnb_processing_tc)
+        msg4 = msg4_window.end
+        return msg1, msg2, msg3, msg4
+
+    def access(self, arrival_tc: int, rng: np.random.Generator,
+               n_contenders: int = 1) -> RachOutcome:
+        """Run the procedure, retrying on preamble collisions.
+
+        ``n_contenders`` UEs attempt in the same occasion; a collision
+        happens when another contender picks our preamble.
+        """
+        if n_contenders < 1:
+            raise ValueError("need at least one contender")
+        collision_p = 1.0 - (1.0 - 1.0 / N_PREAMBLES) ** (n_contenders - 1)
+        start = arrival_tc
+        for attempt in range(1, MAX_ATTEMPTS + 1):
+            msg1, msg2, msg3, msg4 = self._one_attempt(start)
+            if rng.random() >= collision_p:
+                return RachOutcome(arrival_tc, msg1, msg2, msg3, msg4,
+                                   attempt)
+            # Collision: uniform backoff (up to 20 ms) then retry.
+            backoff = int(rng.integers(0, tc_from_ms(20)))
+            start = msg4 + backoff
+        raise LookupError(
+            f"random access failed after {MAX_ATTEMPTS} attempts")
+
+    def sample_access_delays_us(self, n: int, rng: np.random.Generator,
+                                n_contenders: int = 1,
+                                horizon_tc: int | None = None
+                                ) -> list[float]:
+        """Access delays for ``n`` arrivals uniform over one horizon."""
+        from repro.phy.timebase import us_from_tc
+        if n <= 0:
+            raise ValueError("n must be positive")
+        horizon = horizon_tc or 10 * self.prach_period_tc
+        delays = []
+        for _ in range(n):
+            arrival = int(rng.integers(0, horizon))
+            outcome = self.access(arrival, rng, n_contenders)
+            delays.append(us_from_tc(outcome.access_delay_tc))
+        return delays

@@ -1,0 +1,46 @@
+"""The interface every duplexing scheme exposes.
+
+The analytical latency model (:mod:`repro.core.latency_model`) and the
+discrete-event MAC (:mod:`repro.mac.scheduler`) are written against this
+protocol, so TDD Common Configuration, Slot Format, Mini-Slot and FDD are
+interchangeable everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.mac.opportunities import OpportunityTimeline, PeriodicInstants
+from repro.phy.numerology import Numerology
+
+
+@runtime_checkable
+class DuplexingScheme(Protocol):
+    """Lowered view of a duplexing configuration.
+
+    Attributes:
+        name: short identifier ("DM", "DDDU", "FDD", "mini-slot/7"...).
+        numerology: the configured numerology.
+        period_tc: exact repetition period of all timelines, in Tc.
+    """
+
+    name: str
+    numerology: Numerology
+    period_tc: int
+
+    def dl_timeline(self) -> OpportunityTimeline:
+        """Windows in which downlink data can be transmitted."""
+        ...
+
+    def ul_timeline(self) -> OpportunityTimeline:
+        """Windows in which uplink data (and SRs) can be transmitted."""
+        ...
+
+    def dl_control_instants(self) -> PeriodicInstants:
+        """Occasions at which DL control information (UL grants, DL
+        assignments) is broadcast."""
+        ...
+
+    def scheduling_instants(self) -> PeriodicInstants:
+        """Occasions at which the gNB MAC scheduler runs."""
+        ...

@@ -1,0 +1,160 @@
+"""Slot Format configuration (TS 38.213 table 11.1.1-1).
+
+Like the Mini-Slot configuration, Slot Format signals the symbol
+characterisation of each slot dynamically, but the permissible formats
+are *predefined by the standard*, trading signalling overhead for
+coarser allocation (paper §2, Fig 1c).
+
+The table below is the subset of formats 0-45 (single D/F/U run
+structure); the repeated half-slot formats 46-55 add no latency regime
+not already covered and are omitted from the catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mac.opportunities import (
+    OpportunityTimeline,
+    PeriodicInstants,
+    Window,
+)
+from repro.mac.types import SymbolRole
+from repro.phy.frame import FrameStructure
+from repro.phy.numerology import SYMBOLS_PER_SLOT, Numerology
+from repro.phy.timebase import TC_PER_MS
+
+#: TS 38.213 table 11.1.1-1, formats 0-45 (D = downlink, U = uplink,
+#: F = flexible), one 14-character string per format index.
+SLOT_FORMATS: tuple[str, ...] = (
+    "DDDDDDDDDDDDDD",  # 0
+    "UUUUUUUUUUUUUU",  # 1
+    "FFFFFFFFFFFFFF",  # 2
+    "DDDDDDDDDDDDDF",  # 3
+    "DDDDDDDDDDDDFF",  # 4
+    "DDDDDDDDDDDFFF",  # 5
+    "DDDDDDDDDDFFFF",  # 6
+    "DDDDDDDDDFFFFF",  # 7
+    "FFFFFFFFFFFFFU",  # 8
+    "FFFFFFFFFFFFUU",  # 9
+    "FUUUUUUUUUUUUU",  # 10
+    "FFUUUUUUUUUUUU",  # 11
+    "FFFUUUUUUUUUUU",  # 12
+    "FFFFUUUUUUUUUU",  # 13
+    "FFFFFUUUUUUUUU",  # 14
+    "FFFFFFUUUUUUUU",  # 15
+    "DFFFFFFFFFFFFF",  # 16
+    "DDFFFFFFFFFFFF",  # 17
+    "DDDFFFFFFFFFFF",  # 18
+    "DFFFFFFFFFFFFU",  # 19
+    "DDFFFFFFFFFFFU",  # 20
+    "DDDFFFFFFFFFFU",  # 21
+    "DFFFFFFFFFFFUU",  # 22
+    "DDFFFFFFFFFFUU",  # 23
+    "DDDFFFFFFFFFUU",  # 24
+    "DFFFFFFFFFFUUU",  # 25
+    "DDFFFFFFFFFUUU",  # 26
+    "DDDFFFFFFFFUUU",  # 27
+    "DDDDDDDDDDDDFU",  # 28
+    "DDDDDDDDDDDFFU",  # 29
+    "DDDDDDDDDDFFFU",  # 30
+    "DDDDDDDDDDDFUU",  # 31
+    "DDDDDDDDDDFFUU",  # 32
+    "DDDDDDDDDFFFUU",  # 33
+    "DFUUUUUUUUUUUU",  # 34
+    "DDFUUUUUUUUUUU",  # 35
+    "DDDFUUUUUUUUUU",  # 36
+    "DFFUUUUUUUUUUU",  # 37
+    "DDFFUUUUUUUUUU",  # 38
+    "DDDFFUUUUUUUUU",  # 39
+    "DFFFUUUUUUUUUU",  # 40
+    "DDFFFUUUUUUUUU",  # 41
+    "DDDFFFUUUUUUUU",  # 42
+    "DDDDDDDDDFFFFU",  # 43
+    "DDDDDDFFFFFFUU",  # 44
+    "DDDDDDFFUUUUUU",  # 45
+)
+
+
+def format_roles(index: int) -> tuple[SymbolRole, ...]:
+    """Symbol roles of slot format ``index``."""
+    try:
+        pattern = SLOT_FORMATS[index]
+    except IndexError:
+        raise ValueError(
+            f"slot format index must be in 0..{len(SLOT_FORMATS) - 1}, "
+            f"got {index}") from None
+    return tuple(SymbolRole.from_char(c) for c in pattern)
+
+
+class SlotFormatConfig:
+    """A repeating sequence of standard slot formats.
+
+    ``SlotFormatConfig(Numerology(2), [0, 0, 0, 1])`` reproduces a
+    DDDU-like structure using formats 0 (all-DL) and 1 (all-UL).
+    """
+
+    def __init__(self, numerology: Numerology,
+                 format_indices: Sequence[int], name: str = ""):
+        if not format_indices:
+            raise ValueError("at least one slot format is required")
+        self.numerology = numerology
+        self.format_indices = tuple(int(i) for i in format_indices)
+        self.frame = FrameStructure(numerology)
+        # Align the sequence with the 0.5 ms CP cycle for exactness.
+        slots_per_half_subframe = max(1, numerology.slots_per_subframe // 2)
+        cycle = len(self.format_indices)
+        repeats = 1
+        while (repeats * cycle) % slots_per_half_subframe != 0:
+            repeats += 1
+        self._slots = self.format_indices * repeats
+        self.period_tc = self.frame.slot_end(len(self._slots) - 1)
+        self.name = name or f"slot-format[{','.join(map(str, self.format_indices))}]"
+        self._dl_windows = self._windows_for(SymbolRole.DL)
+        self._ul_windows = self._windows_for(SymbolRole.UL)
+
+    def _windows_for(self, role: SymbolRole) -> tuple[Window, ...]:
+        windows: list[Window] = []
+        for slot_index, fmt in enumerate(self._slots):
+            roles = format_roles(fmt)
+            run_start: int | None = None
+            for symbol, symbol_role in enumerate(roles):
+                if symbol_role is role:
+                    if run_start is None:
+                        run_start = symbol
+                elif run_start is not None:
+                    windows.append(self._span(slot_index, run_start, symbol))
+                    run_start = None
+            if run_start is not None:
+                windows.append(
+                    self._span(slot_index, run_start, SYMBOLS_PER_SLOT))
+        return tuple(windows)
+
+    def _span(self, slot_index: int, first: int, end: int) -> Window:
+        start = self.frame.symbol_start(slot_index, first)
+        stop = (self.frame.slot_end(slot_index) if end == SYMBOLS_PER_SLOT
+                else self.frame.symbol_start(slot_index, end))
+        return Window(start, stop)
+
+    # ------------------------------------------------------------------
+    # DuplexingScheme interface
+    # ------------------------------------------------------------------
+    def dl_timeline(self) -> OpportunityTimeline:
+        return OpportunityTimeline(self.period_tc, self._dl_windows)
+
+    def ul_timeline(self) -> OpportunityTimeline:
+        return OpportunityTimeline(self.period_tc, self._ul_windows)
+
+    def dl_control_instants(self) -> PeriodicInstants:
+        return PeriodicInstants(
+            self.period_tc, (w.start for w in self._dl_windows))
+
+    def scheduling_instants(self) -> PeriodicInstants:
+        return PeriodicInstants(
+            self.period_tc,
+            (self.frame.slot_start(s) for s in range(len(self._slots))))
+
+    def describe(self) -> str:
+        formats = ", ".join(str(i) for i in self.format_indices)
+        return (f"Slot Format configuration [{formats}] "
+                f"({self.numerology})")

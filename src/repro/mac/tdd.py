@@ -1,0 +1,250 @@
+"""TDD Common Configuration (TS 38.331 ``TDD-UL-DL-ConfigCommon``).
+
+A period is composed of one or two consecutive *patterns*.  A pattern is
+``dl_slots`` full downlink slots, then ``dl_symbols`` downlink symbols at
+the start of the following slot, a flexible (guard) region, then
+``ul_symbols`` uplink symbols at the end of the slot preceding the final
+``ul_slots`` full uplink slots (paper §2, Fig 1a).
+
+The standard restricts the pattern period to
+{0.5, 0.625, 1, 1.25, 2, 2.5, 5, 10} ms and the period must contain an
+integer number of slots for the configured numerology.
+
+Lowering to :class:`~repro.mac.opportunities.OpportunityTimeline` is
+exact: because the 16κ cyclic-prefix extension recurs every half
+subframe, a pattern whose period is not a multiple of 0.5 ms is only
+strictly periodic over ``lcm(period, 0.5 ms)``; the timelines are built
+over that hyperperiod.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.mac.opportunities import (
+    OpportunityTimeline,
+    PeriodicInstants,
+    Window,
+)
+from repro.mac.types import SymbolRole
+from repro.phy.frame import FrameStructure
+from repro.phy.numerology import SYMBOLS_PER_SLOT, Numerology
+from repro.phy.timebase import TC_PER_MS
+
+#: Pattern periods permitted by TS 38.331 (paper §2), in milliseconds.
+ALLOWED_PERIODS_MS: tuple[Fraction, ...] = tuple(
+    Fraction(p) for p in ("0.5", "0.625", "1", "1.25", "2", "2.5", "5", "10")
+)
+
+#: Tc ticks in half a subframe (the CP-extension recurrence).
+_HALF_SUBFRAME_TC = TC_PER_MS // 2
+
+
+@dataclass(frozen=True)
+class TddPattern:
+    """One TDD UL/DL pattern."""
+
+    period_ms: Fraction
+    dl_slots: int
+    dl_symbols: int = 0
+    ul_symbols: int = 0
+    ul_slots: int = 0
+
+    def __post_init__(self) -> None:
+        period = Fraction(self.period_ms)
+        object.__setattr__(self, "period_ms", period)
+        if period not in ALLOWED_PERIODS_MS:
+            allowed = ", ".join(str(p) for p in ALLOWED_PERIODS_MS)
+            raise ValueError(
+                f"pattern period must be one of {{{allowed}}} ms, "
+                f"got {period}")
+        for name in ("dl_slots", "dl_symbols", "ul_symbols", "ul_slots"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        for name in ("dl_symbols", "ul_symbols"):
+            if getattr(self, name) >= SYMBOLS_PER_SLOT:
+                raise ValueError(
+                    f"{name} must be < {SYMBOLS_PER_SLOT}; use a full slot")
+
+    # ------------------------------------------------------------------
+    def slots_in_period(self, numerology: Numerology) -> int:
+        """Slot count of the period; errors if not an integer."""
+        slots = self.period_ms * numerology.slots_per_subframe
+        if slots.denominator != 1:
+            raise ValueError(
+                f"period {self.period_ms} ms does not hold an integer "
+                f"number of µ={numerology.mu} slots")
+        return int(slots)
+
+    def period_tc(self) -> int:
+        """Pattern period in Tc (always exact for the allowed set)."""
+        ticks = self.period_ms * TC_PER_MS
+        assert ticks.denominator == 1
+        return int(ticks)
+
+    # ------------------------------------------------------------------
+    def symbol_roles(self, numerology: Numerology
+                     ) -> list[list[SymbolRole]]:
+        """Per-slot, per-symbol characterisation of one period."""
+        slots = self.slots_in_period(numerology)
+        if self.dl_slots + self.ul_slots > slots:
+            raise ValueError(
+                f"{self.dl_slots} DL + {self.ul_slots} UL slots exceed "
+                f"the {slots}-slot period")
+        partial_needed = int(self.dl_symbols > 0) + int(self.ul_symbols > 0)
+        free_slots = slots - self.dl_slots - self.ul_slots
+        if partial_needed > 0 and free_slots == 0:
+            raise ValueError("no slot left for the partial DL/UL symbols")
+        roles = [[SymbolRole.FLEXIBLE] * SYMBOLS_PER_SLOT
+                 for _ in range(slots)]
+        for slot in range(self.dl_slots):
+            roles[slot] = [SymbolRole.DL] * SYMBOLS_PER_SLOT
+        for slot in range(slots - self.ul_slots, slots):
+            roles[slot] = [SymbolRole.UL] * SYMBOLS_PER_SLOT
+        if self.dl_symbols:
+            slot = self.dl_slots
+            for symbol in range(self.dl_symbols):
+                roles[slot][symbol] = SymbolRole.DL
+        if self.ul_symbols:
+            slot = slots - self.ul_slots - 1
+            for symbol in range(SYMBOLS_PER_SLOT - self.ul_symbols,
+                                SYMBOLS_PER_SLOT):
+                if roles[slot][symbol] is not SymbolRole.FLEXIBLE:
+                    raise ValueError(
+                        "DL and UL partial symbols overlap in the "
+                        "mixed slot")
+                roles[slot][symbol] = SymbolRole.UL
+        return roles
+
+
+def slot_letter(symbols: Sequence[SymbolRole]) -> str:
+    """Classify a slot as D, U, M (mixed) or F (all flexible)."""
+    kinds = set(symbols)
+    if kinds == {SymbolRole.DL}:
+        return "D"
+    if kinds == {SymbolRole.UL}:
+        return "U"
+    if kinds == {SymbolRole.FLEXIBLE}:
+        return "F"
+    return "M"
+
+
+class TddCommonConfig:
+    """One or two TDD patterns lowered to opportunity timelines.
+
+    This is the library's concrete model of the configuration type the
+    paper analyses most closely; see :mod:`repro.mac.catalog` for the
+    named minimal instances (DU, DM, MU, DDDU...).
+    """
+
+    def __init__(self, numerology: Numerology,
+                 patterns: Sequence[TddPattern],
+                 name: str = ""):
+        if not 1 <= len(patterns) <= 2:
+            raise ValueError("a Common Configuration has 1 or 2 patterns")
+        self.numerology = numerology
+        self.patterns = tuple(patterns)
+        self.frame = FrameStructure(numerology)
+        combined_tc = sum(p.period_tc() for p in self.patterns)
+        if 20 * TC_PER_MS % combined_tc != 0:
+            raise ValueError(
+                "combined pattern period must divide 20 ms "
+                f"(got {combined_tc / TC_PER_MS} ms)")
+        self._combined_period_tc = combined_tc
+        # Exact periodicity requires alignment with the 0.5 ms CP cycle.
+        self.period_tc = math.lcm(combined_tc, _HALF_SUBFRAME_TC)
+        self._roles = self._concatenated_roles()
+        self.name = name or "".join(self.slot_letters())
+        self._dl_windows = self._windows_for(SymbolRole.DL)
+        self._ul_windows = self._windows_for(SymbolRole.UL)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _concatenated_roles(self) -> list[list[SymbolRole]]:
+        """Slot roles across the full hyperperiod."""
+        one_cycle: list[list[SymbolRole]] = []
+        for pattern in self.patterns:
+            one_cycle.extend(pattern.symbol_roles(self.numerology))
+        repeats = self.period_tc // self._combined_period_tc
+        return one_cycle * repeats
+
+    def _windows_for(self, role: SymbolRole) -> tuple[Window, ...]:
+        """Per-slot contiguous runs of ``role``, as Tc windows."""
+        windows: list[Window] = []
+        for slot_index, slot_roles in enumerate(self._roles):
+            run_start: int | None = None
+            for symbol, symbol_role in enumerate(slot_roles):
+                if symbol_role is role:
+                    if run_start is None:
+                        run_start = symbol
+                elif run_start is not None:
+                    windows.append(self._symbol_span(
+                        slot_index, run_start, symbol))
+                    run_start = None
+            if run_start is not None:
+                windows.append(self._symbol_span(
+                    slot_index, run_start, SYMBOLS_PER_SLOT))
+        return tuple(windows)
+
+    def _symbol_span(self, slot_index: int, first_symbol: int,
+                     end_symbol: int) -> Window:
+        start = self.frame.symbol_start(slot_index, first_symbol)
+        end = (self.frame.slot_end(slot_index)
+               if end_symbol == SYMBOLS_PER_SLOT
+               else self.frame.symbol_start(slot_index, end_symbol))
+        return Window(start, end)
+
+    # ------------------------------------------------------------------
+    # DuplexingScheme interface
+    # ------------------------------------------------------------------
+    @property
+    def slots_per_period(self) -> int:
+        return len(self._roles)
+
+    def dl_timeline(self) -> OpportunityTimeline:
+        """Downlink transmission windows (one per slot's DL region)."""
+        return OpportunityTimeline(self.period_tc, self._dl_windows)
+
+    def ul_timeline(self) -> OpportunityTimeline:
+        """Uplink transmission windows (one per slot's UL region)."""
+        return OpportunityTimeline(self.period_tc, self._ul_windows)
+
+    def dl_control_instants(self) -> PeriodicInstants:
+        """Instants at which DL control (and thus UL grants) can be sent:
+        the start of every DL window."""
+        return PeriodicInstants(
+            self.period_tc, (w.start for w in self._dl_windows))
+
+    def scheduling_instants(self) -> PeriodicInstants:
+        """gNB scheduling occasions: once per slot (paper §2)."""
+        return PeriodicInstants(
+            self.period_tc,
+            (self.frame.slot_start(s) for s in range(len(self._roles))))
+
+    # ------------------------------------------------------------------
+    # descriptions
+    # ------------------------------------------------------------------
+    def slot_letters(self) -> list[str]:
+        """D/U/M/F letter per slot over the *configured* period (not the
+        hyperperiod), e.g. ``['D', 'D', 'D', 'U']``."""
+        one_cycle_slots = sum(
+            p.slots_in_period(self.numerology) for p in self.patterns)
+        return [slot_letter(r) for r in self._roles[:one_cycle_slots]]
+
+    def slot_roles(self) -> list[list[SymbolRole]]:
+        """Symbol roles per slot across the hyperperiod (copy)."""
+        return [list(r) for r in self._roles]
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        letters = "".join(self.slot_letters())
+        period = sum(p.period_ms for p in self.patterns)
+        return (f"TDD Common Configuration {letters} "
+                f"(period {period} ms, {self.numerology})")
+
+    def __repr__(self) -> str:
+        return f"TddCommonConfig({self.name!r}, µ={self.numerology.mu})"

@@ -1,0 +1,46 @@
+"""Shared MAC-layer vocabulary: link directions and symbol roles."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Direction(Enum):
+    """Transmission direction of a resource."""
+
+    DL = "DL"
+    UL = "UL"
+
+    @property
+    def opposite(self) -> "Direction":
+        return Direction.UL if self is Direction.DL else Direction.DL
+
+
+class SymbolRole(Enum):
+    """Characterisation of one OFDM symbol in a duplexing pattern.
+
+    ``FLEXIBLE`` symbols are the guard region of mixed slots — required
+    when switching from DL to UL "due to synchronization considerations"
+    (paper §2) — or symbols a Slot Format leaves dynamically assignable.
+    """
+
+    DL = "D"
+    UL = "U"
+    FLEXIBLE = "F"
+
+    @classmethod
+    def from_char(cls, char: str) -> "SymbolRole":
+        """Parse the single-character form used by TS 38.213 tables."""
+        mapping = {"D": cls.DL, "U": cls.UL, "F": cls.FLEXIBLE}
+        try:
+            return mapping[char.upper()]
+        except KeyError:
+            raise ValueError(
+                f"symbol role must be one of D/U/F, got {char!r}") from None
+
+
+class AccessMode(Enum):
+    """Uplink access mechanism (paper §4-§5)."""
+
+    GRANT_BASED = "grant-based"
+    GRANT_FREE = "grant-free"

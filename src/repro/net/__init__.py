@@ -1,0 +1,25 @@
+"""End-to-end network nodes: UE, gNB, link, core, experiment drivers."""
+
+from repro.net.core_network import PingServer, Upf
+from repro.net.gnb import Gnb, GnbCounters
+from repro.net.link import AirLink, LinkCounters
+from repro.net.probes import LatencyProbe, LatencySummary, summarize_us
+from repro.net.session import PingResult, RanConfig, RanSystem
+from repro.net.ue import Ue, UeCounters
+
+__all__ = [
+    "PingServer",
+    "Upf",
+    "Gnb",
+    "GnbCounters",
+    "AirLink",
+    "LinkCounters",
+    "LatencyProbe",
+    "LatencySummary",
+    "summarize_us",
+    "PingResult",
+    "RanConfig",
+    "RanSystem",
+    "Ue",
+    "UeCounters",
+]

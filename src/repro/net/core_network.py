@@ -1,0 +1,116 @@
+"""Mobile core: the User Plane Function and a ping responder.
+
+The gNB encapsulates uplink user data into GTP-U and forwards it to the
+UPF, which decapsulates and routes it onward (Fig 2); the reverse
+happens for downlink.  The core is not the paper's focus (§9 leaves
+URLLC-aware core design open), so it is modelled as a processing delay
+plus header accounting — enough for the end-to-end journey to include
+the hop without bottlenecking on it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.sim.distributions import DelaySampler, from_mean_std
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:
+    from repro.sim.resources import CpuResource
+from repro.sim.trace import Tracer
+from repro.stack.packets import LatencySource, Packet, PacketKind
+from repro.mac.types import Direction
+from repro.phy.timebase import tc_from_us
+
+#: Default UPF processing time (µs): GTP-U encap/decap plus forwarding
+#: on a software UPF.
+DEFAULT_UPF_DELAY_US: tuple[float, float] = (12.0, 4.0)
+
+
+class Upf:
+    """User Plane Function: GTP-U tunnel endpoint.
+
+    With a :class:`~repro.sim.resources.CpuResource`, forwarding work
+    queues behind the core's other traffic — the §9 question of whether
+    URLLC needs "a dedicated [core] for URLLC packets and another for
+    other services like eMBB" reduces to whether that contention is
+    tolerable.
+    """
+
+    def __init__(self, sim: Simulator, tracer: Tracer,
+                 rng: np.random.Generator,
+                 delay: DelaySampler | None = None,
+                 cpu: "CpuResource | None" = None):
+        self.sim = sim
+        self.tracer = tracer
+        self.rng = rng
+        self.delay = delay or from_mean_std(*DEFAULT_UPF_DELAY_US)
+        self.cpu = cpu
+
+    def forward_uplink(self, packet: Packet,
+                       deliver: Callable[[Packet], None]) -> None:
+        """Decapsulate an uplink GTP-U packet and hand it onward."""
+        self._process(packet, "ul_forward", deliver)
+
+    def forward_downlink(self, packet: Packet,
+                         deliver: Callable[[Packet], None]) -> None:
+        """Encapsulate a downlink packet toward the gNB."""
+        packet.add_header("GTP-U")
+        self._process(packet, "dl_forward", deliver)
+
+    def _process(self, packet: Packet, event: str,
+                 deliver: Callable[[Packet], None]) -> None:
+        delay_tc = tc_from_us(self.delay.sample(self.rng))
+        submitted = self.sim.now
+        packet.stamp(f"upf.{event}", submitted)
+        self.tracer.emit(submitted, "upf", event,
+                         packet_id=packet.packet_id)
+
+        def done() -> None:
+            packet.charge(LatencySource.PROCESSING,
+                          self.sim.now - submitted)
+            deliver(packet)
+
+        if self.cpu is not None:
+            self.cpu.execute(delay_tc, done)
+        else:
+            self.sim.call_in(delay_tc, done)
+
+
+class PingServer:
+    """Destination host that reflects ping requests (Fig 2's far end)."""
+
+    def __init__(self, sim: Simulator, tracer: Tracer,
+                 turnaround_us: float = 20.0):
+        if turnaround_us < 0:
+            raise ValueError("turnaround must be >= 0")
+        self.sim = sim
+        self.tracer = tracer
+        self.turnaround_tc = tc_from_us(turnaround_us)
+
+    def respond(self, request: Packet,
+                send_reply: Callable[[Packet], None]) -> None:
+        """Generate the ping reply for a received request."""
+        if request.kind is not PacketKind.PING_REQUEST:
+            raise ValueError(f"cannot respond to {request.kind}")
+        self.tracer.emit(self.sim.now, "server", "request_received",
+                         packet_id=request.packet_id)
+
+        def reply() -> None:
+            response = Packet(
+                kind=PacketKind.PING_REPLY,
+                direction=Direction.DL,
+                payload_bytes=request.payload_bytes,
+                created_tc=self.sim.now,
+                ue_id=request.ue_id,
+                related_id=request.packet_id,
+            )
+            response.stamp("server.reply_created", self.sim.now)
+            self.tracer.emit(self.sim.now, "server", "reply_sent",
+                             packet_id=response.packet_id,
+                             request_id=request.packet_id)
+            send_reply(response)
+
+        self.sim.call_in(self.turnaround_tc, reply)

@@ -1,0 +1,94 @@
+"""Latency probes: collect delivered packets and summarise them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stack.packets import LatencySource, Packet
+from repro.phy.timebase import us_from_tc
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics over one set of latency samples (µs)."""
+
+    count: int
+    mean_us: float
+    std_us: float
+    min_us: float
+    p50_us: float
+    p99_us: float
+    p999_us: float
+    max_us: float
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean_us:.1f} "
+                f"std={self.std_us:.1f} p50={self.p50_us:.1f} "
+                f"p99={self.p99_us:.1f} max={self.max_us:.1f} (µs)")
+
+
+def summarize_us(samples_us: list[float]) -> LatencySummary:
+    """Build a :class:`LatencySummary` from raw µs samples."""
+    if not samples_us:
+        raise ValueError("no samples to summarise")
+    array = np.asarray(samples_us, dtype=float)
+    return LatencySummary(
+        count=len(samples_us),
+        mean_us=float(array.mean()),
+        std_us=float(array.std(ddof=1)) if len(samples_us) > 1 else 0.0,
+        min_us=float(array.min()),
+        p50_us=float(np.quantile(array, 0.50)),
+        p99_us=float(np.quantile(array, 0.99)),
+        p999_us=float(np.quantile(array, 0.999)),
+        max_us=float(array.max()),
+    )
+
+
+class LatencyProbe:
+    """Collects delivered packets for one measurement direction."""
+
+    def __init__(self, name: str = "probe"):
+        self.name = name
+        self.packets: list[Packet] = []
+
+    def record(self, packet: Packet) -> None:
+        if packet.delivered_tc is None:
+            raise ValueError(
+                f"packet {packet.packet_id} recorded before delivery")
+        self.packets.append(packet)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def latencies_tc(self) -> list[int]:
+        return [p.latency_tc for p in self.packets]  # type: ignore
+
+    def latencies_us(self) -> list[float]:
+        return [us_from_tc(lat) for lat in self.latencies_tc()]
+
+    def latencies_ms(self) -> list[float]:
+        return [lat / 1000.0 for lat in self.latencies_us()]
+
+    def summary(self) -> LatencySummary:
+        return summarize_us(self.latencies_us())
+
+    def budget_means_us(self) -> dict[str, float]:
+        """Mean per-source latency decomposition (§4's three sources)."""
+        if not self.packets:
+            return {source.value: 0.0 for source in LatencySource}
+        means: dict[str, float] = {}
+        for source in LatencySource:
+            total = sum(p.budget[source] for p in self.packets)
+            means[source.value] = us_from_tc(total / len(self.packets))
+        return means
+
+    def fraction_within(self, budget_us: float) -> float:
+        """Fraction of packets delivered within a latency budget —
+        the reliability metric of §6."""
+        if not self.packets:
+            return 0.0
+        within = sum(1 for lat in self.latencies_us() if lat <= budget_us)
+        return within / len(self.packets)

@@ -1,0 +1,53 @@
+"""Physical-layer substrate: timebase, numerology, frames, OFDM, channel."""
+
+from repro.phy.bands import BANDS, Band, DuplexMode, get_band
+from repro.phy.channel import (
+    GilbertElliottChannel,
+    IidErasureChannel,
+    PerfectChannel,
+    propagation_delay_tc,
+)
+from repro.phy.frame import FrameStructure, SlotAddress
+from repro.phy.link_adaptation import (
+    bler_at,
+    efficiency_at,
+    required_snr_db,
+    select_mcs,
+)
+from repro.phy.numerology import (
+    SYMBOLS_PER_SLOT,
+    FrequencyRange,
+    Numerology,
+)
+from repro.phy.ofdm import Carrier
+from repro.phy.transport import (
+    Mcs,
+    mcs,
+    prbs_needed,
+    transport_block_size,
+)
+
+__all__ = [
+    "BANDS",
+    "Band",
+    "DuplexMode",
+    "get_band",
+    "GilbertElliottChannel",
+    "IidErasureChannel",
+    "PerfectChannel",
+    "propagation_delay_tc",
+    "FrameStructure",
+    "SlotAddress",
+    "bler_at",
+    "efficiency_at",
+    "required_snr_db",
+    "select_mcs",
+    "SYMBOLS_PER_SLOT",
+    "FrequencyRange",
+    "Numerology",
+    "Carrier",
+    "Mcs",
+    "mcs",
+    "prbs_needed",
+    "transport_block_size",
+]

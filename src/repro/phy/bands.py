@@ -1,0 +1,112 @@
+"""NR operating bands relevant to the paper's analysis.
+
+Only the properties the paper reasons about are modelled:
+
+- frequency range (FR1 vs FR2) → which numerologies are available,
+- duplex mode (TDD vs FDD) → which MAC configurations are possible,
+- carrier frequency → FDD is "restricted to frequencies below 2.6 GHz"
+  (paper §5), hence not available to private 5G deployments.
+
+The catalogue is a representative subset of TS 38.101; ``n78`` is the
+band used by the paper's testbed (§7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.phy.numerology import FrequencyRange
+
+
+class DuplexMode(Enum):
+    """Duplexing scheme of an operating band."""
+
+    TDD = "TDD"
+    FDD = "FDD"
+    SDL = "SDL"  #: supplemental downlink (not usable for URLLC UL)
+
+
+#: FDD in terrestrial 5G is only supported below this carrier frequency
+#: (paper §2: "FDD is only supported in sub-2.6 GHz bands").
+FDD_MAX_FREQUENCY_GHZ: float = 2.6
+
+
+@dataclass(frozen=True)
+class Band:
+    """One NR operating band."""
+
+    name: str
+    duplex: DuplexMode
+    low_ghz: float
+    high_ghz: float
+
+    @property
+    def frequency_range(self) -> FrequencyRange:
+        """FR1 below 7.125 GHz, FR2 above 24.25 GHz."""
+        if self.high_ghz <= 7.125:
+            return FrequencyRange.FR1
+        if self.low_ghz >= 24.25:
+            return FrequencyRange.FR2
+        raise ValueError(f"band {self.name} straddles FR1/FR2")
+
+    @property
+    def numerologies(self) -> tuple[int, ...]:
+        """Numerologies usable in this band."""
+        return self.frequency_range.numerologies
+
+    @property
+    def center_ghz(self) -> float:
+        return (self.low_ghz + self.high_ghz) / 2
+
+    def supports_private_5g(self) -> bool:
+        """Whether the band is plausibly allocatable to private 5G.
+
+        The paper (§2, §9): private networks get TDD mid-band spectrum;
+        sub-2.6 GHz FDD bands are held by public operators.
+        """
+        return self.duplex is DuplexMode.TDD
+
+    def __str__(self) -> str:
+        return (f"{self.name} ({self.duplex.value}, "
+                f"{self.low_ghz:g}-{self.high_ghz:g} GHz, "
+                f"{self.frequency_range.value})")
+
+
+#: Catalogue of bands referenced in the analysis.
+BANDS: dict[str, Band] = {
+    band.name: band
+    for band in (
+        Band("n1", DuplexMode.FDD, 1.920, 2.170),
+        Band("n3", DuplexMode.FDD, 1.710, 1.880),
+        Band("n7", DuplexMode.FDD, 2.500, 2.690),
+        Band("n28", DuplexMode.FDD, 0.703, 0.803),
+        Band("n40", DuplexMode.TDD, 2.300, 2.400),
+        Band("n41", DuplexMode.TDD, 2.496, 2.690),
+        Band("n77", DuplexMode.TDD, 3.300, 4.200),
+        Band("n78", DuplexMode.TDD, 3.300, 3.800),   # testbed band (§7)
+        Band("n79", DuplexMode.TDD, 4.400, 5.000),
+        Band("n258", DuplexMode.TDD, 24.250, 27.500),
+        Band("n260", DuplexMode.TDD, 37.000, 40.000),
+        Band("n261", DuplexMode.TDD, 27.500, 28.350),
+    )
+}
+
+
+def get_band(name: str) -> Band:
+    """Look up a band by name; raises KeyError with the known names."""
+    try:
+        return BANDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BANDS))
+        raise KeyError(f"unknown band {name!r}; known bands: {known}")
+
+
+def fdd_bands() -> list[Band]:
+    """All FDD bands in the catalogue (all are sub-2.6 GHz)."""
+    return [b for b in BANDS.values() if b.duplex is DuplexMode.FDD]
+
+
+def private_5g_bands() -> list[Band]:
+    """Bands plausibly available to private 5G deployments (TDD only)."""
+    return [b for b in BANDS.values() if b.supports_private_5g()]

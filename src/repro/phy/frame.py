@@ -1,0 +1,124 @@
+"""Frame structure: mapping absolute time ↔ (frame, subframe, slot, symbol).
+
+Because the symbol pattern repeats exactly every subframe (1 ms), all
+lookups reduce to integer division plus a bisect into the per-subframe
+symbol-boundary table from :mod:`repro.phy.numerology`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.phy.numerology import (
+    SYMBOLS_PER_SLOT,
+    Numerology,
+    symbol_lengths_in_subframe,
+    symbol_starts_in_subframe,
+)
+from repro.phy.timebase import TC_PER_FRAME, TC_PER_SUBFRAME
+
+
+@dataclass(frozen=True)
+class SlotAddress:
+    """Fully-resolved position of a tick inside the frame structure."""
+
+    frame: int      #: radio frame number (10 ms each)
+    subframe: int   #: subframe within the frame, 0..9
+    slot: int       #: slot within the subframe, 0..2^µ-1
+    symbol: int     #: OFDM symbol within the slot, 0..13
+
+    def __str__(self) -> str:
+        return (f"frame {self.frame} / subframe {self.subframe} / "
+                f"slot {self.slot} / symbol {self.symbol}")
+
+
+class FrameStructure:
+    """Slot and symbol arithmetic for one numerology.
+
+    All times are absolute integer Tc ticks; "slot index" means the
+    absolute slot count since tick 0 (not the within-frame slot number).
+    """
+
+    def __init__(self, numerology: Numerology):
+        self.numerology = numerology
+        self._mu = numerology.mu
+        self._symbol_starts = symbol_starts_in_subframe(self._mu)
+        self._symbol_lengths = symbol_lengths_in_subframe(self._mu)
+        self._slots_per_subframe = numerology.slots_per_subframe
+        self._symbols_per_subframe = (SYMBOLS_PER_SLOT
+                                      * self._slots_per_subframe)
+
+    # ------------------------------------------------------------------
+    # slots
+    # ------------------------------------------------------------------
+    def slot_index(self, time: int) -> int:
+        """Absolute index of the slot containing ``time``."""
+        if time < 0:
+            raise ValueError(f"time must be non-negative, got {time}")
+        subframe, offset = divmod(time, TC_PER_SUBFRAME)
+        symbol = bisect_right(self._symbol_starts, offset) - 1
+        return (subframe * self._slots_per_subframe
+                + symbol // SYMBOLS_PER_SLOT)
+
+    def slot_start(self, slot_index: int) -> int:
+        """Absolute Tc tick at which slot ``slot_index`` starts."""
+        if slot_index < 0:
+            raise ValueError(f"slot index must be non-negative")
+        subframe, slot = divmod(slot_index, self._slots_per_subframe)
+        return (subframe * TC_PER_SUBFRAME
+                + self._symbol_starts[slot * SYMBOLS_PER_SLOT])
+
+    def slot_end(self, slot_index: int) -> int:
+        """Absolute Tc tick at which slot ``slot_index`` ends."""
+        return self.slot_start(slot_index + 1)
+
+    def slot_duration(self, slot_index: int) -> int:
+        """Exact duration of a slot (varies ±16κ with CP extension)."""
+        return self.slot_end(slot_index) - self.slot_start(slot_index)
+
+    def next_slot_start(self, time: int) -> int:
+        """First slot boundary strictly after ``time``."""
+        return self.slot_start(self.slot_index(time) + 1)
+
+    def slot_boundary_at_or_after(self, time: int) -> int:
+        """First slot boundary at or after ``time``."""
+        index = self.slot_index(time)
+        start = self.slot_start(index)
+        return start if start == time else self.slot_start(index + 1)
+
+    # ------------------------------------------------------------------
+    # symbols
+    # ------------------------------------------------------------------
+    def symbol_start(self, slot_index: int, symbol: int) -> int:
+        """Absolute start tick of ``symbol`` (0..13) in ``slot_index``."""
+        if not 0 <= symbol < SYMBOLS_PER_SLOT:
+            raise ValueError(f"symbol must be in 0..13, got {symbol}")
+        subframe, slot = divmod(slot_index, self._slots_per_subframe)
+        position = slot * SYMBOLS_PER_SLOT + symbol
+        return subframe * TC_PER_SUBFRAME + self._symbol_starts[position]
+
+    def symbol_end(self, slot_index: int, symbol: int) -> int:
+        """Absolute end tick of ``symbol`` in ``slot_index``."""
+        subframe, slot = divmod(slot_index, self._slots_per_subframe)
+        position = slot * SYMBOLS_PER_SLOT + symbol
+        return (subframe * TC_PER_SUBFRAME + self._symbol_starts[position]
+                + self._symbol_lengths[position])
+
+    # ------------------------------------------------------------------
+    # addresses
+    # ------------------------------------------------------------------
+    def address(self, time: int) -> SlotAddress:
+        """Resolve a tick to (frame, subframe, slot, symbol)."""
+        if time < 0:
+            raise ValueError(f"time must be non-negative, got {time}")
+        frame, in_frame = divmod(time, TC_PER_FRAME)
+        subframe, offset = divmod(in_frame, TC_PER_SUBFRAME)
+        position = bisect_right(self._symbol_starts, offset) - 1
+        slot, symbol = divmod(position, SYMBOLS_PER_SLOT)
+        return SlotAddress(frame, subframe, slot, symbol)
+
+    def slot_in_frame(self, slot_index: int) -> tuple[int, int]:
+        """Map an absolute slot index to (frame, slot-within-frame)."""
+        slots_per_frame = self.numerology.slots_per_frame
+        return divmod(slot_index, slots_per_frame)

@@ -1,0 +1,69 @@
+"""Link adaptation: the MCS ↔ BLER ↔ latency trade-off (paper §6).
+
+The first face of URLLC reliability is the wireless channel, where
+channel coding "offers a range of trade-offs" (the paper cites Sybis et
+al.): a conservative MCS spends resource elements to push the
+block-error rate down (fewer HARQ round trips, bigger transport
+blocks needed per byte), an aggressive MCS does the opposite.
+
+The model is the standard AWGN abstraction: each MCS has a waterfall
+BLER curve positioned at the Shannon-limit SNR for its spectral
+efficiency plus a fixed implementation gap, with an exponential-ish
+slope.  It is deliberately simple — the experiments need the *shape*
+(monotone waterfall per MCS, curves ordered by efficiency), not a
+link-level simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.phy.transport import MCS_TABLE_64QAM, mcs
+
+#: Gap to Shannon capacity of a practical LDPC at moderate block
+#: lengths (dB).
+IMPLEMENTATION_GAP_DB: float = 2.0
+
+#: Waterfall steepness: BLER drops one decade per this many dB.
+_DECADE_DB: float = 1.5
+
+
+def waterfall_snr_db(mcs_index: int) -> float:
+    """SNR at which the MCS reaches 50 % BLER."""
+    efficiency = mcs(mcs_index).efficiency
+    shannon_db = 10.0 * math.log10(2.0 ** efficiency - 1.0)
+    return shannon_db + IMPLEMENTATION_GAP_DB
+
+
+def bler_at(mcs_index: int, snr_db: float) -> float:
+    """Block-error rate of ``mcs_index`` at ``snr_db`` (AWGN model)."""
+    margin_db = snr_db - waterfall_snr_db(mcs_index)
+    bler = 0.5 * 10.0 ** (-margin_db / _DECADE_DB)
+    return min(1.0, max(0.0, bler))
+
+
+def required_snr_db(mcs_index: int, target_bler: float) -> float:
+    """SNR needed for the MCS to reach a target BLER."""
+    if not 0.0 < target_bler < 1.0:
+        raise ValueError(f"target BLER must be in (0, 1), got "
+                         f"{target_bler}")
+    margin_db = -_DECADE_DB * math.log10(2.0 * target_bler)
+    return waterfall_snr_db(mcs_index) + margin_db
+
+
+def select_mcs(snr_db: float, target_bler: float = 1e-3) -> int:
+    """Highest MCS meeting the BLER target at the given SNR.
+
+    Falls back to MCS 0 when even that misses the target (cell edge) —
+    the caller decides whether the residual BLER is tolerable.
+    """
+    best = 0
+    for index in sorted(MCS_TABLE_64QAM):
+        if bler_at(index, snr_db) <= target_bler:
+            best = index
+    return best
+
+
+def efficiency_at(snr_db: float, target_bler: float = 1e-3) -> float:
+    """Spectral efficiency (bits/RE) delivered at the BLER target."""
+    return mcs(select_mcs(snr_db, target_bler)).efficiency

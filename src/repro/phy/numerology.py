@@ -1,0 +1,155 @@
+"""NR numerologies (TS 38.211 §4.2-4.3).
+
+A *numerology* µ fixes the subcarrier spacing (SCS = 15 kHz · 2^µ) and
+therefore the slot duration (1 ms / 2^µ — 14 OFDM symbols per slot with
+normal cyclic prefix).  Higher numerologies are the paper's "key enabler
+for low-latency communication".
+
+Frequency-range availability follows the paper (§2): numerologies 0-2 in
+FR1 (sub-6 GHz), 2-6 in FR2 (mmWave, 24.25-52.6 GHz).  The extreme is
+µ=6 → 15.625 µs slots, the value the paper quotes for mmWave.
+
+Cyclic-prefix accounting is exact: with normal CP every OFDM symbol lasts
+``(2048 + 144)·κ·2^-µ`` Tc except the first symbol of each half-subframe,
+which carries an extra ``16·κ`` Tc.  Summing one subframe always yields
+exactly 1 966 080 Tc = 1 ms, for every µ — a property the test-suite
+asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from functools import lru_cache
+
+from repro.phy.timebase import KAPPA, TC_PER_SUBFRAME
+
+#: OFDM symbols per slot with normal cyclic prefix.
+SYMBOLS_PER_SLOT: int = 14
+
+#: Numerologies defined by the standard.
+VALID_MU = range(0, 7)
+
+
+class FrequencyRange(Enum):
+    """NR frequency ranges."""
+
+    FR1 = "FR1"  #: 410 MHz - 7.125 GHz ("sub-6")
+    FR2 = "FR2"  #: 24.25 - 52.6 GHz (mmWave)
+
+    @property
+    def numerologies(self) -> tuple[int, ...]:
+        """Numerologies available in the range (paper §2)."""
+        if self is FrequencyRange.FR1:
+            return (0, 1, 2)
+        return (2, 3, 4, 5, 6)
+
+
+@dataclass(frozen=True)
+class Numerology:
+    """One NR numerology µ and its derived timing quantities."""
+
+    mu: int
+
+    def __post_init__(self) -> None:
+        if self.mu not in VALID_MU:
+            raise ValueError(f"numerology µ must be in 0..6, got {self.mu}")
+
+    # ------------------------------------------------------------------
+    # frequency-domain quantities
+    # ------------------------------------------------------------------
+    @property
+    def scs_khz(self) -> int:
+        """Subcarrier spacing in kHz: 15 · 2^µ."""
+        return 15 * 2 ** self.mu
+
+    # ------------------------------------------------------------------
+    # time-domain quantities
+    # ------------------------------------------------------------------
+    @property
+    def slots_per_subframe(self) -> int:
+        """Slots in one 1 ms subframe: 2^µ."""
+        return 2 ** self.mu
+
+    @property
+    def slots_per_frame(self) -> int:
+        """Slots in one 10 ms radio frame."""
+        return 10 * self.slots_per_subframe
+
+    @property
+    def slot_duration_tc(self) -> int:
+        """Nominal slot duration in Tc (1 ms / 2^µ).
+
+        Exact per-slot durations differ by ±16κ because of the long CP at
+        half-subframe boundaries; use :func:`symbol_lengths_in_subframe`
+        when the distinction matters.  Slot *starts* are still exactly at
+        multiples of this value only for µ ≤ 1; see
+        :class:`repro.phy.frame.FrameStructure` for exact boundaries.
+        """
+        return TC_PER_SUBFRAME // self.slots_per_subframe
+
+    @property
+    def slot_duration_ms(self) -> float:
+        """Nominal slot duration in milliseconds."""
+        return 1.0 / self.slots_per_subframe
+
+    @property
+    def symbol_duration_useful_tc(self) -> int:
+        """Useful (FFT) part of one OFDM symbol: 2048·κ·2^-µ Tc."""
+        return 2048 * KAPPA // 2 ** self.mu
+
+    @property
+    def cp_normal_tc(self) -> int:
+        """Normal cyclic-prefix length: 144·κ·2^-µ Tc."""
+        return 144 * KAPPA // 2 ** self.mu
+
+    @property
+    def cp_extension_tc(self) -> int:
+        """Extra CP on the first symbol of each half-subframe: 16·κ Tc."""
+        return 16 * KAPPA
+
+    def frequency_ranges(self) -> tuple[FrequencyRange, ...]:
+        """Frequency ranges in which this numerology is available."""
+        return tuple(fr for fr in FrequencyRange
+                     if self.mu in fr.numerologies)
+
+    def __str__(self) -> str:
+        return (f"µ={self.mu} (SCS {self.scs_khz} kHz, "
+                f"slot {self.slot_duration_ms:g} ms)")
+
+
+@lru_cache(maxsize=None)
+def symbol_lengths_in_subframe(mu: int) -> tuple[int, ...]:
+    """Exact Tc length of each OFDM symbol in one subframe.
+
+    Symbols ``l = 0`` and ``l = 7·2^µ`` (the first of each half-subframe)
+    carry the 16κ CP extension (TS 38.211 §5.3.1).
+    """
+    numerology = Numerology(mu)
+    count = SYMBOLS_PER_SLOT * numerology.slots_per_subframe
+    base = numerology.symbol_duration_useful_tc + numerology.cp_normal_tc
+    extended = {0, 7 * 2 ** mu}
+    return tuple(
+        base + (numerology.cp_extension_tc if l in extended else 0)
+        for l in range(count)
+    )
+
+
+@lru_cache(maxsize=None)
+def symbol_starts_in_subframe(mu: int) -> tuple[int, ...]:
+    """Tc offset of each symbol start within one subframe."""
+    starts = []
+    offset = 0
+    for length in symbol_lengths_in_subframe(mu):
+        starts.append(offset)
+        offset += length
+    assert offset == TC_PER_SUBFRAME, "CP accounting must sum to 1 ms"
+    return tuple(starts)
+
+
+@lru_cache(maxsize=None)
+def slot_starts_in_subframe(mu: int) -> tuple[int, ...]:
+    """Tc offset of each slot start within one subframe."""
+    starts = symbol_starts_in_subframe(mu)
+    return tuple(starts[slot * SYMBOLS_PER_SLOT]
+                 for slot in range(Numerology(mu).slots_per_subframe))

@@ -1,0 +1,126 @@
+"""OFDM resource grid and sampling quantities.
+
+Models just enough of TS 38.101 / 38.211 frequency-domain structure to
+size transmissions and radio-sample transfers:
+
+- the carrier's resource-block count for a (bandwidth, SCS) pair,
+- the FFT size and resulting sample rate (which fixes how many I/Q
+  samples per slot the radio interface must move — the x-axis of the
+  paper's Fig 5),
+- resource-element counting for transport-block sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.numerology import SYMBOLS_PER_SLOT, Numerology
+
+#: Subcarriers per physical resource block.
+SUBCARRIERS_PER_PRB: int = 12
+
+#: Maximum transmission bandwidth configuration N_RB (TS 38.101-1
+#: table 5.3.2-1), indexed by (channel bandwidth MHz, SCS kHz).
+_N_RB_TABLE: dict[tuple[int, int], int] = {
+    (5, 15): 25, (5, 30): 11,
+    (10, 15): 52, (10, 30): 24, (10, 60): 11,
+    (15, 15): 79, (15, 30): 38, (15, 60): 18,
+    (20, 15): 106, (20, 30): 51, (20, 60): 24,
+    (25, 15): 133, (25, 30): 65, (25, 60): 31,
+    (30, 15): 160, (30, 30): 78, (30, 60): 38,
+    (40, 15): 216, (40, 30): 106, (40, 60): 51,
+    (50, 15): 270, (50, 30): 133, (50, 60): 65,
+    (60, 30): 162, (60, 60): 79,
+    (80, 30): 217, (80, 60): 107,
+    (100, 30): 273, (100, 60): 135,
+    # FR2 entries (SCS 120 kHz)
+    (50, 120): 32, (100, 120): 66, (200, 120): 132, (400, 120): 264,
+}
+
+#: FFT sizes commonly used by software radios (srsRAN picks the smallest
+#: size from this list that fits the occupied subcarriers).
+_FFT_SIZES = (128, 256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096)
+
+
+def n_rb_for(bandwidth_mhz: int, scs_khz: int) -> int:
+    """Resource blocks for a channel bandwidth / SCS combination."""
+    try:
+        return _N_RB_TABLE[(bandwidth_mhz, scs_khz)]
+    except KeyError:
+        raise ValueError(
+            f"no N_RB entry for {bandwidth_mhz} MHz @ {scs_khz} kHz; "
+            "see TS 38.101-1 table 5.3.2-1") from None
+
+
+def fft_size_for(n_rb: int) -> int:
+    """Smallest catalogue FFT size covering ``n_rb`` resource blocks."""
+    occupied = n_rb * SUBCARRIERS_PER_PRB
+    for size in _FFT_SIZES:
+        if size >= occupied:
+            return size
+    raise ValueError(f"{n_rb} PRBs exceed the largest FFT size")
+
+
+@dataclass(frozen=True)
+class Carrier:
+    """One configured NR carrier.
+
+    The testbed configuration of the paper (§7) is
+    ``Carrier(numerology=Numerology(1), bandwidth_mhz=20)`` on band n78
+    (SCS 30 kHz → 0.5 ms slots).
+    """
+
+    numerology: Numerology
+    bandwidth_mhz: int
+
+    @property
+    def n_rb(self) -> int:
+        """Carrier resource blocks."""
+        return n_rb_for(self.bandwidth_mhz, self.numerology.scs_khz)
+
+    @property
+    def fft_size(self) -> int:
+        """FFT size used by the (software) PHY."""
+        return fft_size_for(self.n_rb)
+
+    @property
+    def sample_rate_hz(self) -> int:
+        """I/Q sample rate = FFT size × SCS."""
+        return self.fft_size * self.numerology.scs_khz * 1000
+
+    @property
+    def subcarriers(self) -> int:
+        """Occupied subcarriers."""
+        return self.n_rb * SUBCARRIERS_PER_PRB
+
+    def samples_per_slot(self) -> int:
+        """I/Q samples the radio must move per slot (nominal)."""
+        # Nominal slot duration; the ±16κ CP difference is < 1 sample
+        # of error per half-subframe and irrelevant to transfer sizing.
+        return round(self.sample_rate_hz
+                     / (1000 * self.numerology.slots_per_subframe))
+
+    def samples_per_symbols(self, n_symbols: int) -> int:
+        """Approximate samples spanning ``n_symbols`` OFDM symbols."""
+        if not 0 <= n_symbols <= SYMBOLS_PER_SLOT:
+            raise ValueError(f"n_symbols must be in 0..14, got {n_symbols}")
+        return round(self.samples_per_slot() * n_symbols
+                     / SYMBOLS_PER_SLOT)
+
+    def resource_elements(self, n_prb: int, n_symbols: int,
+                          overhead_re_per_prb: int = 18) -> int:
+        """Data resource elements in an allocation.
+
+        ``overhead_re_per_prb`` approximates DMRS + control overhead per
+        PRB per slot (TS 38.214 §5.1.3.2 uses a similar fixed overhead).
+        """
+        if n_prb < 0 or n_prb > self.n_rb:
+            raise ValueError(
+                f"n_prb must be in 0..{self.n_rb}, got {n_prb}")
+        total = n_prb * SUBCARRIERS_PER_PRB * n_symbols
+        overhead = n_prb * overhead_re_per_prb * n_symbols // SYMBOLS_PER_SLOT
+        return max(0, total - overhead)
+
+    def __str__(self) -> str:
+        return (f"{self.bandwidth_mhz} MHz @ {self.numerology} "
+                f"({self.n_rb} PRB, {self.sample_rate_hz / 1e6:g} MS/s)")

@@ -1,0 +1,88 @@
+"""3GPP NR timebase (TS 38.211 §4.1).
+
+NR defines the basic time unit ``Tc = 1 / (Δf_max · N_f)`` with
+``Δf_max = 480 kHz`` and ``N_f = 4096``; every duration in the frame
+structure (symbols, cyclic prefixes, slots, subframes, frames) is an
+*integer* multiple of Tc.  The whole library therefore keeps time as an
+integer count of Tc, which makes slot arithmetic exact.
+
+The LTE-compatibility constant ``κ = Ts / Tc = 64`` shows up in the
+cyclic-prefix lengths.
+
+Handy magnitudes::
+
+    1 second      = 1 966 080 000 Tc
+    1 millisecond =     1 966 080 Tc
+    1 microsecond =         1 966.08 Tc  (not integral — convert w/ rounding)
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+#: Tc ticks per second: 480 000 * 4096.
+TC_PER_SECOND: int = 480_000 * 4096
+
+#: κ = Ts/Tc = 64 (TS 38.211 §4.1); Ts is the LTE sample period.
+KAPPA: int = 64
+
+#: Tc ticks in one millisecond (exactly 1 966 080).
+TC_PER_MS: int = TC_PER_SECOND // 1000
+
+#: Tc ticks in one subframe (1 ms).
+TC_PER_SUBFRAME: int = TC_PER_MS
+
+#: Tc ticks in one radio frame (10 ms).
+TC_PER_FRAME: int = 10 * TC_PER_MS
+
+_NS_PER_SECOND = 1_000_000_000
+_US_PER_SECOND = 1_000_000
+
+
+def tc_from_seconds(seconds: float) -> int:
+    """Convert seconds to the nearest integer Tc count."""
+    return round(seconds * TC_PER_SECOND)
+
+
+def tc_from_ms(ms: float) -> int:
+    """Convert milliseconds to the nearest integer Tc count."""
+    return round(ms * TC_PER_MS)
+
+
+def tc_from_us(us: float) -> int:
+    """Convert microseconds to the nearest integer Tc count."""
+    return round(us * TC_PER_SECOND / _US_PER_SECOND)
+
+
+def tc_from_ns(ns: float) -> int:
+    """Convert nanoseconds to the nearest integer Tc count."""
+    return round(ns * TC_PER_SECOND / _NS_PER_SECOND)
+
+
+def seconds_from_tc(tc: int) -> float:
+    """Convert a Tc count to seconds."""
+    return tc / TC_PER_SECOND
+
+
+def ms_from_tc(tc: int) -> float:
+    """Convert a Tc count to milliseconds."""
+    return tc / TC_PER_MS
+
+
+def us_from_tc(tc: int) -> float:
+    """Convert a Tc count to microseconds."""
+    return tc * _US_PER_SECOND / TC_PER_SECOND
+
+
+def ns_from_tc(tc: int) -> float:
+    """Convert a Tc count to nanoseconds."""
+    return tc * _NS_PER_SECOND / TC_PER_SECOND
+
+
+def tc_exact_ms(tc: int) -> Fraction:
+    """Exact millisecond value of a Tc count, as a Fraction.
+
+    Useful in tests that assert slot durations like ``1/2**µ`` ms without
+    floating-point tolerance games.
+    """
+    return Fraction(tc, TC_PER_MS)

@@ -1,0 +1,117 @@
+"""Transport-block sizing (TS 38.214 §5.1.3).
+
+The MAC scheduler needs to know how many bits fit in an allocation of
+``n_prb × n_symbols`` at a given MCS, both to size ping payloads into
+slots and to reason about grant-free pre-allocation waste.  We implement
+the standard's actual two-regime TBS determination (table lookup below
+3824 bits, formula above) so allocation maths matches real stacks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: MCS index → (modulation order Qm, code rate × 1024).
+#: TS 38.214 table 5.1.3.1-1 (the 64QAM table used by the testbed).
+MCS_TABLE_64QAM: dict[int, tuple[int, int]] = {
+    0: (2, 120), 1: (2, 157), 2: (2, 193), 3: (2, 251), 4: (2, 308),
+    5: (2, 379), 6: (2, 449), 7: (2, 526), 8: (2, 602), 9: (2, 679),
+    10: (4, 340), 11: (4, 378), 12: (4, 434), 13: (4, 490), 14: (4, 553),
+    15: (4, 616), 16: (4, 658), 17: (6, 438), 18: (6, 466), 19: (6, 517),
+    20: (6, 567), 21: (6, 616), 22: (6, 666), 23: (6, 719), 24: (6, 772),
+    25: (6, 822), 26: (6, 873), 27: (6, 910), 28: (6, 948),
+}
+
+#: TS 38.214 table 5.1.3.2-1: allowed transport-block sizes ≤ 3824 bits.
+TBS_TABLE: tuple[int, ...] = (
+    24, 32, 40, 48, 56, 64, 72, 80, 88, 96, 104, 112, 120, 128, 136,
+    144, 152, 160, 168, 176, 184, 192, 208, 224, 240, 256, 272, 288,
+    304, 320, 336, 352, 368, 384, 408, 432, 456, 480, 504, 528, 552,
+    576, 608, 640, 672, 704, 736, 768, 808, 848, 888, 928, 984, 1032,
+    1064, 1128, 1160, 1192, 1224, 1256, 1288, 1320, 1352, 1416, 1480,
+    1544, 1608, 1672, 1736, 1800, 1864, 1928, 2024, 2088, 2152, 2216,
+    2280, 2408, 2472, 2536, 2600, 2664, 2728, 2792, 2856, 2976, 3104,
+    3240, 3368, 3496, 3624, 3752, 3824,
+)
+
+
+@dataclass(frozen=True)
+class Mcs:
+    """One modulation-and-coding-scheme point."""
+
+    index: int
+    modulation_order: int  #: bits per symbol (Qm)
+    code_rate_x1024: int
+
+    @property
+    def code_rate(self) -> float:
+        return self.code_rate_x1024 / 1024.0
+
+    @property
+    def efficiency(self) -> float:
+        """Information bits per resource element."""
+        return self.modulation_order * self.code_rate
+
+
+def mcs(index: int) -> Mcs:
+    """MCS entry from the 64QAM table."""
+    try:
+        order, rate = MCS_TABLE_64QAM[index]
+    except KeyError:
+        raise ValueError(f"MCS index must be in 0..28, got {index}") from None
+    return Mcs(index, order, rate)
+
+
+def transport_block_size(n_re: int, mcs_index: int, n_layers: int = 1) -> int:
+    """Transport-block size in bits (TS 38.214 §5.1.3.2).
+
+    Args:
+        n_re: data resource elements in the allocation (already net of
+            DMRS/control overhead; see
+            :meth:`repro.phy.ofdm.Carrier.resource_elements`).
+        mcs_index: row of the 64QAM MCS table.
+        n_layers: MIMO layers (the testbed uses 1).
+    """
+    if n_re < 0:
+        raise ValueError(f"n_re must be >= 0, got {n_re}")
+    if n_layers < 1:
+        raise ValueError(f"n_layers must be >= 1, got {n_layers}")
+    if n_re == 0:
+        return 0
+    scheme = mcs(mcs_index)
+    n_info = n_re * scheme.code_rate * scheme.modulation_order * n_layers
+    if n_info <= 0:
+        return 0
+    if n_info <= 3824:
+        n = max(3, int(math.floor(math.log2(n_info))) - 6)
+        quantized = max(24, (1 << n) * int(n_info) // (1 << n))
+        for size in TBS_TABLE:
+            if size >= quantized:
+                return size
+        return TBS_TABLE[-1]
+    # Large-TBS regime with code-block segmentation.
+    n = int(math.floor(math.log2(n_info - 24))) - 5
+    quantized = max(3840, (1 << n) * round((n_info - 24) / (1 << n)))
+    if scheme.code_rate <= 0.25:
+        c = math.ceil((quantized + 24) / 3816)
+        return 8 * c * math.ceil((quantized + 24) / (8 * c)) - 24
+    if quantized > 8424:
+        c = math.ceil((quantized + 24) / 8424)
+        return 8 * c * math.ceil((quantized + 24) / (8 * c)) - 24
+    return 8 * math.ceil((quantized + 24) / 8) - 24
+
+
+def prbs_needed(payload_bits: int, re_per_prb: int, mcs_index: int,
+                max_prb: int) -> int:
+    """Smallest PRB count whose TBS carries ``payload_bits``.
+
+    Returns ``max_prb + 1`` when the payload cannot fit, letting callers
+    detect segmentation is required.
+    """
+    if payload_bits <= 0:
+        return 0
+    for n_prb in range(1, max_prb + 1):
+        if transport_block_size(n_prb * re_per_prb, mcs_index) >= payload_bits:
+            return n_prb
+    return max_prb + 1

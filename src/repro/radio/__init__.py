@@ -1,0 +1,26 @@
+"""Radio substrate: interface buses, OS jitter, the radio-head model."""
+
+from repro.radio.interface import (
+    InterfaceBus,
+    bus,
+    ethernet,
+    pcie,
+    usb2,
+    usb3,
+)
+from repro.radio.os_jitter import OsJitterModel, gpos, none, rt_kernel
+from repro.radio.radio_head import RadioHead
+
+__all__ = [
+    "InterfaceBus",
+    "bus",
+    "ethernet",
+    "pcie",
+    "usb2",
+    "usb3",
+    "OsJitterModel",
+    "gpos",
+    "none",
+    "rt_kernel",
+    "RadioHead",
+]

@@ -1,0 +1,94 @@
+"""Host ↔ radio-head interface buses (Fig 5's subject).
+
+Submitting I/Q samples to an SDR over USB/PCIe/Ethernet costs a setup
+latency plus a per-sample transfer cost, and — on a general-purpose OS —
+occasional heavy spikes when the submission thread is descheduled.  The
+paper's Fig 5 plots exactly this for USB 2.0 and USB 3.0 between 2 000
+and 20 000 samples; parameters here are fitted to those series (see
+:mod:`repro.calibration`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration import INTERFACE_PARAMS
+from repro.sim.distributions import Exponential
+
+
+@dataclass(frozen=True)
+class InterfaceBus:
+    """One bus model: latency = setup + per_sample·n (+ rare spike)."""
+
+    name: str
+    setup_us: float
+    per_sample_us: float
+    spike_probability: float
+    spike_mean_us: float
+
+    def __post_init__(self) -> None:
+        if self.setup_us < 0 or self.per_sample_us < 0:
+            raise ValueError("latency parameters must be >= 0")
+        if not 0.0 <= self.spike_probability <= 1.0:
+            raise ValueError("spike probability must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    def deterministic_latency_us(self, n_samples: int) -> float:
+        """The spike-free (expected floor) submission latency."""
+        if n_samples < 0:
+            raise ValueError(f"n_samples must be >= 0, got {n_samples}")
+        return self.setup_us + self.per_sample_us * n_samples
+
+    def submission_latency_us(self, n_samples: int,
+                              rng: np.random.Generator) -> float:
+        """One sampled submission latency, spikes included (Fig 5)."""
+        latency = self.deterministic_latency_us(n_samples)
+        if self.spike_probability and rng.random() < self.spike_probability:
+            latency += Exponential(self.spike_mean_us).sample(rng)
+        return latency
+
+    def mean_latency_us(self, n_samples: int) -> float:
+        """Expected submission latency including the spike term."""
+        return (self.deterministic_latency_us(n_samples)
+                + self.spike_probability * self.spike_mean_us)
+
+    def sweep(self, sample_counts: list[int], rng: np.random.Generator,
+              repetitions: int = 1) -> dict[int, list[float]]:
+        """Latency samples per submission size — Fig 5's data series."""
+        return {
+            n: [self.submission_latency_us(n, rng)
+                for _ in range(repetitions)]
+            for n in sample_counts
+        }
+
+
+def bus(name: str) -> InterfaceBus:
+    """Calibrated bus by name: usb2, usb3, pcie or ethernet."""
+    try:
+        setup, per_sample, probability, spike_mean = INTERFACE_PARAMS[name]
+    except KeyError:
+        known = ", ".join(sorted(INTERFACE_PARAMS))
+        raise KeyError(f"unknown bus {name!r}; known: {known}") from None
+    return InterfaceBus(name, setup, per_sample, probability, spike_mean)
+
+
+def usb2() -> InterfaceBus:
+    """USB 2.0, the B210's fallback interface (Fig 5, upper series)."""
+    return bus("usb2")
+
+
+def usb3() -> InterfaceBus:
+    """USB 3.0, the testbed's interface (Fig 5, lower series)."""
+    return bus("usb3")
+
+
+def pcie() -> InterfaceBus:
+    """PCIe-attached radio — the low-latency design choice of §5."""
+    return bus("pcie")
+
+
+def ethernet() -> InterfaceBus:
+    """Ethernet fronthaul (e.g. 10 GbE O-RAN split 7.2)."""
+    return bus("ethernet")

@@ -1,0 +1,84 @@
+"""Operating-system scheduling jitter (paper §6).
+
+Software 5G stacks run on general-purpose operating systems whose
+schedulers give no hard real-time guarantee; the resulting
+non-deterministic delays are a *reliability* problem, because a late
+sample submission misses the radio deadline and loses the transmission
+even though the average latency looked fine.
+
+Two calibrated regimes are provided:
+
+- :func:`gpos` — a stock kernel: small Gaussian base noise plus frequent
+  heavy spikes (the spikes visible in Fig 5);
+- :func:`rt_kernel` — a PREEMPT_RT-style kernel: tightly bounded noise,
+  spikes rare and small (the §6 mitigation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration import OS_JITTER_GPOS, OS_JITTER_RT_KERNEL
+from repro.sim.distributions import Exponential, TruncatedNormal
+
+
+@dataclass(frozen=True)
+class OsJitterModel:
+    """Additive scheduling noise: |N(0, base_std)| + rare spike."""
+
+    name: str
+    base_std_us: float
+    spike_probability: float
+    spike_mean_us: float
+
+    def __post_init__(self) -> None:
+        if self.base_std_us < 0 or self.spike_mean_us < 0:
+            raise ValueError("jitter magnitudes must be >= 0")
+        if not 0.0 <= self.spike_probability <= 1.0:
+            raise ValueError("spike probability must be in [0, 1]")
+
+    def sample_us(self, rng: np.random.Generator) -> float:
+        """One draw of extra OS-imposed delay (µs, >= 0)."""
+        noise = TruncatedNormal(0.0, self.base_std_us).sample(rng)
+        if self.spike_probability and rng.random() < self.spike_probability:
+            noise += Exponential(self.spike_mean_us).sample(rng)
+        return noise
+
+    def mean_us(self) -> float:
+        """Expected extra delay."""
+        # E[max(0, N(0, σ))] = σ / sqrt(2π)
+        return (self.base_std_us / float(np.sqrt(2.0 * np.pi))
+                + self.spike_probability * self.spike_mean_us)
+
+    def tail_quantile_us(self, quantile: float,
+                         rng: np.random.Generator,
+                         draws: int = 200_000) -> float:
+        """Monte-Carlo quantile — the margin a scheduler must budget to
+        survive this jitter at a given reliability (§6)."""
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        samples = [self.sample_us(rng) for _ in range(draws)]
+        return float(np.quantile(samples, quantile))
+
+
+def gpos() -> OsJitterModel:
+    """Stock general-purpose kernel."""
+    params = OS_JITTER_GPOS
+    return OsJitterModel("gpos", params["base_std_us"],
+                         params["spike_probability"],
+                         params["spike_mean_us"])
+
+
+def rt_kernel() -> OsJitterModel:
+    """Real-time (PREEMPT_RT-style) kernel."""
+    params = OS_JITTER_RT_KERNEL
+    return OsJitterModel("rt-kernel", params["base_std_us"],
+                         params["spike_probability"],
+                         params["spike_mean_us"])
+
+
+def none() -> OsJitterModel:
+    """No OS jitter (ASIC-like determinism baseline)."""
+    return OsJitterModel("none", 0.0, 0.0, 0.0)

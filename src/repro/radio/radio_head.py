@@ -1,0 +1,93 @@
+"""Radio-head (RH) model.
+
+The RH converts samples to RF and back (Fig 2).  Its one-way latency —
+the paper's *radio latency* category — is the sum of
+
+- RF-chain time (DAC/ADC pipelines, analog filters),
+- the interface-bus transfer (:mod:`repro.radio.interface`),
+- OS scheduling jitter on the submission thread
+  (:mod:`repro.radio.os_jitter`).
+
+The testbed's USB B210 totals ≈500 µs one way, which is why its
+transmissions "must always be delayed for one slot to give enough time
+to the RH for preparation" (§7).  :meth:`RadioHead.required_margin_tc`
+computes exactly that scheduling margin, closing the interdependency
+loop of §4 (the MAC must schedule ahead by processing + radio time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.ofdm import Carrier
+from repro.phy.timebase import tc_from_us
+from repro.radio.interface import InterfaceBus
+from repro.radio.os_jitter import OsJitterModel
+
+
+@dataclass(frozen=True)
+class RadioHead:
+    """One SDR radio head attached over an interface bus."""
+
+    name: str
+    bus: InterfaceBus
+    jitter: OsJitterModel
+    rf_chain_us: float = 40.0  #: DAC/ADC + analog path, one way
+
+    def __post_init__(self) -> None:
+        if self.rf_chain_us < 0:
+            raise ValueError("rf_chain_us must be >= 0")
+
+    # ------------------------------------------------------------------
+    # sampled latencies
+    # ------------------------------------------------------------------
+    def tx_latency_us(self, n_samples: int,
+                      rng: np.random.Generator) -> float:
+        """Submit ``n_samples`` for transmission: bus + jitter + RF."""
+        return (self.bus.submission_latency_us(n_samples, rng)
+                + self.jitter.sample_us(rng)
+                + self.rf_chain_us)
+
+    def rx_latency_us(self, n_samples: int,
+                      rng: np.random.Generator) -> float:
+        """Receive ``n_samples`` from the radio into the PHY."""
+        # Reception streams continuously; the dominated terms are the
+        # same bus transfer and the wakeup jitter of the reader thread.
+        return (self.bus.submission_latency_us(n_samples, rng)
+                + self.jitter.sample_us(rng)
+                + self.rf_chain_us)
+
+    # ------------------------------------------------------------------
+    # planning quantities (what the MAC margin must cover)
+    # ------------------------------------------------------------------
+    def mean_one_way_us(self, n_samples: int) -> float:
+        """Expected one-way radio latency for a transfer size."""
+        return (self.bus.mean_latency_us(n_samples)
+                + self.jitter.mean_us()
+                + self.rf_chain_us)
+
+    def required_margin_tc(self, carrier: Carrier,
+                           quantile_headroom: float = 2.0) -> int:
+        """Scheduling margin the MAC must leave before a window so that
+        samples reach the radio in time (§4: "the scheduler [must]
+        include a margin to ensure the radio is ready on time").
+
+        ``quantile_headroom`` multiplies the stochastic part (spikes and
+        jitter) to buy reliability at the cost of latency — the §6
+        trade-off, swept by the reliability ablation.
+        """
+        if quantile_headroom < 0:
+            raise ValueError("headroom must be >= 0")
+        n_samples = carrier.samples_per_slot()
+        deterministic = (self.bus.deterministic_latency_us(n_samples)
+                         + self.rf_chain_us)
+        stochastic = (self.bus.spike_probability * self.bus.spike_mean_us
+                      + self.jitter.mean_us())
+        return tc_from_us(deterministic + quantile_headroom * stochastic)
+
+    def describe(self) -> str:
+        return (f"{self.name}: bus={self.bus.name}, "
+                f"jitter={self.jitter.name}, "
+                f"RF chain {self.rf_chain_us:g} µs")

@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate.
+
+The engine keeps time as an *integer* count of 3GPP basic time units
+(Tc, see :mod:`repro.phy.timebase`), which makes every slot and symbol
+boundary exact — no floating-point drift over long simulations.
+
+Public surface:
+
+- :class:`~repro.sim.engine.Simulator` — the event loop.
+- :class:`~repro.sim.engine.Event` — a cancellable scheduled callback.
+- :class:`~repro.sim.rng.RngRegistry` — named, reproducible random streams.
+- :class:`~repro.sim.trace.Tracer` / :class:`~repro.sim.trace.TraceRecord`
+  — structured event tracing used by the latency probes.
+"""
+
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.resources import CpuResource
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "CpuResource",
+    "RngRegistry",
+    "TraceRecord",
+    "Tracer",
+]

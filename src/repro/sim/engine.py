@@ -1,0 +1,179 @@
+"""Minimal deterministic discrete-event engine.
+
+The engine is a classic binary-heap event queue.  Three properties matter
+for this project:
+
+1. **Integer time.**  The clock is an integer (Tc units); callers convert
+   from physical units with :mod:`repro.phy.timebase`.  Two events at the
+   same tick run in scheduling order (FIFO), which keeps runs reproducible.
+2. **Cancellation.**  Events are lazily cancelled (tombstoned), the usual
+   heap idiom, so timers such as scheduling-request retransmissions can be
+   abandoned cheaply.
+3. **No global state.**  A :class:`Simulator` instance owns its queue, so
+   tests can run many independent simulations in one process.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulator (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback; returned by :meth:`Simulator.schedule`.
+
+    Instances order by ``(time, seq)`` so the heap never compares
+    callbacks.  ``seq`` is a monotone counter: ties at the same tick run
+    in the order they were scheduled.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int,
+                 callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Event-driven simulator with an integer clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(100, handler, arg1)   # absolute tick
+        sim.call_in(50, handler)           # relative delay
+        sim.run()                          # drain the queue
+    """
+
+    def __init__(self, start_time: int = 0):
+        self._now: int = int(start_time)
+        self._queue: list[Event] = []
+        self._seq: int = 0
+        self._running = False
+        self._processed: int = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time (integer ticks)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (excludes cancelled ones)."""
+        return self._processed
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, at: int, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute tick ``at``.
+
+        ``at`` may equal :attr:`now` (the event runs later in the current
+        tick) but must not lie in the past.
+        """
+        at = int(at)
+        if at < self._now:
+            raise SimulationError(
+                f"cannot schedule at {at}; current time is {self._now}")
+        event = Event(at, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_in(self, delay: int, callback: Callable[..., Any],
+                *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after a relative ``delay`` ticks."""
+        delay = int(delay)
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self._now + delay, callback, *args)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next live event.  Returns False if queue empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Drain the queue.
+
+        Args:
+            until: stop once the clock would pass this tick; the clock is
+                left at ``until`` (events at exactly ``until`` still run).
+            max_events: safety valve for runaway simulations.
+
+        Returns:
+            The number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.callback(*event.args)
+                self._processed += 1
+                executed += 1
+            if until is not None and self._now < until:
+                self._now = int(until)
+        finally:
+            self._running = False
+        return executed
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run until there is no live event left."""
+        return self.run(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def timeline(self) -> Iterable[int]:
+        """Times of the live events currently queued (sorted)."""
+        return sorted(e.time for e in self._queue if not e.cancelled)

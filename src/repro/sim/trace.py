@@ -1,0 +1,108 @@
+"""Structured event tracing.
+
+Every model component can emit :class:`TraceRecord` instances describing
+what happened and when.  The latency probes (:mod:`repro.net.probes`) and
+the packet-journey reconstruction (:mod:`repro.core.journey`) are built on
+these records rather than on ad-hoc prints, so the same simulation run can
+be analysed at several granularities.
+
+Records carry:
+
+- ``time`` — integer Tc tick of the event,
+- ``category`` — a dotted component path (``"gnb.mac"``, ``"ue.phy"``...),
+- ``name`` — the event kind (``"sr_tx"``, ``"grant_rx"``, ``"rlc_enqueue"``),
+- ``fields`` — free-form payload (packet ids, sizes, decomposition...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: int
+    category: str
+    name: str
+    fields: dict = field(default_factory=dict)
+
+    def matches(self, category: Optional[str] = None,
+                name: Optional[str] = None) -> bool:
+        """True when the record matches the given filters.
+
+        ``category`` matches by prefix on dot boundaries, so a filter of
+        ``"gnb"`` catches ``"gnb.mac"`` but not ``"gnbx"``.
+        """
+        if name is not None and self.name != name:
+            return False
+        if category is not None:
+            if not (self.category == category
+                    or self.category.startswith(category + ".")):
+                return False
+        return True
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects emitted during a run.
+
+    Tracing can be disabled wholesale (``enabled=False``) to keep long
+    benchmark runs allocation-free, or narrowed with a predicate.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 predicate: Optional[Callable[[TraceRecord], bool]] = None):
+        self.enabled = enabled
+        self._predicate = predicate
+        self._records: list[TraceRecord] = []
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    # ------------------------------------------------------------------
+    def emit(self, time: int, category: str, name: str,
+             **fields: Any) -> None:
+        """Record an event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        record = TraceRecord(int(time), category, name, fields)
+        if self._predicate is not None and not self._predicate(record):
+            return
+        self._records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback`` for every future record (live analysis)."""
+        self._subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    def records(self, category: Optional[str] = None,
+                name: Optional[str] = None) -> list[TraceRecord]:
+        """Records matching the filters, in emission order."""
+        return [r for r in self._records if r.matches(category, name)]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def first(self, category: Optional[str] = None,
+              name: Optional[str] = None) -> Optional[TraceRecord]:
+        """First matching record or None."""
+        for record in self._records:
+            if record.matches(category, name):
+                return record
+        return None
+
+    def last(self, category: Optional[str] = None,
+             name: Optional[str] = None) -> Optional[TraceRecord]:
+        """Last matching record or None."""
+        for record in reversed(self._records):
+            if record.matches(category, name):
+                return record
+        return None

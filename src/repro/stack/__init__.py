@@ -1,0 +1,20 @@
+"""Protocol-stack substrate: packets, layer pipelines, the RLC queue."""
+
+from repro.stack.layers import LayerPipeline, ProcessingLayer
+from repro.stack.packets import (
+    HEADER_BYTES,
+    LatencySource,
+    Packet,
+    PacketKind,
+)
+from repro.stack.rlc import RlcQueue
+
+__all__ = [
+    "LayerPipeline",
+    "ProcessingLayer",
+    "HEADER_BYTES",
+    "LatencySource",
+    "Packet",
+    "PacketKind",
+    "RlcQueue",
+]

@@ -1,0 +1,113 @@
+"""Protocol-layer processing pipeline.
+
+Each :class:`ProcessingLayer` models one layer of the 5G stack as a
+stochastic processing delay (calibrated per :mod:`repro.calibration`)
+plus optional header overhead.  Layers chain into a
+:class:`LayerPipeline`; packets flow through asynchronously on the
+simulator, so concurrent packets interleave naturally.
+
+Processing time is charged to the ``PROCESSING`` budget category and
+recorded per layer, which is how the Table 2 reproduction measures what
+each layer cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.sim.resources import CpuResource
+
+from repro.sim.distributions import DelaySampler
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+from repro.stack.packets import LatencySource, Packet
+from repro.phy.timebase import tc_from_us
+
+
+class ProcessingLayer:
+    """One stack layer: sampled processing delay + header accounting."""
+
+    def __init__(self, sim: Simulator, tracer: Tracer, name: str,
+                 category: str, delay: DelaySampler,
+                 rng: np.random.Generator,
+                 adds_header: bool = False,
+                 cpu: "CpuResource | None" = None):
+        self.sim = sim
+        self.tracer = tracer
+        self.name = name
+        self.category = category
+        self.delay = delay
+        self.rng = rng
+        self.adds_header = adds_header
+        self.cpu = cpu
+        self.samples_us: list[float] = []
+
+    def process(self, packet: Packet,
+                on_done: Callable[[Packet], None]) -> None:
+        """Run the packet through this layer, then call ``on_done``.
+
+        With a shared :class:`~repro.sim.resources.CpuResource` the
+        intrinsic delay is a CPU job: contention queueing inflates the
+        observed processing time (§7's multi-UE caveat).
+        """
+        delay_us = self.delay.sample(self.rng)
+        delay_tc = tc_from_us(delay_us)
+        self.samples_us.append(delay_us)
+        submitted = self.sim.now
+        self.tracer.emit(submitted, self.category, "enter",
+                         packet_id=packet.packet_id, layer=self.name)
+        packet.stamp(f"{self.category}.enter", submitted)
+
+        def finish() -> None:
+            packet.charge(LatencySource.PROCESSING,
+                          self.sim.now - submitted)
+            packet.stamp(f"{self.category}.exit", self.sim.now)
+            if self.adds_header:
+                packet.add_header(self.name)
+            self.tracer.emit(self.sim.now, self.category, "exit",
+                             packet_id=packet.packet_id, layer=self.name,
+                             delay_us=delay_us)
+            on_done(packet)
+
+        if self.cpu is not None:
+            self.cpu.execute(delay_tc, finish)
+        else:
+            self.sim.call_in(delay_tc, finish)
+
+
+class LayerPipeline:
+    """A fixed sequence of layers traversed in order."""
+
+    def __init__(self, layers: Sequence[ProcessingLayer]):
+        if not layers:
+            raise ValueError("pipeline needs at least one layer")
+        self.layers = tuple(layers)
+
+    def process(self, packet: Packet,
+                on_done: Callable[[Packet], None]) -> None:
+        """Send the packet through every layer, then ``on_done``."""
+
+        def advance(index: int, pkt: Packet) -> None:
+            if index == len(self.layers):
+                on_done(pkt)
+                return
+            self.layers[index].process(
+                pkt, lambda p: advance(index + 1, p))
+
+        advance(0, packet)
+
+    def layer(self, name: str) -> ProcessingLayer:
+        """Look up a layer by name."""
+        for candidate in self.layers:
+            if candidate.name == name:
+                return candidate
+        known = ", ".join(l.name for l in self.layers)
+        raise KeyError(f"no layer {name!r} in pipeline ({known})")
+
+    def mean_total_us(self) -> float:
+        """Sum of the layers' configured mean delays — the value the MAC
+        scheduling margin must cover (§4 interdependency)."""
+        return sum(layer.delay.mean_us for layer in self.layers)

@@ -1,0 +1,149 @@
+"""RLC queue — where packets wait for the MAC scheduler.
+
+The paper singles out the RLC queue waiting time (``RLC-q``, Table 2:
+484.20 ± 89.46 µs on the testbed) as the dominant gNB-side latency: a
+packet arriving just after MAC scheduling waits until it is scheduled in
+a following slot (§5).  The queue therefore measures every packet's
+waiting time and charges it to the *protocol* budget — it is structural
+waiting imposed by once-per-slot scheduling, not processing work.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+from repro.stack.packets import LatencySource, Packet
+from repro.phy.timebase import us_from_tc
+
+#: Smallest useful RLC segment (segment header + a few payload bytes);
+#: leftover transport-block space below this is not worth splitting for.
+MIN_SEGMENT_BYTES: int = 36
+
+
+@dataclass(frozen=True)
+class PullResult:
+    """Outcome of one MAC pull from the RLC queue.
+
+    ``completed`` are packets whose final byte is in this transport
+    block — they proceed up/over the air as whole SDUs after reassembly.
+    ``consumed_bytes`` additionally counts partial segments of a large
+    head-of-line SDU that this block carries (§3: RLC performs
+    "segmentation and reassembly").
+    """
+
+    completed: list[Packet]
+    consumed_bytes: int
+
+    @property
+    def carries_data(self) -> bool:
+        return self.consumed_bytes > 0
+
+
+class RlcQueue:
+    """FIFO of packets awaiting MAC scheduling, with wait accounting."""
+
+    def __init__(self, sim: Simulator, tracer: Tracer, category: str,
+                 max_packets: int | None = None):
+        self.sim = sim
+        self.tracer = tracer
+        self.category = category
+        self.max_packets = max_packets
+        self._queue: deque[tuple[int, Packet]] = deque()
+        self.wait_samples_us: list[float] = []
+        self.dropped_overflow = 0
+        #: bytes of the head SDU already carried by earlier segments
+        self._head_sent_bytes = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    @property
+    def queued_bytes(self) -> int:
+        return sum(packet.wire_bytes for _, packet in self._queue)
+
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> bool:
+        """Add a packet; returns False (and drops it) on overflow."""
+        if (self.max_packets is not None
+                and len(self._queue) >= self.max_packets):
+            packet.mark_dropped("rlc-queue-overflow")
+            self.dropped_overflow += 1
+            self.tracer.emit(self.sim.now, self.category, "overflow",
+                             packet_id=packet.packet_id)
+            return False
+        packet.stamp(f"{self.category}.enqueue", self.sim.now)
+        self._queue.append((self.sim.now, packet))
+        self.tracer.emit(self.sim.now, self.category, "enqueue",
+                         packet_id=packet.packet_id, depth=len(self._queue))
+        return True
+
+    def _record_wait(self, enqueued_tc: int, packet: Packet) -> None:
+        wait = self.sim.now - enqueued_tc
+        packet.charge(LatencySource.PROTOCOL, wait)
+        packet.stamp(f"{self.category}.dequeue", self.sim.now)
+        self.wait_samples_us.append(us_from_tc(wait))
+        self.tracer.emit(self.sim.now, self.category, "dequeue",
+                         packet_id=packet.packet_id,
+                         wait_us=us_from_tc(wait))
+
+    def dequeue(self) -> Packet | None:
+        """Pop the oldest packet whole, recording its waiting time."""
+        if not self._queue:
+            return None
+        enqueued_tc, packet = self._queue.popleft()
+        self._head_sent_bytes = 0
+        self._record_wait(enqueued_tc, packet)
+        return packet
+
+    def pull(self, capacity_bytes: int,
+             allow_segmentation: bool = False) -> PullResult:
+        """Fill one transport block from the queue (FIFO, no
+        reordering, as in RLC acknowledged mode).
+
+        Without segmentation the pull stops at the first SDU that does
+        not fit.  With it, a too-large head SDU is split: the block
+        carries a segment (counted in ``consumed_bytes``) and the SDU
+        stays queued with its remainder; the SDU completes — and its
+        queueing wait is recorded — when its last segment is pulled.
+        """
+        completed: list[Packet] = []
+        remaining = capacity_bytes
+        consumed = 0
+        while self._queue:
+            enqueued_tc, packet = self._queue[0]
+            outstanding = packet.wire_bytes - self._head_sent_bytes
+            if outstanding <= remaining:
+                self._queue.popleft()
+                self._head_sent_bytes = 0
+                self._record_wait(enqueued_tc, packet)
+                remaining -= outstanding
+                consumed += outstanding
+                completed.append(packet)
+                continue
+            if allow_segmentation and remaining >= MIN_SEGMENT_BYTES:
+                self._head_sent_bytes += remaining
+                consumed += remaining
+                self.tracer.emit(self.sim.now, self.category, "segment",
+                                 packet_id=packet.packet_id,
+                                 sent=self._head_sent_bytes,
+                                 of=packet.wire_bytes)
+                remaining = 0
+            break
+        return PullResult(completed, consumed)
+
+    def pull_up_to(self, capacity_bytes: int) -> list[Packet]:
+        """Whole-SDU pull (no segmentation); returns the packets."""
+        return self.pull(capacity_bytes).completed
+
+    def head_of_line_wait_tc(self) -> int | None:
+        """Current waiting time of the oldest packet, if any."""
+        if not self._queue:
+            return None
+        return self.sim.now - self._queue[0][0]

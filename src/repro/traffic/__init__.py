@@ -1,0 +1,33 @@
+"""Traffic substrate: arrival processes and application workloads."""
+
+from repro.traffic.applications import (
+    ALL_WORKLOADS,
+    INDUSTRIAL_AUTOMATION,
+    PROFESSIONAL_AUDIO,
+    REMOTE_SURGERY,
+    TESTBED_PING,
+    VR_AR,
+    Workload,
+)
+from repro.traffic.generators import periodic, poisson, uniform_in_horizon
+from repro.traffic.shaping import (
+    align_periodic,
+    optimal_phase,
+    phase_is_stable,
+)
+
+__all__ = [
+    "align_periodic",
+    "optimal_phase",
+    "phase_is_stable",
+    "ALL_WORKLOADS",
+    "INDUSTRIAL_AUTOMATION",
+    "PROFESSIONAL_AUDIO",
+    "REMOTE_SURGERY",
+    "TESTBED_PING",
+    "VR_AR",
+    "Workload",
+    "periodic",
+    "poisson",
+    "uniform_in_horizon",
+]

@@ -1,0 +1,93 @@
+"""URLLC application workload presets (paper §1's motivating classes).
+
+Each preset fixes a payload size, an arrival pattern and a latency
+requirement, so examples and benchmarks can speak in application terms
+("industrial automation") instead of raw parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.feasibility import Requirement
+from repro.phy.timebase import tc_from_ms, tc_from_us
+from repro.traffic import generators
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One application traffic profile."""
+
+    name: str
+    payload_bytes: int
+    requirement: Requirement
+    arrival_kind: str          #: "periodic" | "uniform" | "poisson"
+    period_us: float = 0.0     #: for periodic
+    rate_per_second: float = 0.0  #: for poisson
+
+    def arrivals(self, n_packets: int, horizon_tc: int,
+                 rng: np.random.Generator) -> list[int]:
+        """Generate arrival ticks for this workload."""
+        if self.arrival_kind == "periodic":
+            return generators.periodic(
+                n_packets, tc_from_us(self.period_us))
+        if self.arrival_kind == "uniform":
+            return generators.uniform_in_horizon(
+                n_packets, horizon_tc, rng)
+        if self.arrival_kind == "poisson":
+            arrivals = generators.poisson(
+                self.rate_per_second, horizon_tc, rng)
+            return arrivals[:n_packets] if n_packets else arrivals
+        raise ValueError(f"unknown arrival kind {self.arrival_kind!r}")
+
+
+#: Factory-floor control loop: small command packets every millisecond,
+#: hard 0.5 ms one-way deadline (§1, [13, 16]).
+INDUSTRIAL_AUTOMATION = Workload(
+    name="industrial-automation",
+    payload_bytes=48,
+    requirement=Requirement("industrial", tc_from_ms(0.5), 0.99999),
+    arrival_kind="periodic",
+    period_us=1000.0,
+)
+
+#: Professional live audio (§1, [33]): 48 kHz frames every 250 µs
+#: equivalent, ~1 ms budget.
+PROFESSIONAL_AUDIO = Workload(
+    name="professional-audio",
+    payload_bytes=120,
+    requirement=Requirement("pro-audio", tc_from_ms(1.0), 0.9999),
+    arrival_kind="periodic",
+    period_us=250.0,
+)
+
+#: Remote surgery haptics (§1, [20]): periodic 1 kHz haptic feedback.
+REMOTE_SURGERY = Workload(
+    name="remote-surgery",
+    payload_bytes=64,
+    requirement=Requirement("surgery", tc_from_ms(0.5), 0.99999),
+    arrival_kind="periodic",
+    period_us=1000.0,
+)
+
+#: VR/AR pose updates (§1, [24]): higher rate, slightly relaxed budget.
+VR_AR = Workload(
+    name="vr-ar",
+    payload_bytes=256,
+    requirement=Requirement("vr-ar", tc_from_ms(1.0), 0.999),
+    arrival_kind="poisson",
+    rate_per_second=2000.0,
+)
+
+#: The paper's §7 measurement workload: pings uniform in the pattern.
+TESTBED_PING = Workload(
+    name="testbed-ping",
+    payload_bytes=32,
+    requirement=Requirement("urllc", tc_from_ms(0.5), 0.99999),
+    arrival_kind="uniform",
+)
+
+ALL_WORKLOADS = (INDUSTRIAL_AUTOMATION, PROFESSIONAL_AUDIO,
+                 REMOTE_SURGERY, VR_AR, TESTBED_PING)

@@ -1,0 +1,71 @@
+"""Traffic shaping: phase-aligning isochronous traffic to the pattern.
+
+Deterministic-latency networking over TDD needs synchronisation between
+the application and the radio pattern (the paper's deterministic-latency
+reference [12]): a 1 kHz control loop whose packets always arrive at
+the start of a DL region pays the worst-case protocol latency on every
+single packet, while the same loop phased just ahead of the UL region
+pays close to the best case.
+
+:func:`align_periodic` computes the optimal constant shift from the
+analytical model's best-case arrival phase.  It requires the traffic
+period to be a multiple of the scheme period (otherwise the phase
+drifts and no constant shift helps — :func:`phase_is_stable` checks).
+"""
+
+from __future__ import annotations
+
+from repro.mac.scheme import DuplexingScheme
+from repro.mac.types import AccessMode, Direction
+
+
+def phase_is_stable(arrivals: list[int],
+                    scheme: DuplexingScheme) -> bool:
+    """Whether all arrivals share one phase of the scheme period.
+
+    True for isochronous traffic whose period divides into the TDD
+    pattern; alignment only helps in that case.
+    """
+    if not arrivals:
+        raise ValueError("no arrivals")
+    phase = arrivals[0] % scheme.period_tc
+    return all(a % scheme.period_tc == phase for a in arrivals)
+
+
+def optimal_phase(scheme: DuplexingScheme, direction: Direction,
+                  access: AccessMode = AccessMode.GRANT_FREE,
+                  headroom_tc: int = 0) -> int:
+    """Robust arrival phase: just ahead of the first opportunity.
+
+    The analytically *minimal* latency phase sits a tick before an
+    opportunity closes — a knife-edge that any processing jitter tips
+    into a full extra period.  The robust choice targets the window
+    *start* instead: latency ≈ one window duration plus the headroom,
+    with the entire window as slack.  ``headroom_tc`` backs the phase
+    off further to cover preparation (processing + radio submission).
+    """
+    if headroom_tc < 0:
+        raise ValueError("headroom must be >= 0")
+    timeline = (scheme.dl_timeline() if direction is Direction.DL
+                else scheme.ul_timeline())
+    start = timeline.first_start_at_or_after(0).start
+    return (start - headroom_tc) % scheme.period_tc
+
+
+def align_periodic(arrivals: list[int], scheme: DuplexingScheme,
+                   direction: Direction,
+                   access: AccessMode = AccessMode.GRANT_FREE,
+                   headroom_tc: int = 0) -> list[int]:
+    """Shift phase-stable arrivals onto the optimal phase.
+
+    The shift is a single forward constant (0 ≤ shift < period), so
+    ordering and inter-arrival spacing are preserved exactly.
+    """
+    if not phase_is_stable(arrivals, scheme):
+        raise ValueError(
+            "arrivals are not phase-stable over the scheme period; "
+            "a constant shift cannot align them")
+    target = optimal_phase(scheme, direction, access, headroom_tc)
+    current = arrivals[0] % scheme.period_tc
+    shift = (target - current) % scheme.period_tc
+    return [arrival + shift for arrival in arrivals]

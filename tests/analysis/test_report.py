@@ -1,0 +1,53 @@
+"""Unit tests for the paper-style renderers."""
+
+import pytest
+
+from repro.analysis.report import (
+    render_layer_table,
+    render_table,
+    render_tdd_configuration,
+    render_worst_case_bars,
+)
+from repro.mac.catalog import minimal_dm, testbed_dddu
+from repro.phy.timebase import tc_from_ms
+
+
+def test_tdd_rendering_shows_symbols():
+    text = render_tdd_configuration(minimal_dm())
+    assert "slot 0 [D]" in text
+    assert "slot 1 [M]" in text
+    assert "DDDD--UUUUUUUU" in text  # the 4/2/8 mixed split
+
+
+def test_tdd_rendering_dddu():
+    text = render_tdd_configuration(testbed_dddu())
+    assert text.count("DDDDDDDDDDDDDD") == 3
+    assert text.count("UUUUUUUUUUUUUU") == 1
+
+
+def test_generic_table():
+    text = render_table(("a", "bb"), [(1, 2), (30, 40)], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert "30" in lines[-1]
+
+
+def test_generic_table_validates_row_width():
+    with pytest.raises(ValueError):
+        render_table(("a",), [(1, 2)])
+
+
+def test_layer_table_side_by_side():
+    measured = {"MAC": (54.0, 15.0)}
+    paper = {"MAC": (55.21, 16.31)}
+    text = render_layer_table(measured, paper)
+    assert "54.00" in text and "55.21" in text
+
+
+def test_worst_case_bars_mark_budget():
+    entries = {"Grant-free UL": tc_from_ms(0.5),
+               "Grant-based UL": tc_from_ms(1.0)}
+    text = render_worst_case_bars(entries, budget_tc=tc_from_ms(0.5))
+    assert "|" in text and "#" in text
+    assert "budget 500" in text

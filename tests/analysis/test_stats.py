@@ -1,0 +1,65 @@
+"""Unit and property tests for histogram/CDF utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import cdf, histogram
+
+
+def test_histogram_probabilities_sum_to_one():
+    hist = histogram([0.5, 1.5, 1.6, 2.5], bin_width=1.0, low=0.0,
+                     high=3.0)
+    assert sum(hist.probabilities) == pytest.approx(1.0)
+    assert hist.probabilities[1] == pytest.approx(0.5)
+
+
+def test_histogram_bin_centers():
+    hist = histogram([0.5], bin_width=1.0, low=0.0, high=2.0)
+    assert hist.bin_centers == (0.5, 1.5)
+    assert hist.mode_bin() == 0.5
+
+
+def test_histogram_render():
+    hist = histogram([1.0, 1.0, 2.0], bin_width=1.0, low=0.0, high=3.0)
+    text = hist.render(label="test")
+    assert "test" in text and "█" in text
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        histogram([], 1.0)
+    with pytest.raises(ValueError):
+        histogram([1.0], 0.0)
+
+
+def test_cdf_basic():
+    empirical = cdf([3.0, 1.0, 2.0])
+    assert empirical.values == (1.0, 2.0, 3.0)
+    assert empirical.cumulative == (pytest.approx(1 / 3),
+                                    pytest.approx(2 / 3),
+                                    pytest.approx(1.0))
+    assert empirical.probability_at_or_below(2.0) == pytest.approx(2 / 3)
+    assert empirical.quantile(0.5) == 2.0
+
+
+def test_cdf_validation():
+    with pytest.raises(ValueError):
+        cdf([])
+    with pytest.raises(ValueError):
+        cdf([1.0]).quantile(1.5)
+
+
+@given(samples=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_histogram_mass_conserved(samples):
+    hist = histogram(samples, bin_width=5.0, low=0.0, high=105.0)
+    assert sum(hist.probabilities) == pytest.approx(1.0)
+
+
+@given(samples=st.lists(st.floats(0.0, 100.0), min_size=2, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_cdf_is_monotone(samples):
+    empirical = cdf(samples)
+    assert list(empirical.cumulative) == sorted(empirical.cumulative)
+    assert empirical.cumulative[-1] == pytest.approx(1.0)

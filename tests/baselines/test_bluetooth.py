@@ -1,0 +1,52 @@
+"""Unit tests for the Bluetooth baseline."""
+
+import pytest
+
+from repro.baselines.bluetooth import (
+    BLUETOOTH_SLOT_US,
+    MAX_ACTIVE_SLAVES,
+    BluetoothPiconet,
+)
+
+
+def test_fixed_slot_length():
+    # §9: "a fixed 625 µs slot length".
+    assert BLUETOOTH_SLOT_US == 625.0
+
+
+def test_piconet_size_limit():
+    assert MAX_ACTIVE_SLAVES == 7
+    with pytest.raises(ValueError):
+        BluetoothPiconet(8)
+    with pytest.raises(ValueError):
+        BluetoothPiconet(0)
+
+
+def test_polling_cycle_scales_with_slaves():
+    assert BluetoothPiconet(1).polling_cycle_us == 2 * 625.0
+    assert BluetoothPiconet(7).polling_cycle_us == 14 * 625.0
+
+
+def test_worst_case_exceeds_urllc_for_full_piconet():
+    full = BluetoothPiconet(7)
+    assert full.worst_case_uplink_us() > 500.0
+    assert not full.meets_urllc_latency()
+
+
+def test_even_single_slave_misses_urllc():
+    # 2 slots cycle + 1 slot tx = 1 875 µs worst case.
+    assert not BluetoothPiconet(1).meets_urllc_latency(500.0)
+
+
+def test_mean_below_worst():
+    piconet = BluetoothPiconet(4)
+    assert piconet.mean_uplink_us() < piconet.worst_case_uplink_us()
+
+
+def test_samples_within_bounds(rng):
+    piconet = BluetoothPiconet(3)
+    samples = piconet.sample_uplinks_us(5_000, rng)
+    assert min(samples) >= BLUETOOTH_SLOT_US
+    assert max(samples) <= piconet.worst_case_uplink_us()
+    with pytest.raises(ValueError):
+        piconet.sample_uplinks_us(0, rng)

@@ -1,0 +1,49 @@
+"""Unit tests for the FR2 mmWave baseline."""
+
+import pytest
+
+from repro.baselines.mmwave import (
+    PAPER_SUB_MS_FRACTION,
+    MmWaveBaseline,
+    MmWaveParameters,
+)
+
+
+def test_sub_ms_fraction_matches_fezeu(rng):
+    # §1: "sub-millisecond latencies in 5G mmWave can be achieved only
+    # 4.4% of the time rather than 99.99%".  Calibration tolerance is
+    # generous — the claim is the order of magnitude, not the digit.
+    fraction = MmWaveBaseline().sub_ms_fraction(rng, draws=60_000)
+    assert 0.02 <= fraction <= 0.09
+    assert abs(fraction - PAPER_SUB_MS_FRACTION) < 0.04
+
+
+def test_reliability_is_nowhere_near_urllc(rng):
+    fraction = MmWaveBaseline().sub_ms_fraction(rng, draws=20_000)
+    assert fraction < 0.9999
+
+
+def test_blockage_adds_heavy_tail(rng):
+    baseline = MmWaveBaseline()
+    samples = baseline.sample_latencies_us(30_000, rng)
+    p50 = sorted(samples)[len(samples) // 2]
+    p99 = sorted(samples)[int(len(samples) * 0.99)]
+    # Beam recovery puts the p99 tens of milliseconds out.
+    assert p99 > 5 * p50
+    assert p99 > 10_000
+
+
+def test_los_fraction_validated():
+    with pytest.raises(ValueError):
+        MmWaveBaseline(MmWaveParameters(los_fraction=1.0))
+
+
+def test_sample_count_validated(rng):
+    with pytest.raises(ValueError):
+        MmWaveBaseline().sample_latencies_us(0, rng)
+
+
+def test_channel_stationary_fraction():
+    baseline = MmWaveBaseline(MmWaveParameters(los_fraction=0.6))
+    assert baseline.channel.stationary_good_fraction == \
+        pytest.approx(0.6, abs=0.01)

@@ -1,0 +1,66 @@
+"""Unit tests for the Wi-Fi DCF baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.wifi import WifiBaseline, WifiParameters
+
+
+def test_single_station_never_collides():
+    assert WifiBaseline(n_stations=1).collision_probability() == 0.0
+
+
+def test_collision_probability_grows_with_stations():
+    probabilities = [WifiBaseline(n).collision_probability()
+                     for n in (1, 2, 5, 20)]
+    assert probabilities == sorted(probabilities)
+    assert probabilities[-1] < 1.0
+
+
+def test_access_delay_floor(rng):
+    # DIFS + airtime is the absolute floor (zero backoff, no collision).
+    baseline = WifiBaseline(n_stations=1)
+    params = baseline.params
+    floor = params.difs_us + params.frame_airtime_us
+    samples = baseline.sample_access_delays_us(2_000, rng)
+    assert min(samples) >= floor
+
+
+def test_contention_produces_heavy_tail(rng):
+    lone = WifiBaseline(n_stations=1)
+    crowded = WifiBaseline(n_stations=15)
+    lone_samples = np.array(lone.sample_access_delays_us(20_000, rng))
+    crowded_samples = np.array(
+        crowded.sample_access_delays_us(20_000, rng))
+    crowded_finite = crowded_samples[np.isfinite(crowded_samples)]
+    assert np.quantile(crowded_finite, 0.99) > \
+        2 * np.quantile(lone_samples, 0.99)
+
+
+def test_drops_possible_under_contention(rng):
+    baseline = WifiBaseline(
+        n_stations=40,
+        params=WifiParameters(max_retries=1, cw_min=3))
+    samples = baseline.sample_access_delays_us(5_000, rng)
+    assert any(s == float("inf") for s in samples)
+
+
+def test_deadline_reliability_degrades_with_stations(rng):
+    lone = WifiBaseline(1).deadline_reliability(500.0, rng, draws=8_000)
+    crowded = WifiBaseline(20).deadline_reliability(500.0, rng,
+                                                    draws=8_000)
+    assert lone > crowded
+
+
+def test_urllc_reliability_unreachable(rng):
+    # Even a small cell misses 99.999% within 0.5 ms.
+    reliability = WifiBaseline(5).deadline_reliability(500.0, rng,
+                                                       draws=20_000)
+    assert reliability < 0.99999
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        WifiBaseline(0)
+    with pytest.raises(ValueError):
+        WifiBaseline(1).sample_access_delays_us(0, rng)

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    """A deterministic registry, fresh per test."""
+    return RngRegistry(seed=42)

@@ -1,0 +1,92 @@
+"""Unit tests for the three-source budget composition (§4)."""
+
+import pytest
+
+from repro.core.budget import (
+    BudgetBreakdown,
+    SystemProfile,
+    slot_duration_sweep,
+    worst_case_budget,
+)
+from repro.core.feasibility import URLLC_5G
+from repro.mac.catalog import minimal_dm, testbed_dddu
+from repro.mac.types import AccessMode, Direction
+
+
+def test_testbed_profile_magnitudes():
+    profile = SystemProfile.testbed()
+    assert profile.gnb_radio_us == 500.0
+    assert profile.gnb_tx_processing_us == pytest.approx(17.06, rel=0.01)
+    assert profile.ue_tx_processing_us > profile.gnb_tx_processing_us
+
+
+def test_pure_protocol_budget_has_zero_radio_processing():
+    breakdown = worst_case_budget(minimal_dm(), Direction.DL,
+                                  AccessMode.GRANT_FREE, SystemProfile())
+    assert breakdown.processing_us == 0.0
+    assert breakdown.radio_us == 0.0
+    assert breakdown.protocol_us == pytest.approx(500.0, rel=0.01)
+    assert breakdown.bottleneck() == "protocol"
+
+
+def test_usb_radio_head_breaks_the_feasible_design():
+    # The paper's demonstration: DM is protocol-feasible, but a 500 µs
+    # USB radio head blows the budget regardless.
+    breakdown = worst_case_budget(minimal_dm(), Direction.DL,
+                                  AccessMode.GRANT_FREE,
+                                  SystemProfile.testbed())
+    assert breakdown.total_us > 500.0
+    assert breakdown.bottleneck() == "radio"
+
+
+def test_grant_based_pays_radio_three_times():
+    profile = SystemProfile(gnb_radio_us=100.0, ue_radio_us=10.0)
+    free = worst_case_budget(minimal_dm(), Direction.UL,
+                             AccessMode.GRANT_FREE, profile)
+    based = worst_case_budget(minimal_dm(), Direction.UL,
+                              AccessMode.GRANT_BASED, profile)
+    assert based.radio_us == pytest.approx(free.radio_us + 200.0)
+
+
+def test_budget_total_is_sum():
+    breakdown = BudgetBreakdown("X", Direction.DL, None, 100.0, 50.0,
+                                25.0)
+    assert breakdown.total_us == 175.0
+    assert "X DL" in str(breakdown)
+
+
+def test_dddu_grant_based_matches_fig6_tail():
+    # The analytical worst case should sit near the measured ~5 ms
+    # upper edge of Fig 6a's uplink distribution.
+    breakdown = worst_case_budget(testbed_dddu(), Direction.UL,
+                                  AccessMode.GRANT_BASED,
+                                  SystemProfile.testbed())
+    assert 4_000 <= breakdown.total_us <= 6_000
+
+
+def test_slot_duration_sweep_shows_radio_floor():
+    from repro.mac.catalog import minimal_dm as dm
+    sweep = slot_duration_sweep(dm, [0, 1, 2], Direction.DL,
+                                AccessMode.GRANT_FREE,
+                                radio_us_values=[0.0, 300.0])
+    # With no radio latency, higher numerology strictly helps.
+    no_radio = sweep[0.0]
+    assert no_radio[2] < no_radio[1] < no_radio[0]
+    # With 300 µs radio latency the gain from µ=1 to µ=2 shrinks
+    # in *relative* terms: the floor dominates (§4's point).
+    with_radio = sweep[300.0]
+    gain_no_radio = no_radio[1] / no_radio[2]
+    gain_radio = with_radio[1] / with_radio[2]
+    assert gain_radio < gain_no_radio
+
+
+def test_feasibility_with_radio_floor():
+    # DM meets URLLC without radio latency but not with 500 µs of it.
+    clean = worst_case_budget(minimal_dm(), Direction.UL,
+                              AccessMode.GRANT_FREE, SystemProfile())
+    dirty = worst_case_budget(minimal_dm(), Direction.UL,
+                              AccessMode.GRANT_FREE,
+                              SystemProfile.testbed())
+    budget_us = 500.0
+    assert clean.total_us <= budget_us + 1e-6
+    assert dirty.total_us > budget_us

@@ -1,0 +1,89 @@
+"""The Table 1 reproduction — the paper's headline analytical result."""
+
+import pytest
+
+from repro.core.design_space import (
+    TABLE1_COLUMNS,
+    TABLE1_ROWS,
+    evaluate_cell,
+    feasibility_matrix,
+    feasible_designs,
+    render_table1,
+    table1_schemes,
+)
+from repro.core.feasibility import URLLC_6G
+
+#: The paper's Table 1, verbatim.
+PAPER_TABLE1 = {
+    "Grant-Based UL": {"DU": False, "DM": False, "MU": False,
+                       "Mini-slot": True, "FDD": True},
+    "Grant-Free UL": {"DU": True, "DM": True, "MU": True,
+                      "Mini-slot": True, "FDD": True},
+    "DL": {"DU": False, "DM": True, "MU": False,
+           "Mini-slot": True, "FDD": True},
+}
+
+
+def test_matrix_reproduces_paper_table1_exactly():
+    matrix = feasibility_matrix()
+    for row in TABLE1_ROWS:
+        for column in TABLE1_COLUMNS:
+            assert matrix[row][column].meets == \
+                PAPER_TABLE1[row][column], (
+                    f"cell ({row}, {column}) disagrees with the paper")
+
+
+def test_dm_is_the_only_common_config_meeting_both_directions():
+    # §5: "only one configuration, DM, satisfies the latency
+    # requirements of URLLC on both downlink and uplink for the
+    # grant-free scenario".
+    designs = feasible_designs()
+    common_config_designs = [d for d in designs
+                             if d[0] in ("DU", "DM", "MU")]
+    assert common_config_designs == [("DM", "Grant-Free UL")]
+
+
+def test_feasible_design_set_is_small():
+    designs = feasible_designs()
+    assert set(designs) == {
+        ("DM", "Grant-Free UL"),
+        ("Mini-slot", "Grant-Based UL"),
+        ("Mini-slot", "Grant-Free UL"),
+        ("FDD", "Grant-Based UL"),
+        ("FDD", "Grant-Free UL"),
+    }
+
+
+def test_no_design_meets_the_6g_target():
+    # §1: 6G tightens to 0.1 ms — none of the FR1 minimal designs make
+    # it with 0.25 ms slots.
+    designs = feasible_designs(requirement=URLLC_6G)
+    for name, _ in designs:
+        assert name in ("Mini-slot",), (
+            f"{name} unexpectedly meets the 6G target")
+
+
+def test_render_contains_marks_and_labels():
+    text = render_table1()
+    assert "✓" in text and "✗" in text
+    for label in TABLE1_COLUMNS:
+        assert label in text
+
+
+def test_table1_schemes_names():
+    names = [s.name for s in table1_schemes()]
+    assert names == ["DU", "DM", "MU", "mini-slot/7", "FDD"]
+
+
+def test_evaluate_cell_rejects_unknown_row():
+    scheme = table1_schemes()[0]
+    with pytest.raises(ValueError, match="row"):
+        evaluate_cell(scheme, "Sidelink")
+
+
+def test_matrix_at_mu1_fails_everywhere_on_tdd():
+    # With 0.5 ms slots even DM cannot meet 0.5 ms one-way: the §5
+    # argument that only the 0.25 ms slot duration is feasible.
+    matrix = feasibility_matrix(mu=1)
+    assert not matrix["DL"]["DM"].meets
+    assert not matrix["Grant-Free UL"]["DM"].meets

@@ -1,0 +1,61 @@
+"""Unit tests for the exhaustive configuration search."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.design_space import (
+    enumerate_common_configurations,
+    exhaustive_search,
+)
+from repro.core.feasibility import Requirement
+from repro.phy.timebase import tc_from_ms
+
+
+def test_enumeration_is_substantial_and_wellformed():
+    configs = enumerate_common_configurations()
+    assert len(configs) >= 50
+    for config in configs:
+        letters = config.slot_letters()
+        # The grammar shape: D* M? U*.
+        stripped = "".join(letters).lstrip("D").rstrip("U")
+        assert stripped in ("", "M")
+
+
+def test_enumeration_respects_max_period():
+    short = enumerate_common_configurations(max_period_ms=0.5)
+    longer = enumerate_common_configurations(max_period_ms=2.5)
+    assert len(short) < len(longer)
+    for config in short:
+        assert config.period_tc <= tc_from_ms(0.5)
+
+
+def test_enumeration_contains_the_minimal_three():
+    letters = {"".join(c.slot_letters())
+               for c in enumerate_common_configurations(
+                   max_period_ms=0.5)}
+    assert {"DU", "DM", "MU"} <= letters
+
+
+def test_only_dm_grant_free_survives_at_half_ms():
+    feasible = exhaustive_search()
+    assert feasible
+    assert {("DM", "grant-free")} == {
+        ("".join(c.slot_letters()), a) for c, a in feasible}
+
+
+def test_relaxed_budget_expands_the_set():
+    relaxed = Requirement("1ms", tc_from_ms(1.0), 0.9999)
+    assert len(exhaustive_search(requirement=relaxed)) > \
+        len(exhaustive_search())
+
+
+def test_tight_budget_empties_the_set():
+    impossible = Requirement("0.1ms", tc_from_ms(0.1), 0.99999)
+    assert exhaustive_search(requirement=impossible) == []
+
+
+def test_search_skips_degenerate_configurations():
+    # All-DL and all-UL patterns (no windows in one direction) must
+    # not crash the search.
+    exhaustive_search(mu=1, max_period_ms=1.0)

@@ -1,0 +1,61 @@
+"""Unit tests for requirement definitions."""
+
+import pytest
+
+from repro.core.feasibility import (
+    URLLC_5G,
+    URLLC_5G_RELAXED,
+    URLLC_6G,
+    Requirement,
+    verdict_mark,
+)
+from repro.core.latency_model import LatencyModel
+from repro.mac.catalog import minimal_dm
+from repro.mac.types import Direction
+from repro.phy.timebase import tc_from_ms
+
+
+def test_urllc_5g_definition():
+    assert URLLC_5G.one_way_budget_ms == pytest.approx(0.5)
+    assert URLLC_5G.round_trip_budget_tc == tc_from_ms(1.0)
+    assert URLLC_5G.reliability == 0.99999
+
+
+def test_relaxed_variant():
+    assert URLLC_5G_RELAXED.reliability == 0.9999
+
+
+def test_6g_definition():
+    assert URLLC_6G.one_way_budget_ms == pytest.approx(0.1)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Requirement("x", 0, 0.99)
+    with pytest.raises(ValueError):
+        Requirement("x", 100, 1.0)
+
+
+def test_met_by_worst_case():
+    extremes = LatencyModel(minimal_dm()).extremes(Direction.DL)
+    assert URLLC_5G.met_by_worst_case(extremes)
+    assert not URLLC_6G.met_by_worst_case(extremes)
+
+
+def test_met_by_samples():
+    budget = URLLC_5G.one_way_budget_tc
+    good = [budget - 1] * 99_999 + [budget + 1]
+    assert URLLC_5G_RELAXED.met_by_samples(good)
+    bad = [budget - 1] * 9 + [budget + 1]
+    assert not URLLC_5G.met_by_samples(bad)
+    with pytest.raises(ValueError):
+        URLLC_5G.met_by_samples([])
+
+
+def test_verdict_marks():
+    assert verdict_mark(True) == "✓"
+    assert verdict_mark(False) == "✗"
+
+
+def test_str():
+    assert "0.5 ms" in str(URLLC_5G)

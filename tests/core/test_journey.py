@@ -1,0 +1,66 @@
+"""Unit tests for the Fig 3 journey reconstruction."""
+
+import pytest
+
+from repro.core.journey import reconstruct_ping_journey
+from repro.mac.catalog import testbed_dddu
+from repro.mac.types import AccessMode
+from repro.net.session import RanConfig, RanSystem
+
+
+def run_one_ping(access):
+    system = RanSystem(testbed_dddu(),
+                       RanConfig(access=access, trace=True, seed=21))
+    results = system.run_ping([1000])
+    assert len(results) == 1
+    return results[0], system.tracer
+
+
+def test_grant_based_journey_has_all_eleven_steps():
+    result, tracer = run_one_ping(AccessMode.GRANT_BASED)
+    journey = reconstruct_ping_journey(result, tracer)
+    indices = [step.index for step in journey.steps]
+    assert indices == list(range(1, 12))
+    assert journey.rtt_tc == result.rtt_tc
+
+
+def test_grant_free_journey_collapses_sr_steps():
+    result, tracer = run_one_ping(AccessMode.GRANT_FREE)
+    journey = reconstruct_ping_journey(result, tracer)
+    indices = [step.index for step in journey.steps]
+    assert 2 not in indices and 5 not in indices
+    assert 6 in indices and 9 in indices
+
+
+def test_steps_are_temporally_consistent():
+    result, tracer = run_one_ping(AccessMode.GRANT_BASED)
+    journey = reconstruct_ping_journey(result, tracer)
+    for step in journey.steps:
+        assert step.end_tc >= step.start_tc
+        assert step.duration_us >= 0.0
+
+
+def test_sr_grant_steps_dominate_grant_based_uplink():
+    # §4: "the SR and grant procedure noticeably increases the latency
+    # of UL transmissions".
+    result, tracer = run_one_ping(AccessMode.GRANT_BASED)
+    journey = reconstruct_ping_journey(result, tracer)
+    handshake = journey.step(3).duration_us + journey.step(5).duration_us
+    dl_side = journey.step(10).duration_us
+    assert handshake + journey.step(6).duration_us > dl_side
+
+
+def test_render_mentions_rtt_and_steps():
+    result, tracer = run_one_ping(AccessMode.GRANT_BASED)
+    journey = reconstruct_ping_journey(result, tracer)
+    text = journey.render()
+    assert "RTT" in text
+    assert "RLC queue" in text
+
+
+def test_step_lookup():
+    result, tracer = run_one_ping(AccessMode.GRANT_BASED)
+    journey = reconstruct_ping_journey(result, tracer)
+    assert journey.step(9).label.startswith("RLC queue")
+    with pytest.raises(KeyError):
+        journey.step(12)

@@ -1,0 +1,81 @@
+"""Unit tests for the §6 reliability analysis."""
+
+import pytest
+
+from repro.core.feasibility import URLLC_5G, Requirement
+from repro.core.reliability import (
+    assess,
+    margin_tradeoff,
+    required_margin_us,
+)
+from repro.net.probes import LatencyProbe
+from repro.mac.types import Direction
+from repro.phy.timebase import tc_from_us
+from repro.radio.os_jitter import gpos, none, rt_kernel
+from repro.stack.packets import Packet, PacketKind
+
+
+def make_probe(latencies_us):
+    probe = LatencyProbe()
+    for latency in latencies_us:
+        packet = Packet(PacketKind.DATA, Direction.DL, 32, created_tc=0)
+        packet.mark_delivered(tc_from_us(latency))
+        probe.record(packet)
+    return probe
+
+
+def test_assess_counts_within_budget():
+    probe = make_probe([100.0] * 99 + [900.0])
+    report = assess(probe, Requirement("test", tc_from_us(500), 0.95))
+    assert report.achieved_reliability == pytest.approx(0.99)
+    assert report.met
+    assert "MET" in str(report)
+
+
+def test_dropped_packets_count_against_reliability():
+    probe = make_probe([100.0] * 50)
+    report = assess(probe, URLLC_5G, dropped=50)
+    assert report.achieved_reliability == pytest.approx(0.5)
+    assert not report.met
+
+
+def test_assess_requires_packets():
+    with pytest.raises(ValueError):
+        assess(LatencyProbe(), URLLC_5G)
+
+
+def test_margin_tradeoff_monotone(rng):
+    points = margin_tradeoff(gpos(), deterministic_us=200.0,
+                             margins_us=[200.0, 300.0, 500.0],
+                             rng=rng, draws=20_000)
+    misses = [p.deadline_miss_probability for p in points]
+    assert misses == sorted(misses, reverse=True)
+    assert points[0].added_latency_us == 0.0
+    assert points[2].added_latency_us == 300.0
+
+
+def test_zero_jitter_needs_no_extra_margin(rng):
+    points = margin_tradeoff(none(), deterministic_us=100.0,
+                             margins_us=[100.0], rng=rng, draws=100)
+    assert points[0].deadline_miss_probability == 0.0
+
+
+def test_required_margin_ordering(rng):
+    gpos_margin = required_margin_us(gpos(), 200.0, 0.999, rng,
+                                     draws=50_000)
+    rt_margin = required_margin_us(rt_kernel(), 200.0, 0.999, rng,
+                                   draws=50_000)
+    assert gpos_margin > rt_margin > 200.0
+
+
+def test_required_margin_grows_with_reliability(rng):
+    softer = required_margin_us(gpos(), 0.0, 0.9, rng, draws=50_000)
+    harder = required_margin_us(gpos(), 0.0, 0.9999, rng, draws=50_000)
+    assert harder > softer
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        margin_tradeoff(gpos(), -1.0, [0.0], rng)
+    with pytest.raises(ValueError):
+        required_margin_us(gpos(), 0.0, 1.5, rng)

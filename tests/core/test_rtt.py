@@ -1,0 +1,74 @@
+"""Tests for the composed round-trip analysis (the 1 ms RTT target)."""
+
+import pytest
+
+from repro.core.feasibility import URLLC_5G
+from repro.core.latency_model import LatencyModel
+from repro.mac.catalog import fdd, minimal_dm, testbed_dddu
+from repro.mac.types import AccessMode, Direction
+from repro.net.session import RanConfig, RanSystem
+from repro.phy.timebase import tc_from_ms, tc_from_us, us_from_tc
+from repro.sim.rng import RngRegistry
+from repro.traffic.generators import uniform_in_horizon
+
+
+def test_rtt_composes_not_adds():
+    # The composed worst RTT is below the sum of per-direction worst
+    # cases: the reply never starts at the DL path's own worst phase.
+    model = LatencyModel(minimal_dm())
+    rtt = model.rtt_extremes(AccessMode.GRANT_FREE)
+    ul = model.extremes(Direction.UL, AccessMode.GRANT_FREE)
+    dl = model.extremes(Direction.DL)
+    assert rtt.worst_tc < ul.worst_tc + dl.worst_tc
+    assert rtt.worst_tc >= max(ul.worst_tc, dl.worst_tc)
+
+
+def test_dm_grant_free_meets_the_1ms_round_trip():
+    # The headline requirement: 1 ms round trip (§1).
+    model = LatencyModel(minimal_dm())
+    rtt = model.rtt_extremes(AccessMode.GRANT_FREE)
+    assert rtt.worst_tc <= URLLC_5G.round_trip_budget_tc
+
+
+def test_dm_grant_based_violates_the_round_trip():
+    model = LatencyModel(minimal_dm())
+    rtt = model.rtt_extremes(AccessMode.GRANT_BASED)
+    assert rtt.worst_tc > URLLC_5G.round_trip_budget_tc
+
+
+def test_server_turnaround_shifts_rtt():
+    model = LatencyModel(fdd())
+    fast = model.rtt_extremes(AccessMode.GRANT_FREE)
+    slow = model.rtt_extremes(AccessMode.GRANT_FREE,
+                              server_turnaround=tc_from_us(100.0))
+    assert slow.worst_tc >= fast.worst_tc
+    with pytest.raises(ValueError):
+        model.rtt_completion(0, server_turnaround=-1)
+
+
+def test_rtt_bounds_hold_pointwise():
+    model = LatencyModel(testbed_dddu())
+    extremes = model.rtt_extremes(AccessMode.GRANT_FREE)
+    for arrival in range(0, model.scheme.period_tc,
+                         model.scheme.period_tc // 37):
+        rtt = model.rtt_completion(arrival,
+                                   AccessMode.GRANT_FREE) - arrival
+        assert extremes.best_tc <= rtt <= extremes.worst_tc
+
+
+def test_des_pings_respect_analytic_rtt_plus_overheads():
+    scheme = testbed_dddu()
+    system = RanSystem(scheme, RanConfig(access=AccessMode.GRANT_FREE,
+                                         ue_processing_scale=0.001,
+                                         gnb_processing_scale=0.001,
+                                         seed=71))
+    arrivals = uniform_in_horizon(60, tc_from_ms(500),
+                                  RngRegistry(72).stream("a"))
+    results = system.run_ping(arrivals)
+    assert len(results) == 60
+    # Server turnaround is 20 µs in the DES; overheads (APP, UPF ×2,
+    # min-tx room) stay within a few hundred µs of the analytics.
+    analytic = LatencyModel(scheme).rtt_extremes(
+        AccessMode.GRANT_FREE, server_turnaround=tc_from_us(20.0))
+    worst_measured = max(us_from_tc(r.rtt_tc) for r in results)
+    assert worst_measured <= us_from_tc(analytic.worst_tc) + 500.0

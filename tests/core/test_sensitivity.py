@@ -1,0 +1,53 @@
+"""Unit tests for the tornado sensitivity utility."""
+
+import pytest
+
+from repro.core.sensitivity import SensitivityResult, tornado
+
+
+def linear_metric(values):
+    return 10.0 * values["a"] + 1.0 * values["b"]
+
+
+def test_tornado_ranks_by_swing():
+    results = tornado(linear_metric, {
+        "a": (0.0, 1.0, 2.0),
+        "b": (0.0, 1.0, 2.0),
+    })
+    assert [r.parameter for r in results] == ["a", "b"]
+    assert results[0].swing == pytest.approx(20.0)
+    assert results[1].swing == pytest.approx(2.0)
+
+
+def test_baseline_held_for_other_parameters():
+    seen = []
+
+    def recording_metric(values):
+        seen.append(dict(values))
+        return 0.0
+
+    tornado(recording_metric, {"a": (0, 1, 2), "b": (10, 20, 30)})
+    # While perturbing "a", "b" stays at its baseline of 20.
+    a_runs = [v for v in seen if v["a"] != 1]
+    assert all(v["b"] == 20 for v in a_runs)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        tornado(linear_metric, {})
+    with pytest.raises(ValueError, match="bounds"):
+        tornado(linear_metric, {"a": (2.0, 1.0, 0.0)})
+
+
+def test_result_formatting():
+    result = SensitivityResult("x", 0.0, 2.0, 5.0, 9.0)
+    assert result.swing == 4.0
+    assert "x" in str(result)
+
+
+def test_non_monotone_metric_swing_is_absolute():
+    def vee(values):
+        return abs(values["a"] - 1.0)
+
+    results = tornado(vee, {"a": (0.0, 1.0, 2.0)})
+    assert results[0].swing == 0.0  # both bounds give |±1| = 1... equal

@@ -1,0 +1,110 @@
+"""Tests for the SR-periodicity extension (§1's "period of scheduling
+requests" configuration)."""
+
+import pytest
+
+from repro.core.latency_model import LatencyModel, ProtocolTimings
+from repro.mac.catalog import fdd, minimal_dm, testbed_dddu
+from repro.mac.types import AccessMode, Direction
+from repro.net.session import RanConfig, RanSystem
+from repro.phy.timebase import tc_from_ms
+from repro.sim.rng import RngRegistry
+from repro.traffic.generators import uniform_in_horizon
+
+
+def test_zero_period_is_the_footnote_idealisation():
+    base = LatencyModel(minimal_dm())
+    explicit = LatencyModel(minimal_dm(), ProtocolTimings(sr_period=0))
+    assert base.extremes(Direction.UL, AccessMode.GRANT_BASED) == \
+        explicit.extremes(Direction.UL, AccessMode.GRANT_BASED)
+
+
+def test_worst_case_grows_monotonically_with_sr_period():
+    worsts = []
+    for period_ms in (0.25, 0.5, 1.0, 2.5):
+        timings = ProtocolTimings(sr_period=tc_from_ms(period_ms))
+        model = LatencyModel(fdd(), timings)
+        worsts.append(model.extremes(
+            Direction.UL, AccessMode.GRANT_BASED).worst_tc)
+    assert worsts == sorted(worsts)
+    assert worsts[-1] > 2 * worsts[0]
+
+
+def test_sr_occasions_respect_offset():
+    offset = tc_from_ms(0.1)
+    timings = ProtocolTimings(sr_period=tc_from_ms(0.25),
+                              sr_offset=offset)
+    model = LatencyModel(fdd(), timings)
+    chain = model.ul_grant_based_chain(0)
+    assert (chain.sr_tx_start - offset) % tc_from_ms(0.25) == 0
+
+
+def test_occasions_must_fall_in_ul_windows():
+    # On DDDU the UL region is one slot in four: a 0.5 ms SR grid only
+    # hits the UL slot once per 2 ms pattern.
+    timings = ProtocolTimings(sr_period=tc_from_ms(0.5))
+    model = LatencyModel(testbed_dddu(), timings)
+    chain = model.ul_grant_based_chain(0)
+    window = model._ul.window_at(chain.sr_tx_start)
+    assert window is not None
+
+
+def test_grant_free_unaffected_by_sr_period():
+    timings = ProtocolTimings(sr_period=tc_from_ms(2.5))
+    model = LatencyModel(minimal_dm(), timings)
+    base = LatencyModel(minimal_dm())
+    assert model.extremes(Direction.UL, AccessMode.GRANT_FREE) == \
+        base.extremes(Direction.UL, AccessMode.GRANT_FREE)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ProtocolTimings(sr_period=100, sr_offset=100)
+    with pytest.raises(ValueError):
+        ProtocolTimings(sr_period=-1)
+
+
+def test_des_sr_periodicity_increases_latency():
+    arrivals = uniform_in_horizon(150, tc_from_ms(1_000),
+                                  RngRegistry(4).stream("a"))
+
+    def mean_with(period_tc, offset_tc=0):
+        system = RanSystem(
+            testbed_dddu(),
+            RanConfig(access=AccessMode.GRANT_BASED, seed=6,
+                      sr_period_tc=period_tc, sr_offset_tc=offset_tc))
+        return system.run_uplink(arrivals).summary().mean_us
+
+    free_sr = mean_with(0)
+    # One occasion per pattern, phased into the UL slot.
+    sparse_sr = mean_with(tc_from_ms(2.0), tc_from_ms(1.5))
+    assert sparse_sr > free_sr
+
+
+def test_des_sr_occasion_grid_respected():
+    period = tc_from_ms(0.5)
+    system = RanSystem(
+        testbed_dddu(),
+        RanConfig(access=AccessMode.GRANT_BASED, seed=7, trace=True,
+                  sr_period_tc=period))
+    system.run_uplink(uniform_in_horizon(
+        40, tc_from_ms(200), RngRegistry(9).stream("b")))
+    records = system.tracer.records("ue1.mac", "sr_tx")
+    assert records
+    for record in records:
+        assert record.fields["entry"] % period == 0
+
+
+def test_ue_validation_of_sr_config():
+    with pytest.raises(ValueError):
+        RanSystem(testbed_dddu(),
+                  RanConfig(sr_period_tc=10, sr_offset_tc=10))
+
+
+def test_misphased_sr_grid_is_rejected_loudly():
+    # A 2 ms SR grid at phase 0 never falls inside DDDU's UL slot; the
+    # model must refuse rather than silently stall.
+    timings = ProtocolTimings(sr_period=tc_from_ms(2.0))
+    model = LatencyModel(testbed_dddu(), timings)
+    with pytest.raises(LookupError, match="SR occasion"):
+        model.ul_grant_based_chain(0)

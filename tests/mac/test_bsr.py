@@ -1,0 +1,86 @@
+"""Unit tests for Buffer Status Reporting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.bsr import (
+    BSR_TABLE_BYTES,
+    TOP_LEVEL_BYTES,
+    bsr_index,
+    quantize,
+    reported_bytes,
+)
+
+
+def test_table_shape():
+    assert len(BSR_TABLE_BYTES) == 32
+    assert BSR_TABLE_BYTES[0] == 0
+    assert list(BSR_TABLE_BYTES[:31]) == sorted(BSR_TABLE_BYTES[:31])
+
+
+def test_empty_buffer_is_level_zero():
+    assert bsr_index(0) == 0
+    assert reported_bytes(0) == 0
+    assert quantize(0) == 0
+
+
+def test_exact_edges():
+    assert bsr_index(10) == 1
+    assert bsr_index(11) == 2
+    assert bsr_index(14) == 2
+
+
+def test_huge_buffer_maps_to_top():
+    assert bsr_index(10 ** 9) == 31
+    assert reported_bytes(31) == TOP_LEVEL_BYTES
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        bsr_index(-1)
+    with pytest.raises(ValueError):
+        reported_bytes(32)
+
+
+@given(buffer_bytes=st.integers(0, 500_000))
+@settings(max_examples=300, deadline=None)
+def test_quantize_never_underreports(buffer_bytes):
+    # The grant sized from the report must always cover the buffer
+    # (up to the unbounded top level).
+    granted = quantize(buffer_bytes)
+    assert granted >= min(buffer_bytes, TOP_LEVEL_BYTES)
+
+
+@given(buffer_bytes=st.integers(1, 100_000))
+@settings(max_examples=200, deadline=None)
+def test_quantize_overhead_is_bounded(buffer_bytes):
+    # Exponential spacing: the over-grant is at most ~45 % of the
+    # buffer (the table's level ratio).
+    granted = quantize(buffer_bytes)
+    assert granted <= int(buffer_bytes * 1.45) + 16
+
+
+def test_scheduler_sizes_grant_from_bsr(rng):
+    from repro.mac.catalog import testbed_dddu
+    from repro.mac.scheduler import GnbMacScheduler
+    from repro.phy.ofdm import Carrier
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import Tracer
+
+    scheme = testbed_dddu()
+    sim = Simulator()
+    grants = []
+    scheduler = GnbMacScheduler(
+        sim, Tracer(), scheme, Carrier(scheme.numerology, 20), rng,
+        on_ul_grant=lambda g: grants.append(g))
+    scheduler.register_ue(1)
+    scheduler.start()
+    sim.schedule(100, scheduler.receive_sr, 1, 53)   # small report
+    sim.run_until_idle()
+    assert grants[0].capacity_bytes == 53
+    # Unknown buffer (legacy SR): a full window is granted.
+    sim.schedule(sim.now + 1, scheduler.receive_sr, 1, 0)
+    sim.run_until_idle()
+    full = scheduler.window_capacity_bytes(grants[1].window)
+    assert grants[1].capacity_bytes == full

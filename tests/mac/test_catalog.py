@@ -1,0 +1,75 @@
+"""Unit tests for the named configuration catalogue."""
+
+import pytest
+
+from repro.mac.catalog import (
+    fdd,
+    from_letters,
+    minimal_common_configurations,
+    minimal_dm,
+    minimal_du,
+    minimal_mini_slot,
+    minimal_mu,
+    testbed_dddu,
+)
+from repro.phy.timebase import tc_from_ms
+
+
+def test_minimal_configs_have_half_ms_period():
+    for config in minimal_common_configurations():
+        assert config.period_tc == tc_from_ms(0.5)
+
+
+def test_minimal_names():
+    assert minimal_du().name == "DU"
+    assert minimal_dm().name == "DM"
+    assert minimal_mu().name == "MU"
+
+
+def test_mu_has_mixed_then_ul():
+    assert minimal_mu().slot_letters() == ["M", "U"]
+
+
+def test_testbed_dddu_matches_section7():
+    config = testbed_dddu()
+    assert config.numerology.mu == 1          # 0.5 ms slots
+    assert config.slot_letters() == ["D", "D", "D", "U"]
+    assert config.period_tc == tc_from_ms(2)
+
+
+def test_from_letters_round_trip():
+    config = from_letters("DDDU", mu=1)
+    assert config.slot_letters() == ["D", "D", "D", "U"]
+    config = from_letters("DM", mu=2)
+    assert config.slot_letters() == ["D", "M"]
+
+
+def test_from_letters_rejects_bad_shapes():
+    with pytest.raises(ValueError, match="D\\*M\\?U\\*"):
+        from_letters("DUD", mu=2)
+    with pytest.raises(ValueError, match="D\\*M\\?U\\*"):
+        from_letters("DMMU", mu=2)
+    with pytest.raises(ValueError):
+        from_letters("DX", mu=2)
+    with pytest.raises(ValueError):
+        from_letters("", mu=2)
+
+
+def test_from_letters_rejects_disallowed_period():
+    # 3 slots at µ=2 → 0.75 ms: not in the TS 38.331 set.
+    with pytest.raises(ValueError, match="38.331"):
+        from_letters("DDU", mu=2)
+
+
+def test_mixed_split_validation():
+    with pytest.raises(ValueError, match="guard"):
+        minimal_dm(mixed_split=(7, 0, 7))
+    with pytest.raises(ValueError, match="14"):
+        minimal_dm(mixed_split=(4, 2, 9))
+    with pytest.raises(ValueError):
+        minimal_dm(mixed_split=(0, 6, 8))
+
+
+def test_mini_slot_and_fdd_defaults():
+    assert minimal_mini_slot().numerology.mu == 2
+    assert fdd().numerology.mu == 2

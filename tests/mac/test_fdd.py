@@ -1,0 +1,41 @@
+"""Unit tests for FDD."""
+
+import pytest
+
+from repro.mac.fdd import FddConfig
+from repro.phy.numerology import Numerology
+from repro.phy.timebase import TC_PER_MS
+
+
+def test_every_slot_is_bidirectional():
+    config = FddConfig(Numerology(2))
+    assert len(config.dl_timeline().windows) == 4
+    assert config.dl_timeline().windows == config.ul_timeline().windows
+    assert config.period_tc == TC_PER_MS
+
+
+def test_full_duty_cycle():
+    config = FddConfig(Numerology(1))
+    assert config.dl_timeline().duty_cycle() == pytest.approx(1.0)
+
+
+def test_control_and_scheduling_every_slot():
+    config = FddConfig(Numerology(2))
+    assert len(config.dl_control_instants().instants) == 4
+    assert len(config.scheduling_instants().instants) == 4
+
+
+def test_frequency_overhead():
+    config = FddConfig(Numerology(0), guard_band_mhz=12.5)
+    assert config.frequency_overhead_mhz() == 12.5
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        FddConfig(Numerology(0), duplex_spacing_mhz=0)
+    with pytest.raises(ValueError):
+        FddConfig(Numerology(0), guard_band_mhz=-1)
+
+
+def test_describe():
+    assert "FDD" in FddConfig(Numerology(1)).describe()

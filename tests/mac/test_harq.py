@@ -1,0 +1,90 @@
+"""Unit tests for HARQ feedback timing and process bookkeeping."""
+
+import pytest
+
+from repro.mac.catalog import fdd, testbed_dddu
+from repro.mac.harq import (
+    MAX_HARQ_PROCESSES,
+    HarqFeedbackModel,
+    HarqProcessPool,
+)
+from repro.phy.timebase import tc_from_ms, us_from_tc
+
+
+def test_feedback_respects_k1():
+    model = HarqFeedbackModel(fdd(mu=1), k1_symbols=10)
+    timing = model.timing(completion_tc=0)
+    assert timing.pucch_tc >= model.k1_tc
+    assert timing.feedback_tc > timing.pucch_tc
+    assert timing.round_trip_tc == timing.feedback_tc
+
+
+def test_feedback_waits_for_ul_occasion_on_tdd():
+    # On DDDU the UL slot opens 1.5 ms into the 2 ms pattern; a DL
+    # block ending at t=0 cannot be acknowledged before that.
+    model = HarqFeedbackModel(testbed_dddu(), k1_symbols=10)
+    timing = model.timing(completion_tc=0)
+    assert timing.pucch_tc >= tc_from_ms(1.5)
+
+
+def test_ul_feedback_uses_dl_timeline():
+    # gNB feedback for UL data rides DL control: on DDDU DL windows
+    # are plentiful, so the round trip is short.
+    ul_model = HarqFeedbackModel(testbed_dddu(), feedback_for="ul")
+    dl_model = HarqFeedbackModel(testbed_dddu(), feedback_for="dl")
+    assert ul_model.timing(0).feedback_tc < dl_model.timing(0).feedback_tc
+
+
+def test_feedback_monotone_in_completion():
+    model = HarqFeedbackModel(testbed_dddu())
+    times = [model.feedback_time(t)
+             for t in range(0, tc_from_ms(4), tc_from_ms(4) // 16)]
+    assert times == sorted(times)
+    for completion, feedback in zip(
+            range(0, tc_from_ms(4), tc_from_ms(4) // 16), times):
+        assert feedback > completion
+
+
+def test_feedback_model_validation():
+    with pytest.raises(ValueError):
+        HarqFeedbackModel(fdd(), k1_symbols=-1)
+    with pytest.raises(ValueError):
+        HarqFeedbackModel(fdd(), feedback_for="sideways")
+
+
+def test_pool_acquire_release_cycle():
+    pool = HarqProcessPool(2)
+    assert pool.available()
+    pool.acquire()
+    pool.acquire()
+    assert not pool.available()
+    assert pool.in_flight == 2
+    assert pool.peak_in_flight == 2
+    pool.release()
+    assert pool.available()
+
+
+def test_pool_overflow_and_underflow():
+    pool = HarqProcessPool(1)
+    pool.acquire()
+    with pytest.raises(RuntimeError):
+        pool.acquire()
+    pool.release()
+    with pytest.raises(RuntimeError):
+        pool.release()
+
+
+def test_pool_limits():
+    with pytest.raises(ValueError):
+        HarqProcessPool(0)
+    with pytest.raises(ValueError):
+        HarqProcessPool(MAX_HARQ_PROCESSES + 1)
+    pool = HarqProcessPool()
+    assert pool.n_processes == MAX_HARQ_PROCESSES
+
+
+def test_stall_counter():
+    pool = HarqProcessPool(1)
+    pool.record_stall()
+    pool.record_stall()
+    assert pool.stalls == 2

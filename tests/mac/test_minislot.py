@@ -1,0 +1,68 @@
+"""Unit tests for the Mini-Slot configuration."""
+
+import pytest
+
+from repro.mac.minislot import MiniSlotConfig
+from repro.phy.numerology import Numerology
+from repro.phy.timebase import TC_PER_MS
+
+
+def test_mini_slot_lengths_validated():
+    with pytest.raises(ValueError):
+        MiniSlotConfig(Numerology(2), mini_slot_symbols=3)
+    with pytest.raises(ValueError):
+        MiniSlotConfig(Numerology(2), mini_slot_symbols=7,
+                       control_symbols=7)
+
+
+def test_seven_symbol_minislots_tile_the_slot():
+    config = MiniSlotConfig(Numerology(2), mini_slot_symbols=7)
+    windows = config.dl_timeline().windows
+    # 4 slots per subframe × 2 mini-slots per slot.
+    assert len(windows) == 8
+    assert config.period_tc == TC_PER_MS
+
+
+def test_two_symbol_minislots_have_remainder():
+    config = MiniSlotConfig(Numerology(1), mini_slot_symbols=4)
+    windows = config.dl_timeline().windows
+    # 14 = 4+4+4+2 per slot, 2 slots per subframe.
+    assert len(windows) == 8
+
+
+def test_ul_and_dl_share_windows():
+    config = MiniSlotConfig(Numerology(2))
+    assert config.dl_timeline().windows == config.ul_timeline().windows
+
+
+def test_windows_are_contiguous_within_slots():
+    config = MiniSlotConfig(Numerology(2), mini_slot_symbols=7)
+    windows = config.dl_timeline().windows
+    for previous, current in zip(windows, windows[1:]):
+        assert current.start == previous.end
+
+
+def test_control_every_mini_slot():
+    config = MiniSlotConfig(Numerology(2), mini_slot_symbols=7)
+    assert len(config.dl_control_instants().instants) == 8
+    assert len(config.scheduling_instants().instants) == 8
+
+
+def test_overhead_grows_as_minislots_shrink():
+    small = MiniSlotConfig(Numerology(2), mini_slot_symbols=2,
+                           control_symbols=1)
+    large = MiniSlotConfig(Numerology(2), mini_slot_symbols=7,
+                           control_symbols=1)
+    assert small.overhead_fraction() > large.overhead_fraction()
+
+
+def test_standard_recommendation_flag():
+    # §5: mini-slot on 0.25 ms slots goes against TR 38.912's >=0.5 ms
+    # target slot duration.
+    assert not MiniSlotConfig(Numerology(2)).within_standard_recommendation()
+    assert MiniSlotConfig(Numerology(1)).within_standard_recommendation()
+    assert MiniSlotConfig(Numerology(0)).within_standard_recommendation()
+
+
+def test_describe():
+    assert "7-symbol" in MiniSlotConfig(Numerology(2)).describe()

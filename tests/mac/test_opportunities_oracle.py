@@ -1,0 +1,135 @@
+"""Property tests: the timeline queries against a naive oracle.
+
+The oracle re-implements every completion rule by brute-force scanning
+explicitly materialised windows over several periods — no shared code
+with the production implementation — so agreement is real evidence.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.opportunities import OpportunityTimeline, Window
+
+PERIOD = 1_000
+
+
+# ---------------------------------------------------------------------------
+# the oracle
+# ---------------------------------------------------------------------------
+def materialise(windows: list[Window], cycles: int = 8
+                ) -> list[tuple[int, int]]:
+    absolute = []
+    for cycle in range(cycles):
+        offset = cycle * PERIOD
+        for window in windows:
+            absolute.append((window.start + offset, window.end + offset))
+    return absolute
+
+
+def oracle_joining(windows, t, need):
+    for start, end in materialise(windows):
+        entry = max(t, start)
+        if end - entry >= need:
+            return end
+    return None  # impossible demand
+
+
+def oracle_aligned(windows, t, need, strict):
+    for start, end in materialise(windows):
+        if (start > t if strict else start >= t) and end - start >= need:
+            return end
+    return None
+
+
+def oracle_entry(windows, t, need):
+    for start, end in materialise(windows):
+        entry = max(t, start)
+        if end - entry >= need:
+            return entry
+    return None
+
+
+def check(production, oracle_value):
+    """Production must match the oracle, including impossibility."""
+    if oracle_value is None:
+        import pytest
+        with pytest.raises(LookupError):
+            production()
+    else:
+        assert production() == oracle_value
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def timelines(draw):
+    n = draw(st.integers(1, 4))
+    cursor = 0
+    windows = []
+    for _ in range(n):
+        gap = draw(st.integers(0, 120))
+        length = draw(st.integers(1, 200))
+        start = cursor + gap
+        end = start + length
+        if end > PERIOD:
+            break
+        windows.append(Window(start, end))
+        cursor = end
+    if not windows:
+        windows = [Window(0, 100)]
+    return windows
+
+
+@given(windows=timelines(), t=st.integers(0, 3 * PERIOD),
+       need=st.integers(1, 80))
+@settings(max_examples=400, deadline=None)
+def test_joining_matches_oracle(windows, t, need):
+    timeline = OpportunityTimeline(PERIOD, windows)
+    check(lambda: timeline.completion_joining(t, need),
+          oracle_joining(windows, t, need))
+
+
+@given(windows=timelines(), t=st.integers(0, 3 * PERIOD),
+       need=st.integers(1, 80))
+@settings(max_examples=400, deadline=None)
+def test_aligned_matches_oracle(windows, t, need):
+    timeline = OpportunityTimeline(PERIOD, windows)
+    check(lambda: timeline.completion_aligned(t, need),
+          oracle_aligned(windows, t, need, strict=False))
+
+
+@given(windows=timelines(), t=st.integers(0, 3 * PERIOD),
+       need=st.integers(1, 80))
+@settings(max_examples=400, deadline=None)
+def test_aligned_strict_matches_oracle(windows, t, need):
+    timeline = OpportunityTimeline(PERIOD, windows)
+    check(lambda: timeline.completion_aligned_strict(t, need),
+          oracle_aligned(windows, t, need, strict=True))
+
+
+@given(windows=timelines(), t=st.integers(0, 3 * PERIOD),
+       need=st.integers(1, 80))
+@settings(max_examples=400, deadline=None)
+def test_earliest_entry_matches_oracle(windows, t, need):
+    timeline = OpportunityTimeline(PERIOD, windows)
+    check(lambda: timeline.earliest_entry_joining(t, need),
+          oracle_entry(windows, t, need))
+
+
+@given(windows=timelines(), t=st.integers(0, 2 * PERIOD))
+@settings(max_examples=200, deadline=None)
+def test_window_at_matches_oracle(windows, t):
+    timeline = OpportunityTimeline(PERIOD, windows)
+    expected = None
+    for start, end in materialise(windows):
+        if start <= t < end:
+            expected = (start, end)
+            break
+        if start > t:
+            break
+    found = timeline.window_at(t)
+    if expected is None:
+        assert found is None
+    else:
+        assert (found.start, found.end) == expected

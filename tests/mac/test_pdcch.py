@@ -1,0 +1,68 @@
+"""Unit tests for the PDCCH/CORESET capacity model."""
+
+import pytest
+
+from repro.mac.pdcch import PdcchModel
+
+
+def test_capacity_per_occasion():
+    pdcch = PdcchModel(n_cces=16)
+    # Two AL-8 DCIs fit, a third blocks.
+    assert pdcch.try_allocate(0, 8)
+    assert pdcch.try_allocate(0, 8)
+    assert not pdcch.try_allocate(0, 8)
+    assert pdcch.counters.attempts == 3
+    assert pdcch.counters.blocked == 1
+
+
+def test_separate_occasions_are_independent():
+    pdcch = PdcchModel(n_cces=8)
+    assert pdcch.try_allocate(0, 8)
+    assert pdcch.try_allocate(100, 8)
+    assert pdcch.free_cces(0) == 0
+    assert pdcch.free_cces(200) == 8
+
+
+def test_aligned_candidates_fragment():
+    # An AL-2 DCI placed at CCE 0 still leaves an aligned AL-4 slot at
+    # 4; a second AL-2 at 2 does not block it either; filling 4-5
+    # does.
+    pdcch = PdcchModel(n_cces=8)
+    assert pdcch.try_allocate(0, 2)   # CCEs 0-1
+    assert pdcch.try_allocate(0, 4)   # CCEs 4-7 (aligned)
+    assert pdcch.try_allocate(0, 2)   # CCEs 2-3
+    assert not pdcch.try_allocate(0, 4)
+    assert pdcch.free_cces(0) == 0
+
+
+def test_oversized_al_always_blocks():
+    pdcch = PdcchModel(n_cces=4)
+    assert not pdcch.try_allocate(0, 8)
+    assert pdcch.counters.blocking_probability() == 1.0
+
+
+def test_mixed_al_accounting():
+    pdcch = PdcchModel(n_cces=16)
+    assert pdcch.try_allocate(0, 16)
+    assert not pdcch.try_allocate(0, 1)
+    assert pdcch.free_cces(0) == 0
+
+
+def test_occupancy_memory_is_bounded():
+    pdcch = PdcchModel(n_cces=4, keep_occasions=4)
+    for occasion in range(10):
+        pdcch.try_allocate(occasion * 100, 4)
+    assert len(pdcch._occupancy) <= 4
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PdcchModel(n_cces=0)
+    with pytest.raises(ValueError):
+        PdcchModel(keep_occasions=0)
+    with pytest.raises(ValueError):
+        PdcchModel().try_allocate(0, 0)
+
+
+def test_blocking_probability_empty():
+    assert PdcchModel().counters.blocking_probability() == 0.0

@@ -1,0 +1,72 @@
+"""Unit tests for the random-access model."""
+
+import numpy as np
+import pytest
+
+from repro.mac.catalog import fdd, testbed_dddu
+from repro.mac.rach import MAX_ATTEMPTS, RachOutcome, RachProcedure
+from repro.phy.timebase import tc_from_ms, us_from_tc
+
+
+def test_step_ordering(rng):
+    rach = RachProcedure(testbed_dddu())
+    outcome = rach.access(0, rng)
+    assert (outcome.arrival_tc <= outcome.msg1_tc <= outcome.msg2_tc
+            <= outcome.msg3_tc <= outcome.msg4_tc)
+    assert outcome.attempts == 1
+
+
+def test_access_delay_is_many_milliseconds(rng):
+    # The point of the model: initial access costs ~10 ms even without
+    # contention — far outside the URLLC budget.
+    rach = RachProcedure(testbed_dddu())
+    delays = rach.sample_access_delays_us(200, rng)
+    assert min(delays) > 2_000.0
+    assert float(np.mean(delays)) > 5_000.0
+
+
+def test_two_step_is_faster(rng):
+    four = RachProcedure(testbed_dddu(), two_step=False)
+    two = RachProcedure(testbed_dddu(), two_step=True)
+    four_mean = float(np.mean(four.sample_access_delays_us(200, rng)))
+    two_mean = float(np.mean(two.sample_access_delays_us(200, rng)))
+    assert two_mean < four_mean
+
+
+def test_prach_occasions_fall_in_ul_windows(rng):
+    rach = RachProcedure(testbed_dddu())
+    for time in range(0, tc_from_ms(40), tc_from_ms(3)):
+        occasion = rach.next_prach_occasion(time)
+        assert occasion >= time
+        window = rach._ul.window_at(occasion)
+        assert window is not None
+
+
+def test_contention_adds_attempts_and_delay(rng):
+    rach = RachProcedure(fdd())
+    lone = rach.sample_access_delays_us(300, rng, n_contenders=1)
+    crowded = rach.sample_access_delays_us(300, rng, n_contenders=20)
+    assert float(np.mean(crowded)) > float(np.mean(lone))
+
+
+def test_collisions_consume_attempts(rng):
+    rach = RachProcedure(fdd())
+    outcomes = [rach.access(0, rng, n_contenders=20)
+                for _ in range(300)]
+    assert any(o.attempts > 1 for o in outcomes)
+    assert all(o.attempts <= MAX_ATTEMPTS for o in outcomes)
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        RachProcedure(fdd(), prach_period_ms=0)
+    rach = RachProcedure(fdd())
+    with pytest.raises(ValueError):
+        rach.access(0, rng, n_contenders=0)
+    with pytest.raises(ValueError):
+        rach.sample_access_delays_us(0, rng)
+
+
+def test_outcome_accessors(rng):
+    outcome = RachOutcome(0, 10, 20, 30, 40, attempts=2)
+    assert outcome.access_delay_tc == 40

@@ -1,0 +1,76 @@
+"""Unit tests for the Slot Format configuration."""
+
+import pytest
+
+from repro.mac.slot_format import (
+    SLOT_FORMATS,
+    SlotFormatConfig,
+    format_roles,
+)
+from repro.mac.types import SymbolRole
+from repro.phy.numerology import Numerology
+from repro.phy.timebase import TC_PER_MS
+
+
+def test_table_entries_are_well_formed():
+    assert len(SLOT_FORMATS) == 46
+    for pattern in SLOT_FORMATS:
+        assert len(pattern) == 14
+        assert set(pattern) <= set("DUF")
+
+
+def test_format_0_all_dl_and_1_all_ul():
+    assert set(format_roles(0)) == {SymbolRole.DL}
+    assert set(format_roles(1)) == {SymbolRole.UL}
+    assert set(format_roles(2)) == {SymbolRole.FLEXIBLE}
+
+
+def test_format_28_spot_check():
+    roles = format_roles(28)
+    assert roles[:12] == (SymbolRole.DL,) * 12
+    assert roles[12] is SymbolRole.FLEXIBLE
+    assert roles[13] is SymbolRole.UL
+
+
+def test_invalid_index_rejected():
+    with pytest.raises(ValueError):
+        format_roles(46)
+
+
+def test_dddu_like_sequence():
+    config = SlotFormatConfig(Numerology(2), [0, 0, 0, 1])
+    assert len(config.dl_timeline().windows) == 3
+    assert len(config.ul_timeline().windows) == 1
+    assert config.period_tc == TC_PER_MS
+
+
+def test_mixed_format_produces_split_windows():
+    # Format 28: DDDDDDDDDDDDFU — 12 DL symbols, guard, 1 UL symbol.
+    config = SlotFormatConfig(Numerology(2), [28, 28])
+    dl = config.dl_timeline().windows
+    ul = config.ul_timeline().windows
+    assert len(dl) == len(ul)
+    for dl_window, ul_window in zip(dl, ul):
+        assert dl_window.end < ul_window.start  # guard between
+
+
+def test_cp_cycle_alignment():
+    # A single-slot sequence at µ=1 must be repeated to cover 0.5 ms.
+    config = SlotFormatConfig(Numerology(1), [0])
+    assert config.period_tc % (TC_PER_MS // 2) == 0
+
+
+def test_empty_sequence_rejected():
+    with pytest.raises(ValueError):
+        SlotFormatConfig(Numerology(1), [])
+
+
+def test_control_and_scheduling_instants():
+    config = SlotFormatConfig(Numerology(2), [0, 1, 0, 1])
+    assert len(config.scheduling_instants().instants) == 4
+    assert len(config.dl_control_instants().instants) == 2
+
+
+def test_describe():
+    config = SlotFormatConfig(Numerology(2), [0, 1])
+    assert "[0, 1]" in config.describe()

@@ -1,0 +1,160 @@
+"""Unit tests for TDD Common Configuration."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.mac.catalog import minimal_dm, minimal_du, testbed_dddu
+from repro.mac.tdd import (
+    ALLOWED_PERIODS_MS,
+    TddCommonConfig,
+    TddPattern,
+    slot_letter,
+)
+from repro.mac.types import SymbolRole
+from repro.phy.numerology import Numerology
+from repro.phy.timebase import TC_PER_MS, tc_from_ms
+
+
+def test_allowed_period_set_matches_standard():
+    values = {float(p) for p in ALLOWED_PERIODS_MS}
+    assert values == {0.5, 0.625, 1, 1.25, 2, 2.5, 5, 10}
+
+
+def test_disallowed_period_rejected():
+    with pytest.raises(ValueError, match="period"):
+        TddPattern(period_ms=Fraction(3, 4), dl_slots=1)
+
+
+def test_full_slot_symbol_counts_rejected():
+    with pytest.raises(ValueError):
+        TddPattern(period_ms=Fraction(1), dl_slots=0, dl_symbols=14)
+
+
+def test_period_must_hold_integer_slots():
+    pattern = TddPattern(period_ms=Fraction("0.625"), dl_slots=1)
+    with pytest.raises(ValueError, match="integer"):
+        pattern.slots_in_period(Numerology(0))
+    assert pattern.slots_in_period(Numerology(3)) == 5
+
+
+def test_too_many_slots_rejected():
+    pattern = TddPattern(period_ms=Fraction(1, 2), dl_slots=2, ul_slots=1)
+    with pytest.raises(ValueError, match="exceed"):
+        pattern.symbol_roles(Numerology(2))
+
+
+def test_no_room_for_partial_symbols_rejected():
+    pattern = TddPattern(period_ms=Fraction(1, 2), dl_slots=1,
+                         ul_slots=1, dl_symbols=2)
+    with pytest.raises(ValueError, match="partial"):
+        pattern.symbol_roles(Numerology(2))
+
+
+def test_overlapping_mixed_symbols_rejected():
+    pattern = TddPattern(period_ms=Fraction(1, 2), dl_slots=1,
+                         dl_symbols=8, ul_symbols=8)
+    with pytest.raises(ValueError, match="overlap"):
+        pattern.symbol_roles(Numerology(2))
+
+
+def test_dddu_roles():
+    config = testbed_dddu()
+    letters = config.slot_letters()
+    assert letters == ["D", "D", "D", "U"]
+    assert config.slots_per_period == 4  # 2 ms at µ=1 is CP-aligned
+
+
+def test_dm_mixed_slot_structure():
+    config = minimal_dm()
+    roles = config.slot_roles()
+    mixed = roles[1]
+    assert mixed[:4] == [SymbolRole.DL] * 4
+    assert mixed[4:6] == [SymbolRole.FLEXIBLE] * 2
+    assert mixed[6:] == [SymbolRole.UL] * 8
+    assert config.slot_letters() == ["D", "M"]
+
+
+def test_hyperperiod_alignment_for_sub_half_ms():
+    # 0.5 ms period at µ=2 is already aligned with the CP cycle.
+    assert minimal_dm().period_tc == tc_from_ms(0.5)
+    # 0.625 ms at µ=3 needs a 2.5 ms hyperperiod.
+    pattern = TddPattern(period_ms=Fraction("0.625"), dl_slots=2,
+                         ul_slots=2, dl_symbols=4, ul_symbols=4)
+    config = TddCommonConfig(Numerology(3), [pattern])
+    assert config.period_tc == tc_from_ms(2.5)
+    assert config.slots_per_period == 20
+
+
+def test_two_pattern_configuration():
+    p1 = TddPattern(period_ms=Fraction(1, 2), dl_slots=1, ul_slots=1)
+    p2 = TddPattern(period_ms=Fraction(1, 2), dl_slots=0, ul_slots=2)
+    config = TddCommonConfig(Numerology(2), [p1, p2])
+    assert config.slot_letters() == ["D", "U", "U", "U"]
+    assert config.period_tc == TC_PER_MS
+
+
+def test_combined_period_must_divide_20ms():
+    p1 = TddPattern(period_ms=Fraction(5), dl_slots=1, ul_slots=1)
+    p2 = TddPattern(period_ms=Fraction(2), dl_slots=1, ul_slots=1)
+    with pytest.raises(ValueError, match="20 ms"):
+        TddCommonConfig(Numerology(1), [p1, p2])
+
+
+def test_pattern_count_validated():
+    p = TddPattern(period_ms=Fraction(1, 2), dl_slots=1, ul_slots=1)
+    with pytest.raises(ValueError):
+        TddCommonConfig(Numerology(2), [])
+    with pytest.raises(ValueError):
+        TddCommonConfig(Numerology(2), [p, p, p])
+
+
+def test_timeline_windows_cover_configured_symbols():
+    config = minimal_dm()
+    dl = config.dl_timeline()
+    ul = config.ul_timeline()
+    # D slot + 4 DL symbols of the mixed slot.
+    assert len(dl.windows) == 2
+    # 8 UL symbols of the mixed slot.
+    assert len(ul.windows) == 1
+    slot_tc = Numerology(2).slot_duration_tc
+    assert dl.windows[0].start == 0
+    # Guard region exists between DL and UL in the mixed slot.
+    assert ul.windows[0].start > dl.windows[1].end
+
+
+def test_windows_split_per_slot():
+    # DDDU: three D slots are three windows, not one merged window
+    # (control is per slot).
+    config = testbed_dddu()
+    assert len(config.dl_timeline().windows) == 3
+    assert len(config.ul_timeline().windows) == 1
+
+
+def test_control_instants_are_dl_window_starts():
+    config = testbed_dddu()
+    control = config.dl_control_instants()
+    starts = tuple(w.start for w in config.dl_timeline().windows)
+    assert control.instants == starts
+
+
+def test_scheduling_instants_once_per_slot():
+    config = testbed_dddu()
+    assert len(config.scheduling_instants().instants) == 4
+
+
+def test_slot_letter_classification():
+    assert slot_letter([SymbolRole.DL] * 14) == "D"
+    assert slot_letter([SymbolRole.UL] * 14) == "U"
+    assert slot_letter([SymbolRole.FLEXIBLE] * 14) == "F"
+    assert slot_letter([SymbolRole.DL] * 7 + [SymbolRole.UL] * 7) == "M"
+
+
+def test_describe_mentions_pattern():
+    assert "DDDU" in testbed_dddu().describe()
+    assert "DM" in repr(minimal_dm())
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(ValueError):
+        TddPattern(period_ms=Fraction(1, 2), dl_slots=-1)

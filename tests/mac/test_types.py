@@ -1,0 +1,23 @@
+"""Unit tests for MAC vocabulary types."""
+
+import pytest
+
+from repro.mac.types import AccessMode, Direction, SymbolRole
+
+
+def test_direction_opposite():
+    assert Direction.DL.opposite is Direction.UL
+    assert Direction.UL.opposite is Direction.DL
+
+
+def test_symbol_role_parsing():
+    assert SymbolRole.from_char("D") is SymbolRole.DL
+    assert SymbolRole.from_char("u") is SymbolRole.UL
+    assert SymbolRole.from_char("F") is SymbolRole.FLEXIBLE
+    with pytest.raises(ValueError):
+        SymbolRole.from_char("X")
+
+
+def test_access_mode_values():
+    assert AccessMode.GRANT_BASED.value == "grant-based"
+    assert AccessMode.GRANT_FREE.value == "grant-free"

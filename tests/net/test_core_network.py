@@ -1,0 +1,66 @@
+"""Unit tests for the UPF and ping server."""
+
+import pytest
+
+from repro.mac.types import Direction
+from repro.net.core_network import PingServer, Upf
+from repro.sim.distributions import Constant
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+from repro.stack.packets import (
+    HEADER_BYTES,
+    LatencySource,
+    Packet,
+    PacketKind,
+)
+from repro.phy.timebase import tc_from_us
+
+
+def test_upf_charges_processing(rng):
+    sim = Simulator()
+    upf = Upf(sim, Tracer(), rng, delay=Constant(12.0))
+    packet = Packet(PacketKind.DATA, Direction.UL, 32, created_tc=0)
+    done = []
+    upf.forward_uplink(packet, done.append)
+    sim.run_until_idle()
+    assert sim.now == tc_from_us(12.0)
+    assert done[0].budget[LatencySource.PROCESSING] == tc_from_us(12.0)
+
+
+def test_upf_downlink_adds_gtpu_header(rng):
+    sim = Simulator()
+    upf = Upf(sim, Tracer(), rng, delay=Constant(1.0))
+    packet = Packet(PacketKind.DATA, Direction.DL, 32, created_tc=0)
+    upf.forward_downlink(packet, lambda p: None)
+    sim.run_until_idle()
+    assert packet.header_bytes == HEADER_BYTES["GTP-U"]
+
+
+def test_ping_server_reflects_with_turnaround():
+    sim = Simulator()
+    server = PingServer(sim, Tracer(), turnaround_us=20.0)
+    request = Packet(PacketKind.PING_REQUEST, Direction.UL, 64,
+                     created_tc=0, ue_id=3)
+    replies = []
+    server.respond(request, replies.append)
+    sim.run_until_idle()
+    assert sim.now == tc_from_us(20.0)
+    reply = replies[0]
+    assert reply.kind is PacketKind.PING_REPLY
+    assert reply.direction is Direction.DL
+    assert reply.ue_id == 3
+    assert reply.payload_bytes == 64
+    assert reply.related_id == request.packet_id
+
+
+def test_ping_server_rejects_non_requests():
+    sim = Simulator()
+    server = PingServer(sim, Tracer())
+    data = Packet(PacketKind.DATA, Direction.UL, 64, created_tc=0)
+    with pytest.raises(ValueError):
+        server.respond(data, lambda p: None)
+
+
+def test_negative_turnaround_rejected():
+    with pytest.raises(ValueError):
+        PingServer(Simulator(), Tracer(), turnaround_us=-1.0)

@@ -1,0 +1,86 @@
+"""Unit tests for the gNB node in isolation."""
+
+import pytest
+
+from repro.mac.catalog import testbed_dddu
+from repro.mac.types import Direction
+from repro.net.gnb import Gnb
+from repro.phy.ofdm import Carrier
+from repro.radio.interface import usb3
+from repro.radio.os_jitter import none as no_jitter
+from repro.radio.radio_head import RadioHead
+from repro.sim.distributions import Constant
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+from repro.stack.packets import Packet, PacketKind
+
+
+def constant_delays():
+    return {name: Constant(5.0)
+            for name in ("SDAP", "PDCP", "RLC", "MAC", "PHY")}
+
+
+def make_gnb(rng, **kwargs):
+    scheme = testbed_dddu()
+    sim = Simulator()
+    delivered = []
+    gnb = Gnb(sim, Tracer(), scheme, Carrier(scheme.numerology, 20),
+              rng, layer_delays=constant_delays(),
+              on_ul_delivered=delivered.append, **kwargs)
+    return sim, gnb, delivered
+
+
+def make_packet(direction=Direction.DL):
+    return Packet(PacketKind.DATA, direction, 32, created_tc=0,
+                  ue_id=1)
+
+
+def test_dl_path_descends_into_rlc_queue(rng):
+    sim, gnb, _ = make_gnb(rng)
+    gnb.register_ue(1, grant_free=True)
+    gnb.start()
+    packet = make_packet()
+    gnb.send_downlink(packet)
+    sim.run(until=gnb.scheme.period_tc // 4)
+    # SDAP+PDCP+RLC processed, headers added, queued (and possibly
+    # already scheduled out of the queue).
+    assert packet.header_bytes >= 7
+    assert gnb.counters.dl_packets_in == 1
+
+
+def test_ul_block_climbs_to_delivery(rng):
+    sim, gnb, delivered = make_gnb(rng)
+    gnb.register_ue(1, grant_free=True)
+    gnb.start()
+    window = gnb.scheme.ul_timeline().windows[0]
+    packet = make_packet(Direction.UL)
+    gnb.receive_ul_block(1, window, [packet])
+    sim.run_until_idle()
+    assert delivered == [packet]
+    assert "gnb.ul.block_rx" in packet.timestamps
+    assert gnb.counters.ul_packets_out == 1
+
+
+def test_sr_passes_phy_decode_before_mac(rng):
+    sim, gnb, _ = make_gnb(rng)
+    gnb.register_ue(1)
+    gnb.start()
+    gnb.receive_sr(1, bsr_bytes=53)
+    assert gnb.scheduler.counters.srs_received == 0  # decode pending
+    sim.run_until_idle()
+    assert gnb.scheduler.counters.srs_received == 1
+    assert gnb.counters.srs_decoded == 1
+
+
+def test_default_margin_covers_radio_head(rng):
+    radio_head = RadioHead("b210", usb3(), no_jitter())
+    sim, gnb, _ = make_gnb(rng, radio_head=radio_head)
+    bare_sim, bare_gnb, _ = make_gnb(rng)
+    assert gnb.margin_tc > bare_gnb.margin_tc
+    # §7: a ~200 µs-plus RH pushes the margin toward a slot.
+    assert gnb.margin_tc > gnb.carrier.numerology.slot_duration_tc // 2
+
+
+def test_explicit_margin_respected(rng):
+    sim, gnb, _ = make_gnb(rng, margin_tc=12345)
+    assert gnb.margin_tc == 12345

@@ -1,0 +1,73 @@
+"""Unit tests for the air link."""
+
+from repro.mac.types import Direction
+from repro.net.link import AirLink
+from repro.phy.channel import IidErasureChannel
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+from repro.stack.packets import Packet, PacketKind
+
+
+def make_link(rng, channel=None, **kwargs):
+    sim = Simulator()
+    return sim, AirLink(sim, Tracer(), rng, channel=channel, **kwargs)
+
+
+def make_packet():
+    return Packet(PacketKind.DATA, Direction.DL, 32, created_tc=0)
+
+
+def test_successful_delivery_after_propagation(rng):
+    sim, link = make_link(rng, distance_m=300.0)
+    delivered, retried = [], []
+    link.transmit([make_packet()], 0, delivered.extend, retried.extend)
+    sim.run_until_idle()
+    assert len(delivered) == 1 and not retried
+    assert sim.now == link.propagation_tc > 0
+
+
+def test_failed_block_goes_to_retransmit(rng):
+    sim, link = make_link(rng, channel=IidErasureChannel(1.0))
+    delivered, retried = [], []
+    packet = make_packet()
+    link.transmit([packet], 0, delivered.extend, retried.extend)
+    sim.run_until_idle()
+    assert not delivered
+    assert retried == [packet]
+    assert packet.harq_retransmissions == 1
+    assert link.counters.block_error_rate() == 1.0
+
+
+def test_harq_exhaustion_drops(rng):
+    sim, link = make_link(rng, channel=IidErasureChannel(1.0),
+                          max_harq_retransmissions=2)
+    packet = make_packet()
+    retried = []
+
+    def retransmit(packets):
+        for p in packets:
+            link.transmit([p], sim.now, lambda b: None, retransmit)
+        retried.extend(packets)
+
+    link.transmit([packet], 0, lambda b: None, retransmit)
+    sim.run_until_idle()
+    assert packet.dropped
+    assert packet.drop_reason == "harq-exhausted"
+    assert link.counters.packets_dropped == 1
+
+
+def test_block_error_rate_counts(rng):
+    sim, link = make_link(rng, channel=IidErasureChannel(0.5))
+    for _ in range(2_000):
+        link.transmit([make_packet()], sim.now, lambda b: None,
+                      lambda b: None)
+    assert 0.4 < link.counters.block_error_rate() < 0.6
+
+
+def test_perfect_channel_default(rng):
+    sim, link = make_link(rng)
+    assert link.counters.block_error_rate() == 0.0
+    delivered = []
+    link.transmit([make_packet()], 0, delivered.extend, lambda b: None)
+    sim.run_until_idle()
+    assert delivered

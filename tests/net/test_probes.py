@@ -1,0 +1,75 @@
+"""Unit tests for latency probes."""
+
+import pytest
+
+from repro.mac.types import Direction
+from repro.net.probes import LatencyProbe, summarize_us
+from repro.phy.timebase import tc_from_us
+from repro.stack.packets import LatencySource, Packet, PacketKind
+
+
+def delivered_packet(latency_us, source=LatencySource.PROTOCOL):
+    packet = Packet(PacketKind.DATA, Direction.DL, 32, created_tc=0)
+    packet.charge(source, tc_from_us(latency_us))
+    packet.mark_delivered(tc_from_us(latency_us))
+    return packet
+
+
+def test_probe_records_only_delivered():
+    probe = LatencyProbe()
+    with pytest.raises(ValueError):
+        probe.record(Packet(PacketKind.DATA, Direction.DL, 32,
+                            created_tc=0))
+    probe.record(delivered_packet(100.0))
+    assert len(probe) == 1
+
+
+def test_latency_units():
+    probe = LatencyProbe()
+    probe.record(delivered_packet(1500.0))
+    assert probe.latencies_us()[0] == pytest.approx(1500.0, abs=0.01)
+    assert probe.latencies_ms()[0] == pytest.approx(1.5, abs=1e-5)
+
+
+def test_summary_statistics():
+    probe = LatencyProbe()
+    for latency in (100.0, 200.0, 300.0):
+        probe.record(delivered_packet(latency))
+    summary = probe.summary()
+    assert summary.count == 3
+    assert summary.mean_us == pytest.approx(200.0, abs=0.01)
+    assert summary.min_us == pytest.approx(100.0, abs=0.01)
+    assert summary.max_us == pytest.approx(300.0, abs=0.01)
+    assert summary.p50_us == pytest.approx(200.0, abs=0.01)
+    assert "n=3" in str(summary)
+
+
+def test_summarize_requires_samples():
+    with pytest.raises(ValueError):
+        summarize_us([])
+
+
+def test_single_sample_summary_has_zero_std():
+    assert summarize_us([5.0]).std_us == 0.0
+
+
+def test_budget_means():
+    probe = LatencyProbe()
+    probe.record(delivered_packet(100.0, LatencySource.RADIO))
+    probe.record(delivered_packet(300.0, LatencySource.RADIO))
+    means = probe.budget_means_us()
+    assert means["radio"] == pytest.approx(200.0, abs=0.01)
+    assert means["protocol"] == 0.0
+
+
+def test_budget_means_empty_probe():
+    assert LatencyProbe().budget_means_us() == {
+        "processing": 0.0, "protocol": 0.0, "radio": 0.0}
+
+
+def test_fraction_within():
+    probe = LatencyProbe()
+    for latency in (100.0, 400.0, 900.0, 1600.0):
+        probe.record(delivered_packet(latency))
+    assert probe.fraction_within(500.0) == pytest.approx(0.5)
+    assert LatencyProbe().fraction_within(500.0) == 0.0

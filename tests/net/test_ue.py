@@ -1,0 +1,148 @@
+"""Unit tests for UE-side access behaviour."""
+
+import pytest
+
+from repro.mac.catalog import minimal_dm, testbed_dddu
+from repro.mac.scheduler import UlGrant
+from repro.mac.types import AccessMode, Direction
+from repro.net.ue import Ue
+from repro.phy.ofdm import Carrier
+from repro.sim.distributions import Constant
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+from repro.stack.packets import Packet, PacketKind
+
+
+def constant_delays():
+    return {name: Constant(5.0)
+            for name in ("APP", "SDAP", "PDCP", "RLC", "MAC", "PHY")}
+
+
+def make_ue(rng, scheme=None, access=AccessMode.GRANT_FREE, **kwargs):
+    scheme = scheme or testbed_dddu()
+    sim = Simulator()
+    tracer = Tracer()
+    carrier = Carrier(scheme.numerology, 20)
+    blocks, srs, delivered = [], [], []
+    ue = Ue(sim, tracer, 1, scheme, carrier, rng, access=access,
+            tx_layer_delays=constant_delays(),
+            rx_layer_delays=constant_delays(),
+            on_ul_block=lambda u, w, p: blocks.append((sim.now, w, p)),
+            on_sr=lambda u, b: srs.append(sim.now),
+            on_delivered=delivered.append,
+            **kwargs)
+    return sim, ue, blocks, srs, delivered
+
+
+def make_packet(direction=Direction.UL):
+    return Packet(PacketKind.DATA, direction, 32, created_tc=0)
+
+
+def test_grant_free_transmits_at_window_end(rng):
+    scheme = testbed_dddu()
+    sim, ue, blocks, srs, _ = make_ue(rng, scheme)
+    ue.send_uplink(make_packet())
+    sim.run_until_idle()
+    assert len(blocks) == 1 and not srs
+    time, window, packets = blocks[0]
+    assert time == window.end
+    ul_windows = {w.start for w in scheme.ul_timeline().windows}
+    assert window.start % scheme.period_tc in ul_windows
+
+
+def test_grant_free_batches_packets_into_one_window(rng):
+    sim, ue, blocks, _, _ = make_ue(rng)
+    ue.send_uplink(make_packet())
+    ue.send_uplink(make_packet())
+    sim.run_until_idle()
+    assert len(blocks) == 1
+    assert len(blocks[0][2]) == 2
+    assert ue.counters.ul_blocks_sent == 1
+
+
+def test_grant_free_respects_cg_capacity(rng):
+    # Tiny capacity: one packet per window, the second spills over.
+    sim, ue, blocks, _, _ = make_ue(
+        rng, cg_capacity_bytes=lambda w: 80)
+    ue.send_uplink(make_packet())
+    ue.send_uplink(make_packet())
+    sim.run_until_idle()
+    assert len(blocks) == 2
+    assert blocks[0][1].start < blocks[1][1].start
+
+
+def test_grant_based_sends_sr_once_per_burst(rng):
+    sim, ue, blocks, srs, _ = make_ue(rng,
+                                      access=AccessMode.GRANT_BASED)
+    ue.send_uplink(make_packet())
+    ue.send_uplink(make_packet())
+    sim.run_until_idle()
+    # No grant ever arrives in this isolated test: exactly one SR
+    # outstanding, data still queued.
+    assert len(srs) == 1
+    assert not blocks
+    assert len(ue.ul_queue) == 2
+
+
+def test_grant_pulls_queue_and_transmits(rng):
+    scheme = testbed_dddu()
+    sim, ue, blocks, srs, _ = make_ue(rng, scheme,
+                                      access=AccessMode.GRANT_BASED)
+    ue.send_uplink(make_packet())
+    sim.run_until_idle()
+    window = scheme.ul_timeline().first_start_at_or_after(
+        sim.now + scheme.period_tc)
+    grant = UlGrant(ue_id=1, window=window, control_time=sim.now,
+                    capacity_bytes=10_000)
+    ue.receive_grant(grant)
+    sim.run_until_idle()
+    assert len(blocks) == 1
+    assert blocks[0][0] == window.end
+    assert ue.counters.grants_received == 1
+
+
+def test_wasted_grant_counted(rng):
+    scheme = testbed_dddu()
+    sim, ue, _, _, _ = make_ue(rng, scheme,
+                               access=AccessMode.GRANT_BASED)
+    window = scheme.ul_timeline().first_start_at_or_after(1000)
+    ue.receive_grant(UlGrant(1, window, 0, 10_000))
+    assert ue.counters.wasted_grants == 1
+
+
+def test_grant_deadline_miss_requeues_and_resends_sr(rng):
+    scheme = testbed_dddu()
+    sim, ue, blocks, srs, _ = make_ue(
+        rng, scheme, access=AccessMode.GRANT_BASED,
+        radio_submission_us=lambda n, r: 10_000.0)  # hopelessly slow
+    ue.send_uplink(make_packet())
+    sim.run_until_idle()
+    window = scheme.ul_timeline().first_start_at_or_after(sim.now + 1)
+    ue.receive_grant(UlGrant(1, window, sim.now, 10_000))
+    assert ue.counters.grant_deadline_misses == 1
+    assert len(ue.ul_queue) == 1
+    sim.run_until_idle()
+    assert len(srs) == 2  # original + retry
+
+
+def test_dl_block_climbs_to_app(rng):
+    sim, ue, _, _, delivered = make_ue(rng)
+    packet = make_packet(Direction.DL)
+    ue.receive_dl_block([packet])
+    sim.run_until_idle()
+    assert delivered == [packet]
+    assert packet.delivered_tc == sim.now
+    assert ue.counters.packets_delivered == 1
+    assert "ue.phy.block_rx" in packet.timestamps
+
+
+def test_retransmit_grant_free_replans(rng):
+    sim, ue, blocks, _, _ = make_ue(rng)
+    packet = make_packet()
+    ue.send_uplink(packet)
+    sim.run_until_idle()
+    first_window = blocks[0][1]
+    ue.retransmit_uplink([packet])
+    sim.run_until_idle()
+    assert len(blocks) == 2
+    assert blocks[1][1].start > first_window.start

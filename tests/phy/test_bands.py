@@ -1,0 +1,64 @@
+"""Unit tests for the band catalogue."""
+
+import pytest
+
+from repro.phy.bands import (
+    BANDS,
+    DuplexMode,
+    fdd_bands,
+    get_band,
+    private_5g_bands,
+)
+from repro.phy.numerology import FrequencyRange
+
+
+def test_n78_is_the_testbed_band():
+    band = get_band("n78")
+    assert band.duplex is DuplexMode.TDD
+    assert band.frequency_range is FrequencyRange.FR1
+    assert band.supports_private_5g()
+
+
+def test_unknown_band_raises_with_known_names():
+    with pytest.raises(KeyError, match="n78"):
+        get_band("n999")
+
+
+def test_all_fdd_bands_are_sub_2_6_ghz():
+    # Paper §2: FDD only below 2.6 GHz in terrestrial 5G.
+    for band in fdd_bands():
+        assert band.high_ghz <= 2.7  # n7 tops out at 2.69
+
+
+def test_no_fdd_band_supports_private_5g():
+    # Paper §9: private 5G gets TDD-only spectrum.
+    private = private_5g_bands()
+    assert private
+    assert all(b.duplex is DuplexMode.TDD for b in private)
+
+
+def test_fr2_bands_have_mmwave_numerologies():
+    band = get_band("n258")
+    assert band.frequency_range is FrequencyRange.FR2
+    assert 6 in band.numerologies
+
+
+def test_fr1_bands_cap_at_mu2():
+    assert max(get_band("n78").numerologies) == 2
+
+
+def test_center_frequency():
+    band = get_band("n78")
+    assert band.low_ghz < band.center_ghz < band.high_ghz
+
+
+def test_str_is_informative():
+    text = str(get_band("n41"))
+    assert "n41" in text and "TDD" in text
+
+
+def test_catalogue_is_self_consistent():
+    for name, band in BANDS.items():
+        assert band.name == name
+        assert band.low_ghz < band.high_ghz
+        band.frequency_range  # must not straddle FR1/FR2

@@ -1,0 +1,77 @@
+"""Unit tests for the channel models."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import (
+    GilbertElliottChannel,
+    IidErasureChannel,
+    PerfectChannel,
+    propagation_delay_tc,
+)
+from repro.phy.timebase import tc_from_ms, us_from_tc
+
+
+def test_propagation_delay_magnitude():
+    # 300 m ≈ 1 µs at light speed.
+    delay = propagation_delay_tc(300.0)
+    assert us_from_tc(delay) == pytest.approx(1.0, rel=0.01)
+    assert propagation_delay_tc(0.0) == 0
+
+
+def test_propagation_rejects_negative_distance():
+    with pytest.raises(ValueError):
+        propagation_delay_tc(-1.0)
+
+
+def test_perfect_channel_always_delivers(rng):
+    channel = PerfectChannel()
+    assert all(channel.delivered(t, rng) for t in range(100))
+
+
+def test_iid_erasure_rate(rng):
+    channel = IidErasureChannel(bler=0.1)
+    outcomes = [channel.delivered(0, rng) for _ in range(40_000)]
+    assert np.mean(outcomes) == pytest.approx(0.9, abs=0.01)
+
+
+def test_iid_erasure_bounds():
+    with pytest.raises(ValueError):
+        IidErasureChannel(1.5)
+    assert IidErasureChannel(0.0).bler == 0.0
+
+
+def test_gilbert_elliott_stationary_fraction(rng):
+    channel = GilbertElliottChannel(
+        mean_good_tc=tc_from_ms(7), mean_bad_tc=tc_from_ms(3))
+    assert channel.stationary_good_fraction == pytest.approx(0.7)
+    # Empirical check over a long trajectory.
+    step = tc_from_ms(1) // 4
+    good = sum(channel.is_good(t * step, rng) for t in range(80_000))
+    assert good / 80_000 == pytest.approx(0.7, abs=0.05)
+
+
+def test_gilbert_elliott_blocked_state_fails(rng):
+    channel = GilbertElliottChannel(
+        mean_good_tc=1, mean_bad_tc=10 ** 12,
+        bler_good=0.0, bler_bad=1.0)
+    # Spin the channel into the (enormous) bad state.
+    channel._state_good = False
+    channel._next_transition = 10 ** 13
+    assert not channel.delivered(100, rng)
+
+
+def test_gilbert_elliott_validation():
+    with pytest.raises(ValueError):
+        GilbertElliottChannel(mean_good_tc=0, mean_bad_tc=1)
+    with pytest.raises(ValueError):
+        GilbertElliottChannel(mean_good_tc=1, mean_bad_tc=1,
+                              bler_good=2.0)
+
+
+def test_gilbert_elliott_time_must_advance_consistently(rng):
+    channel = GilbertElliottChannel(
+        mean_good_tc=tc_from_ms(1), mean_bad_tc=tc_from_ms(1))
+    # Queries at increasing times are fine and deterministic per rng.
+    states = [channel.is_good(tc_from_ms(i), rng) for i in range(50)]
+    assert any(states) and not all(states)

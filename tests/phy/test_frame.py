@@ -1,0 +1,116 @@
+"""Unit and property tests for frame-structure arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.frame import FrameStructure
+from repro.phy.numerology import Numerology
+from repro.phy.timebase import TC_PER_FRAME, TC_PER_SUBFRAME
+
+
+@pytest.fixture(params=[0, 1, 2, 3, 6])
+def frame(request):
+    return FrameStructure(Numerology(request.param))
+
+
+def test_slot_zero_starts_at_zero(frame):
+    assert frame.slot_start(0) == 0
+
+
+def test_slot_starts_are_monotone(frame):
+    starts = [frame.slot_start(i) for i in range(50)]
+    assert starts == sorted(starts)
+    assert len(set(starts)) == 50
+
+
+def test_slot_end_equals_next_start(frame):
+    for i in range(20):
+        assert frame.slot_end(i) == frame.slot_start(i + 1)
+
+
+def test_slot_index_inverts_slot_start(frame):
+    for i in range(40):
+        start = frame.slot_start(i)
+        assert frame.slot_index(start) == i
+        assert frame.slot_index(start + 1) == i
+        assert frame.slot_index(frame.slot_end(i) - 1) == i
+
+
+def test_slot_durations_near_nominal(frame):
+    nominal = frame.numerology.slot_duration_tc
+    for i in range(16):
+        assert abs(frame.slot_duration(i) - nominal) <= 1024  # 16κ
+
+
+def test_next_slot_start_is_strictly_after(frame):
+    for t in (0, 1, 1000, frame.slot_start(3)):
+        nxt = frame.next_slot_start(t)
+        assert nxt > t
+        assert frame.slot_index(nxt) == frame.slot_index(t) + 1
+
+
+def test_slot_boundary_at_or_after(frame):
+    start = frame.slot_start(5)
+    assert frame.slot_boundary_at_or_after(start) == start
+    assert frame.slot_boundary_at_or_after(start + 1) == \
+        frame.slot_start(6)
+
+
+def test_symbol_starts_tile_the_slot(frame):
+    for slot in range(3):
+        assert frame.symbol_start(slot, 0) == frame.slot_start(slot)
+        for symbol in range(13):
+            assert frame.symbol_end(slot, symbol) == \
+                frame.symbol_start(slot, symbol + 1)
+        assert frame.symbol_end(slot, 13) == frame.slot_end(slot)
+
+
+def test_symbol_range_validated(frame):
+    with pytest.raises(ValueError):
+        frame.symbol_start(0, 14)
+    with pytest.raises(ValueError):
+        frame.symbol_start(0, -1)
+
+
+def test_address_resolution():
+    frame = FrameStructure(Numerology(1))
+    addr = frame.address(TC_PER_FRAME + TC_PER_SUBFRAME)
+    assert (addr.frame, addr.subframe, addr.slot, addr.symbol) == \
+        (1, 1, 0, 0)
+    assert "frame 1" in str(addr)
+
+
+def test_address_rejects_negative():
+    frame = FrameStructure(Numerology(0))
+    with pytest.raises(ValueError):
+        frame.address(-1)
+    with pytest.raises(ValueError):
+        frame.slot_index(-5)
+
+
+def test_slot_in_frame():
+    frame = FrameStructure(Numerology(2))
+    assert frame.slot_in_frame(0) == (0, 0)
+    assert frame.slot_in_frame(40) == (1, 0)
+    assert frame.slot_in_frame(45) == (1, 5)
+
+
+@given(t=st.integers(0, 50 * TC_PER_SUBFRAME), mu=st.sampled_from([0, 1, 2, 3]))
+@settings(max_examples=200, deadline=None)
+def test_slot_index_consistent_with_boundaries(t, mu):
+    frame = FrameStructure(Numerology(mu))
+    index = frame.slot_index(t)
+    assert frame.slot_start(index) <= t < frame.slot_end(index)
+
+
+@given(t=st.integers(0, 20 * TC_PER_SUBFRAME))
+@settings(max_examples=100, deadline=None)
+def test_address_matches_slot_index(t):
+    frame = FrameStructure(Numerology(2))
+    addr = frame.address(t)
+    slots_per_frame = frame.numerology.slots_per_frame
+    absolute_slot = (addr.frame * slots_per_frame
+                     + addr.subframe * frame.numerology.slots_per_subframe
+                     + addr.slot)
+    assert absolute_slot == frame.slot_index(t)

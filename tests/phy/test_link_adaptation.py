@@ -1,0 +1,69 @@
+"""Unit tests for the link-adaptation model."""
+
+import pytest
+
+from repro.phy.link_adaptation import (
+    bler_at,
+    efficiency_at,
+    required_snr_db,
+    select_mcs,
+    waterfall_snr_db,
+)
+from repro.phy.transport import mcs
+
+
+def test_waterfall_positions_ordered_by_efficiency():
+    positions = [waterfall_snr_db(i) for i in range(29)]
+    # Higher-efficiency MCSs need (weakly) more SNR, with tiny local
+    # dips at the modulation-order switches, mirroring the MCS table.
+    assert positions[0] < positions[9] < positions[16] < positions[28]
+
+
+def test_bler_is_waterfall_shaped():
+    index = 16
+    mid = waterfall_snr_db(index)
+    assert bler_at(index, mid) == pytest.approx(0.5)
+    assert bler_at(index, mid + 6.0) < 1e-3
+    assert bler_at(index, mid - 10.0) == 1.0
+
+
+def test_bler_monotone_in_snr():
+    for snr in range(-5, 30, 5):
+        assert bler_at(10, snr) >= bler_at(10, snr + 5)
+
+
+def test_required_snr_inverts_bler():
+    snr = required_snr_db(20, 1e-5)
+    assert bler_at(20, snr) == pytest.approx(1e-5, rel=0.01)
+    with pytest.raises(ValueError):
+        required_snr_db(20, 0.0)
+
+
+def test_select_mcs_monotone_in_snr():
+    selections = [select_mcs(snr) for snr in (-5.0, 5.0, 15.0, 30.0)]
+    assert selections == sorted(selections)
+    assert selections[-1] == 28
+
+
+def test_select_mcs_respects_target():
+    snr = 12.0
+    chosen = select_mcs(snr, target_bler=1e-4)
+    assert bler_at(chosen, snr) <= 1e-4
+    if chosen < 28:
+        assert bler_at(chosen + 1, snr) > 1e-4
+
+
+def test_tighter_target_costs_efficiency():
+    snr = 15.0
+    loose = efficiency_at(snr, target_bler=1e-1)
+    tight = efficiency_at(snr, target_bler=1e-6)
+    assert tight <= loose
+
+
+def test_cell_edge_falls_back_to_mcs0():
+    assert select_mcs(-30.0) == 0
+
+
+def test_efficiency_matches_table():
+    snr = 40.0
+    assert efficiency_at(snr) == mcs(28).efficiency

@@ -1,0 +1,96 @@
+"""Unit tests for numerologies and exact cyclic-prefix accounting."""
+
+import pytest
+
+from repro.phy.numerology import (
+    SYMBOLS_PER_SLOT,
+    FrequencyRange,
+    Numerology,
+    slot_starts_in_subframe,
+    symbol_lengths_in_subframe,
+    symbol_starts_in_subframe,
+)
+from repro.phy.timebase import TC_PER_SUBFRAME
+
+
+@pytest.mark.parametrize("mu,scs", [(0, 15), (1, 30), (2, 60),
+                                    (3, 120), (4, 240), (5, 480),
+                                    (6, 960)])
+def test_subcarrier_spacing(mu, scs):
+    assert Numerology(mu).scs_khz == scs
+
+
+@pytest.mark.parametrize("mu", range(7))
+def test_slot_count_and_duration(mu):
+    numerology = Numerology(mu)
+    assert numerology.slots_per_subframe == 2 ** mu
+    assert numerology.slots_per_frame == 10 * 2 ** mu
+    assert numerology.slot_duration_ms == pytest.approx(1.0 / 2 ** mu)
+
+
+def test_mu6_slot_is_15_625_us():
+    # The paper's §1 mmWave value.
+    slot_tc = Numerology(6).slot_duration_tc
+    assert slot_tc / 1966.08 == pytest.approx(15.625, rel=1e-9)
+
+
+def test_invalid_numerology_rejected():
+    with pytest.raises(ValueError):
+        Numerology(7)
+    with pytest.raises(ValueError):
+        Numerology(-1)
+
+
+@pytest.mark.parametrize("mu", range(7))
+def test_symbol_lengths_sum_to_exactly_one_subframe(mu):
+    assert sum(symbol_lengths_in_subframe(mu)) == TC_PER_SUBFRAME
+
+
+@pytest.mark.parametrize("mu", range(7))
+def test_exactly_two_extended_cp_symbols_per_subframe(mu):
+    lengths = symbol_lengths_in_subframe(mu)
+    longest = max(lengths)
+    extended = [i for i, l in enumerate(lengths) if l == longest]
+    assert extended == [0, 7 * 2 ** mu]
+    base = Numerology(mu)
+    assert longest - min(lengths) == base.cp_extension_tc
+
+
+@pytest.mark.parametrize("mu", range(7))
+def test_symbol_starts_are_cumulative(mu):
+    starts = symbol_starts_in_subframe(mu)
+    lengths = symbol_lengths_in_subframe(mu)
+    assert starts[0] == 0
+    for i in range(1, len(starts)):
+        assert starts[i] == starts[i - 1] + lengths[i - 1]
+
+
+@pytest.mark.parametrize("mu", range(7))
+def test_half_subframe_boundary_is_exact(mu):
+    # Slot starts at the half-subframe must land exactly on 0.5 ms.
+    starts = symbol_starts_in_subframe(mu)
+    half_symbol = 7 * 2 ** mu
+    assert starts[half_symbol] == TC_PER_SUBFRAME // 2
+
+
+def test_slot_starts_count(mu=2):
+    assert len(slot_starts_in_subframe(mu)) == 4
+    assert slot_starts_in_subframe(mu)[0] == 0
+
+
+def test_frequency_range_numerologies_follow_paper():
+    assert FrequencyRange.FR1.numerologies == (0, 1, 2)
+    assert FrequencyRange.FR2.numerologies == (2, 3, 4, 5, 6)
+
+
+def test_numerology_2_is_in_both_ranges():
+    assert set(Numerology(2).frequency_ranges()) == {
+        FrequencyRange.FR1, FrequencyRange.FR2}
+
+
+def test_str_rendering():
+    assert "SCS 30 kHz" in str(Numerology(1))
+
+
+def test_symbols_per_slot_is_14():
+    assert SYMBOLS_PER_SLOT == 14

@@ -1,0 +1,74 @@
+"""Unit tests for the OFDM carrier model."""
+
+import pytest
+
+from repro.phy.numerology import Numerology
+from repro.phy.ofdm import Carrier, fft_size_for, n_rb_for
+
+
+def test_n_rb_table_spot_checks():
+    # TS 38.101-1 table 5.3.2-1 values.
+    assert n_rb_for(20, 15) == 106
+    assert n_rb_for(20, 30) == 51
+    assert n_rb_for(100, 30) == 273
+    assert n_rb_for(100, 120) == 66
+
+
+def test_unknown_combination_raises():
+    with pytest.raises(ValueError, match="38.101"):
+        n_rb_for(17, 15)
+
+
+def test_fft_size_covers_subcarriers():
+    assert fft_size_for(51) == 768   # 612 subcarriers
+    assert fft_size_for(106) == 1536  # 1272 subcarriers
+    assert fft_size_for(273) == 4096
+
+
+def test_fft_size_overflow():
+    with pytest.raises(ValueError):
+        fft_size_for(400)
+
+
+def test_testbed_carrier():
+    # §7: n78, 20 MHz, 0.5 ms slots (µ=1, SCS 30 kHz).
+    carrier = Carrier(Numerology(1), 20)
+    assert carrier.n_rb == 51
+    assert carrier.fft_size == 768
+    assert carrier.sample_rate_hz == 23_040_000
+    assert carrier.samples_per_slot() == 11_520
+
+
+def test_samples_per_symbols():
+    carrier = Carrier(Numerology(1), 20)
+    assert carrier.samples_per_symbols(14) == carrier.samples_per_slot()
+    assert carrier.samples_per_symbols(0) == 0
+    assert 0 < carrier.samples_per_symbols(7) < carrier.samples_per_slot()
+    with pytest.raises(ValueError):
+        carrier.samples_per_symbols(15)
+
+
+def test_resource_elements_monotone_in_prbs():
+    carrier = Carrier(Numerology(1), 20)
+    previous = -1
+    for n_prb in range(0, carrier.n_rb + 1, 5):
+        current = carrier.resource_elements(n_prb, 14)
+        assert current > previous or n_prb == 0
+        previous = current
+
+
+def test_resource_elements_account_overhead():
+    carrier = Carrier(Numerology(1), 20)
+    gross = 10 * 12 * 14
+    assert carrier.resource_elements(10, 14) < gross
+
+
+def test_resource_elements_validates_prbs():
+    carrier = Carrier(Numerology(1), 20)
+    with pytest.raises(ValueError):
+        carrier.resource_elements(carrier.n_rb + 1, 14)
+
+
+def test_str_rendering():
+    text = str(Carrier(Numerology(1), 20))
+    assert "51 PRB" in text and "23.04 MS/s" in text

@@ -1,0 +1,64 @@
+"""Unit and property tests for the 3GPP timebase."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy import timebase
+
+
+def test_fundamental_constants():
+    assert timebase.TC_PER_SECOND == 1_966_080_000
+    assert timebase.TC_PER_MS == 1_966_080
+    assert timebase.KAPPA == 64
+    assert timebase.TC_PER_FRAME == 10 * timebase.TC_PER_MS
+
+
+def test_one_ms_is_exact():
+    assert timebase.tc_from_ms(1) == timebase.TC_PER_MS
+    assert timebase.ms_from_tc(timebase.TC_PER_MS) == 1.0
+
+
+def test_slot_durations_are_exact_divisions():
+    # 1 ms / 2^µ is an integer Tc count for every numerology.
+    for mu in range(7):
+        assert timebase.TC_PER_MS % (2 ** mu) == 0
+
+
+def test_us_round_trip():
+    assert timebase.us_from_tc(timebase.tc_from_us(500.0)) == \
+        pytest.approx(500.0, abs=1e-3)
+
+
+def test_ns_conversion():
+    # 1 ns ≈ 1.96608 Tc
+    assert timebase.tc_from_ns(1000) == 1966
+    assert timebase.ns_from_tc(timebase.TC_PER_SECOND) == \
+        pytest.approx(1e9)
+
+
+def test_seconds_conversion():
+    assert timebase.tc_from_seconds(2.0) == 2 * timebase.TC_PER_SECOND
+    assert timebase.seconds_from_tc(timebase.TC_PER_SECOND) == 1.0
+
+
+def test_tc_exact_ms_uses_fractions():
+    quarter_ms = timebase.TC_PER_MS // 4
+    assert timebase.tc_exact_ms(quarter_ms) == Fraction(1, 4)
+
+
+@given(us=st.floats(0.0, 1e7))
+@settings(max_examples=200, deadline=None)
+def test_us_round_trip_error_below_one_tick(us):
+    tc = timebase.tc_from_us(us)
+    back = timebase.us_from_tc(tc)
+    # One Tc is ~0.00051 µs; rounding error must stay below one tick.
+    assert abs(back - us) <= 1.0 / 1966.08 + 1e-9
+
+
+@given(tc=st.integers(0, 10 ** 12))
+@settings(max_examples=200, deadline=None)
+def test_tc_to_us_to_tc_is_identity(tc):
+    assert timebase.tc_from_us(timebase.us_from_tc(tc)) == tc

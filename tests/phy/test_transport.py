@@ -1,0 +1,106 @@
+"""Unit and property tests for transport-block sizing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.transport import (
+    MCS_TABLE_64QAM,
+    TBS_TABLE,
+    mcs,
+    prbs_needed,
+    transport_block_size,
+)
+
+
+def test_mcs_table_shape():
+    assert len(MCS_TABLE_64QAM) == 29
+    assert mcs(0).modulation_order == 2
+    assert mcs(28).modulation_order == 6
+    assert mcs(28).code_rate == pytest.approx(948 / 1024)
+
+
+def test_mcs_efficiency_monotone_within_modulation():
+    # Efficiency rises with the index within each modulation order;
+    # tiny dips at the order switches (16/17) are real table behaviour.
+    for index in range(28):
+        current, nxt = mcs(index), mcs(index + 1)
+        if current.modulation_order == nxt.modulation_order:
+            assert nxt.efficiency > current.efficiency
+        else:
+            assert nxt.efficiency > current.efficiency - 0.01
+
+
+def test_invalid_mcs_rejected():
+    with pytest.raises(ValueError):
+        mcs(29)
+    with pytest.raises(ValueError):
+        mcs(-1)
+
+
+def test_tbs_table_is_sorted_unique():
+    assert list(TBS_TABLE) == sorted(set(TBS_TABLE))
+    assert TBS_TABLE[0] == 24 and TBS_TABLE[-1] == 3824
+
+
+def test_small_allocation_returns_table_entry():
+    size = transport_block_size(n_re=100, mcs_index=5)
+    assert size in TBS_TABLE
+
+
+def test_zero_re_gives_zero():
+    assert transport_block_size(0, 10) == 0
+
+
+def test_negative_re_rejected():
+    with pytest.raises(ValueError):
+        transport_block_size(-1, 0)
+    with pytest.raises(ValueError):
+        transport_block_size(10, 0, n_layers=0)
+
+
+def test_large_tbs_byte_aligned():
+    size = transport_block_size(n_re=8000, mcs_index=27)
+    assert size > 3824
+    assert (size + 24) % 8 == 0
+
+
+def test_layers_scale_capacity():
+    one = transport_block_size(2000, 16, n_layers=1)
+    two = transport_block_size(2000, 16, n_layers=2)
+    assert two > one
+
+
+def test_prbs_needed_small_payload():
+    # 32-byte ping fits in very few PRBs at mid MCS.
+    n = prbs_needed(payload_bits=32 * 8, re_per_prb=150, mcs_index=16,
+                    max_prb=51)
+    assert 1 <= n <= 2
+
+
+def test_prbs_needed_zero_payload():
+    assert prbs_needed(0, 150, 16, 51) == 0
+
+
+def test_prbs_needed_overflow_signalled():
+    n = prbs_needed(payload_bits=10 ** 7, re_per_prb=150, mcs_index=0,
+                    max_prb=51)
+    assert n == 52
+
+
+@given(n_re=st.integers(1, 20_000), index=st.integers(0, 28))
+@settings(max_examples=200, deadline=None)
+def test_tbs_roughly_matches_information_capacity(n_re, index):
+    scheme = mcs(index)
+    size = transport_block_size(n_re, index)
+    capacity = n_re * scheme.efficiency
+    assert size <= capacity * 1.10 + 32  # quantisation headroom
+    if capacity >= 32:
+        assert size >= capacity * 0.80 - 32
+
+
+@given(n_re=st.integers(1, 5_000), index=st.integers(0, 28))
+@settings(max_examples=100, deadline=None)
+def test_tbs_monotone_in_re(n_re, index):
+    assert transport_block_size(n_re + 50, index) >= \
+        transport_block_size(n_re, index)

@@ -1,0 +1,70 @@
+"""Unit tests for the interface-bus models (Fig 5's subject)."""
+
+import numpy as np
+import pytest
+
+from repro.radio.interface import InterfaceBus, bus, pcie, usb2, usb3
+
+
+def test_catalogue_lookup():
+    assert usb2().name == "usb2"
+    assert usb3().name == "usb3"
+    assert bus("ethernet").name == "ethernet"
+    with pytest.raises(KeyError, match="usb2"):
+        bus("scsi")
+
+
+def test_deterministic_latency_is_affine():
+    model = InterfaceBus("x", setup_us=100.0, per_sample_us=0.01,
+                         spike_probability=0.0, spike_mean_us=0.0)
+    assert model.deterministic_latency_us(0) == 100.0
+    assert model.deterministic_latency_us(1000) == 110.0
+    with pytest.raises(ValueError):
+        model.deterministic_latency_us(-1)
+
+
+def test_usb2_slope_steeper_than_usb3():
+    # The defining feature of Fig 5's two series.
+    assert usb2().per_sample_us > usb3().per_sample_us
+
+
+def test_fig5_magnitudes():
+    # At 2 000 samples both series sit around 150-170 µs; at 20 000
+    # USB 2.0 approaches 400 µs while USB 3.0 stays under 200 µs.
+    assert 130 <= usb2().deterministic_latency_us(2_000) <= 180
+    assert 130 <= usb3().deterministic_latency_us(2_000) <= 180
+    assert 350 <= usb2().deterministic_latency_us(20_000) <= 420
+    assert usb3().deterministic_latency_us(20_000) <= 200
+
+
+def test_spikes_appear_at_configured_rate(rng):
+    model = InterfaceBus("x", 100.0, 0.0, spike_probability=0.25,
+                         spike_mean_us=50.0)
+    samples = [model.submission_latency_us(0, rng) for _ in range(20_000)]
+    spiked = sum(1 for s in samples if s > 100.0)
+    assert spiked / len(samples) == pytest.approx(0.25, abs=0.02)
+
+
+def test_mean_latency_includes_spikes():
+    model = InterfaceBus("x", 100.0, 0.0, 0.1, 50.0)
+    assert model.mean_latency_us(0) == pytest.approx(105.0)
+
+
+def test_sweep_shape(rng):
+    series = usb3().sweep([2_000, 11_000, 20_000], rng, repetitions=5)
+    assert set(series) == {2_000, 11_000, 20_000}
+    assert all(len(v) == 5 for v in series.values())
+    means = [np.mean(series[n]) for n in (2_000, 11_000, 20_000)]
+    assert means == sorted(means)
+
+
+def test_pcie_is_fastest():
+    assert pcie().deterministic_latency_us(11_520) < \
+        usb3().deterministic_latency_us(11_520)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        InterfaceBus("x", -1.0, 0.0, 0.0, 0.0)
+    with pytest.raises(ValueError):
+        InterfaceBus("x", 1.0, 0.0, 2.0, 0.0)

@@ -1,0 +1,48 @@
+"""Unit tests for OS-jitter models (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.radio.os_jitter import OsJitterModel, gpos, none, rt_kernel
+
+
+def test_samples_non_negative(rng):
+    model = gpos()
+    samples = [model.sample_us(rng) for _ in range(2_000)]
+    assert min(samples) >= 0.0
+
+
+def test_gpos_has_heavier_tail_than_rt(rng):
+    gpos_samples = np.array([gpos().sample_us(rng) for _ in range(30_000)])
+    rt_samples = np.array([rt_kernel().sample_us(rng)
+                           for _ in range(30_000)])
+    assert np.quantile(gpos_samples, 0.999) > \
+        5 * np.quantile(rt_samples, 0.999)
+
+
+def test_none_model_is_zero(rng):
+    model = none()
+    assert model.sample_us(rng) == 0.0
+    assert model.mean_us() == 0.0
+
+
+def test_mean_formula_matches_samples(rng):
+    model = gpos()
+    samples = [model.sample_us(rng) for _ in range(60_000)]
+    assert np.mean(samples) == pytest.approx(model.mean_us(), rel=0.05)
+
+
+def test_tail_quantile_increasing(rng):
+    model = gpos()
+    q99 = model.tail_quantile_us(0.99, rng, draws=20_000)
+    q50 = model.tail_quantile_us(0.50, rng, draws=20_000)
+    assert q99 > q50
+    with pytest.raises(ValueError):
+        model.tail_quantile_us(1.5, rng)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        OsJitterModel("x", -1.0, 0.0, 0.0)
+    with pytest.raises(ValueError):
+        OsJitterModel("x", 1.0, 2.0, 0.0)

@@ -1,0 +1,66 @@
+"""Unit tests for the radio-head model."""
+
+import pytest
+
+from repro.phy.numerology import Numerology
+from repro.phy.ofdm import Carrier
+from repro.phy.timebase import us_from_tc
+from repro.radio.interface import usb2, usb3
+from repro.radio.os_jitter import gpos, none, rt_kernel
+from repro.radio.radio_head import RadioHead
+
+
+def testbed_rh(jitter=None):
+    return RadioHead("b210", usb3(), jitter or gpos())
+
+
+def test_tx_latency_composition(rng):
+    rh = RadioHead("x", usb3(), none(), rf_chain_us=40.0)
+    latency = rh.tx_latency_us(11_520, rng)
+    floor = usb3().deterministic_latency_us(11_520) + 40.0
+    assert latency >= floor
+
+
+def test_rx_latency_sampled(rng):
+    rh = testbed_rh()
+    assert rh.rx_latency_us(11_520, rng) > 0
+
+
+def test_mean_one_way_magnitude():
+    # §7: the USB RH introduces latency of the order of hundreds of µs
+    # per direction (round trip ≈ 500 µs).
+    rh = testbed_rh()
+    carrier = Carrier(Numerology(1), 20)
+    mean = rh.mean_one_way_us(carrier.samples_per_slot())
+    assert 150 <= mean <= 400
+
+
+def test_usb2_slower_than_usb3():
+    carrier = Carrier(Numerology(1), 20)
+    n = carrier.samples_per_slot()
+    a = RadioHead("a", usb2(), none()).mean_one_way_us(n)
+    b = RadioHead("b", usb3(), none()).mean_one_way_us(n)
+    assert a > b
+
+
+def test_required_margin_grows_with_headroom():
+    rh = testbed_rh()
+    carrier = Carrier(Numerology(1), 20)
+    tight = rh.required_margin_tc(carrier, quantile_headroom=0.0)
+    loose = rh.required_margin_tc(carrier, quantile_headroom=4.0)
+    assert loose > tight
+    with pytest.raises(ValueError):
+        rh.required_margin_tc(carrier, quantile_headroom=-1.0)
+
+
+def test_rt_kernel_needs_less_margin():
+    carrier = Carrier(Numerology(1), 20)
+    gpos_margin = testbed_rh(gpos()).required_margin_tc(carrier, 3.0)
+    rt_margin = testbed_rh(rt_kernel()).required_margin_tc(carrier, 3.0)
+    assert us_from_tc(gpos_margin) > us_from_tc(rt_margin)
+
+
+def test_validation_and_describe():
+    with pytest.raises(ValueError):
+        RadioHead("x", usb3(), none(), rf_chain_us=-1.0)
+    assert "usb3" in testbed_rh().describe()

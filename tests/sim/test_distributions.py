@@ -1,0 +1,109 @@
+"""Unit and property tests for the delay distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.distributions import (
+    Constant,
+    Exponential,
+    LogNormal,
+    Spiked,
+    TruncatedNormal,
+    from_mean_std,
+)
+
+
+def test_constant_samples_its_value(rng):
+    sampler = Constant(42.0)
+    assert sampler.sample(rng) == 42.0
+    assert sampler.mean_us == 42.0
+
+
+def test_constant_rejects_negative():
+    with pytest.raises(ValueError):
+        Constant(-1.0)
+
+
+def test_lognormal_matches_target_moments(rng):
+    sampler = LogNormal(mean_us=55.21, std_us=16.31)  # Table 2 MAC row
+    samples = np.array([sampler.sample(rng) for _ in range(60_000)])
+    assert samples.mean() == pytest.approx(55.21, rel=0.03)
+    assert samples.std() == pytest.approx(16.31, rel=0.10)
+
+
+def test_lognormal_zero_std_is_constant(rng):
+    sampler = LogNormal(10.0, 0.0)
+    assert sampler.sample(rng) == 10.0
+
+
+def test_lognormal_zero_mean_is_zero(rng):
+    assert LogNormal(0.0, 0.0).sample(rng) == 0.0
+
+
+def test_lognormal_rejects_negative_parameters():
+    with pytest.raises(ValueError):
+        LogNormal(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        LogNormal(1.0, -1.0)
+
+
+def test_truncated_normal_is_non_negative(rng):
+    sampler = TruncatedNormal(mean_us=1.0, std_us=50.0)
+    samples = [sampler.sample(rng) for _ in range(5_000)]
+    assert min(samples) >= 0.0
+
+
+def test_exponential_mean(rng):
+    sampler = Exponential(100.0)
+    samples = [sampler.sample(rng) for _ in range(60_000)]
+    assert np.mean(samples) == pytest.approx(100.0, rel=0.05)
+
+
+def test_exponential_zero_mean(rng):
+    assert Exponential(0.0).sample(rng) == 0.0
+
+
+def test_spiked_mean_includes_spike_term(rng):
+    sampler = Spiked(Constant(100.0), Exponential(50.0),
+                     spike_probability=0.1)
+    assert sampler.mean_us == pytest.approx(105.0)
+    samples = [sampler.sample(rng) for _ in range(60_000)]
+    assert np.mean(samples) == pytest.approx(105.0, rel=0.05)
+
+
+def test_spiked_never_below_base(rng):
+    sampler = Spiked(Constant(10.0), Exponential(5.0), 0.5)
+    samples = [sampler.sample(rng) for _ in range(1_000)]
+    assert min(samples) >= 10.0
+
+
+def test_spiked_probability_validated():
+    with pytest.raises(ValueError):
+        Spiked(Constant(1.0), Constant(1.0), 1.5)
+
+
+def test_from_mean_std_dispatch():
+    assert isinstance(from_mean_std(5.0, 0.0), Constant)
+    assert isinstance(from_mean_std(5.0, 2.0), LogNormal)
+
+
+@given(mean=st.floats(0.1, 1e4), std=st.floats(0.0, 1e4))
+@settings(max_examples=60, deadline=None)
+def test_samples_always_non_negative(mean, std):
+    sampler = from_mean_std(mean, std)
+    generator = np.random.default_rng(0)
+    for _ in range(20):
+        assert sampler.sample(generator) >= 0.0
+
+
+@given(mean=st.floats(1.0, 1000.0), std=st.floats(0.1, 500.0))
+@settings(max_examples=30, deadline=None)
+def test_lognormal_sample_mean_tracks_parameter(mean, std):
+    sampler = LogNormal(mean, std)
+    generator = np.random.default_rng(1)
+    samples = [sampler.sample(generator) for _ in range(4_000)]
+    # Loose bound: heavy right tail, but the mean must be in the
+    # right decade.
+    assert np.mean(samples) == pytest.approx(mean, rel=0.5)

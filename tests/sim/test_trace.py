@@ -1,0 +1,65 @@
+"""Unit tests for structured tracing."""
+
+from repro.sim.trace import TraceRecord, Tracer
+
+
+def test_emit_and_filter_by_name():
+    tracer = Tracer()
+    tracer.emit(10, "gnb.mac", "sr_received", ue_id=1)
+    tracer.emit(20, "gnb.mac", "grant_issued", ue_id=1)
+    assert len(tracer) == 2
+    assert [r.time for r in tracer.records(name="grant_issued")] == [20]
+
+
+def test_category_prefix_matches_on_dot_boundaries():
+    record = TraceRecord(0, "gnb.mac", "x")
+    assert record.matches(category="gnb")
+    assert record.matches(category="gnb.mac")
+    assert not record.matches(category="gn")
+    assert not record.matches(category="gnb.mac.inner")
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.emit(1, "a", "b")
+    assert len(tracer) == 0
+
+
+def test_predicate_filters_at_emission():
+    tracer = Tracer(predicate=lambda r: r.category == "keep")
+    tracer.emit(1, "keep", "x")
+    tracer.emit(2, "drop", "x")
+    assert [r.category for r in tracer] == ["keep"]
+
+
+def test_first_and_last():
+    tracer = Tracer()
+    tracer.emit(1, "a", "x", k=1)
+    tracer.emit(2, "a", "x", k=2)
+    tracer.emit(3, "b", "y")
+    assert tracer.first("a").fields["k"] == 1
+    assert tracer.last("a").fields["k"] == 2
+    assert tracer.first("missing") is None
+    assert tracer.last(name="missing") is None
+
+
+def test_subscribers_see_records_live():
+    tracer = Tracer()
+    seen = []
+    tracer.subscribe(seen.append)
+    tracer.emit(5, "c", "n")
+    assert len(seen) == 1 and seen[0].time == 5
+
+
+def test_clear_empties_history():
+    tracer = Tracer()
+    tracer.emit(1, "a", "b")
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_fields_are_stored():
+    tracer = Tracer()
+    tracer.emit(1, "a", "b", packet_id=9, note="hi")
+    record = tracer.records()[0]
+    assert record.fields == {"packet_id": 9, "note": "hi"}

@@ -1,0 +1,103 @@
+"""Unit tests for the layer pipeline."""
+
+import pytest
+
+from repro.mac.types import Direction
+from repro.phy.timebase import tc_from_us
+from repro.sim.distributions import Constant
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+from repro.stack.layers import LayerPipeline, ProcessingLayer
+from repro.stack.packets import LatencySource, Packet, PacketKind
+
+
+def make_packet():
+    return Packet(PacketKind.DATA, Direction.DL, 64, created_tc=0)
+
+
+def make_layer(sim, tracer, rng, name="PDCP", delay_us=10.0,
+               adds_header=False):
+    return ProcessingLayer(sim, tracer, name, f"test.{name.lower()}",
+                           Constant(delay_us), rng,
+                           adds_header=adds_header)
+
+
+def test_layer_delays_and_charges(rng):
+    sim, tracer = Simulator(), Tracer()
+    layer = make_layer(sim, tracer, rng, delay_us=25.0)
+    done = []
+    layer.process(make_packet(), done.append)
+    sim.run_until_idle()
+    assert sim.now == tc_from_us(25.0)
+    packet = done[0]
+    assert packet.budget[LatencySource.PROCESSING] == tc_from_us(25.0)
+    assert layer.samples_us == [25.0]
+
+
+def test_layer_traces_enter_and_exit(rng):
+    sim, tracer = Simulator(), Tracer()
+    layer = make_layer(sim, tracer, rng)
+    layer.process(make_packet(), lambda p: None)
+    sim.run_until_idle()
+    assert tracer.first("test.pdcp", "enter") is not None
+    assert tracer.last("test.pdcp", "exit").fields["delay_us"] == 10.0
+
+
+def test_layer_adds_header_when_configured(rng):
+    sim, tracer = Simulator(), Tracer()
+    layer = make_layer(sim, tracer, rng, name="PDCP", adds_header=True)
+    done = []
+    layer.process(make_packet(), done.append)
+    sim.run_until_idle()
+    assert done[0].header_bytes == 3
+
+
+def test_pipeline_runs_layers_in_order(rng):
+    sim, tracer = Simulator(), Tracer()
+    pipeline = LayerPipeline([
+        make_layer(sim, tracer, rng, name="SDAP", delay_us=5.0),
+        make_layer(sim, tracer, rng, name="PDCP", delay_us=7.0),
+        make_layer(sim, tracer, rng, name="RLC", delay_us=9.0),
+    ])
+    done = []
+    pipeline.process(make_packet(), done.append)
+    sim.run_until_idle()
+    assert sim.now == tc_from_us(21.0)
+    packet = done[0]
+    enters = [k for k in packet.timestamps if k.endswith(".enter")]
+    assert enters == ["test.sdap.enter", "test.pdcp.enter",
+                      "test.rlc.enter"]
+
+
+def test_pipeline_mean_total(rng):
+    sim, tracer = Simulator(), Tracer()
+    pipeline = LayerPipeline([
+        make_layer(sim, tracer, rng, delay_us=5.0),
+        make_layer(sim, tracer, rng, name="RLC", delay_us=10.0),
+    ])
+    assert pipeline.mean_total_us() == 15.0
+
+
+def test_pipeline_lookup(rng):
+    sim, tracer = Simulator(), Tracer()
+    pipeline = LayerPipeline([make_layer(sim, tracer, rng, name="MAC")])
+    assert pipeline.layer("MAC").name == "MAC"
+    with pytest.raises(KeyError):
+        pipeline.layer("PHY")
+
+
+def test_empty_pipeline_rejected():
+    with pytest.raises(ValueError):
+        LayerPipeline([])
+
+
+def test_concurrent_packets_interleave(rng):
+    sim, tracer = Simulator(), Tracer()
+    layer = make_layer(sim, tracer, rng, delay_us=10.0)
+    done = []
+    layer.process(make_packet(), done.append)
+    sim.schedule(tc_from_us(3.0), layer.process, make_packet(),
+                 done.append)
+    sim.run_until_idle()
+    assert len(done) == 2
+    assert len(layer.samples_us) == 2

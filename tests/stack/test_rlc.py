@@ -1,0 +1,152 @@
+"""Unit tests for the RLC queue."""
+
+from repro.mac.types import Direction
+from repro.phy.timebase import tc_from_us, us_from_tc
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+from repro.stack.packets import LatencySource, Packet, PacketKind
+from repro.stack.rlc import RlcQueue
+
+
+def make_packet(payload=50):
+    return Packet(PacketKind.DATA, Direction.DL, payload, created_tc=0)
+
+
+def make_queue(max_packets=None):
+    sim = Simulator()
+    queue = RlcQueue(sim, Tracer(), "test.rlcq", max_packets=max_packets)
+    return sim, queue
+
+
+def test_fifo_order():
+    sim, queue = make_queue()
+    first, second = make_packet(), make_packet()
+    queue.enqueue(first)
+    queue.enqueue(second)
+    assert queue.dequeue() is first
+    assert queue.dequeue() is second
+    assert queue.dequeue() is None
+
+
+def test_wait_time_charged_to_protocol():
+    sim, queue = make_queue()
+    packet = make_packet()
+    queue.enqueue(packet)
+    wait = tc_from_us(480.0)
+    sim.schedule(wait, lambda: None)
+    sim.run_until_idle()
+    queue.dequeue()
+    assert packet.budget[LatencySource.PROTOCOL] == wait
+    assert queue.wait_samples_us == [us_from_tc(wait)]
+
+
+def test_len_bool_and_bytes():
+    sim, queue = make_queue()
+    assert not queue
+    queue.enqueue(make_packet(payload=10))
+    queue.enqueue(make_packet(payload=20))
+    assert len(queue) == 2
+    assert queue.queued_bytes == 30
+
+
+def test_pull_up_to_respects_capacity_and_order():
+    sim, queue = make_queue()
+    for payload in (40, 40, 40):
+        queue.enqueue(make_packet(payload=payload))
+    pulled = queue.pull_up_to(85)
+    assert [p.payload_bytes for p in pulled] == [40, 40]
+    assert len(queue) == 1
+
+
+def test_pull_up_to_stops_at_first_misfit():
+    # FIFO is preserved: a large head blocks smaller packets behind it.
+    sim, queue = make_queue()
+    queue.enqueue(make_packet(payload=100))
+    queue.enqueue(make_packet(payload=10))
+    assert queue.pull_up_to(50) == []
+    assert len(queue) == 2
+
+
+def test_overflow_drops_and_counts():
+    sim, queue = make_queue(max_packets=1)
+    assert queue.enqueue(make_packet())
+    rejected = make_packet()
+    assert not queue.enqueue(rejected)
+    assert rejected.dropped
+    assert queue.dropped_overflow == 1
+
+
+def test_head_of_line_wait():
+    sim, queue = make_queue()
+    assert queue.head_of_line_wait_tc() is None
+    queue.enqueue(make_packet())
+    sim.schedule(100, lambda: None)
+    sim.run_until_idle()
+    assert queue.head_of_line_wait_tc() == 100
+
+
+# ---------------------------------------------------------------------------
+# RLC segmentation (§3: "segmentation and reassembly")
+# ---------------------------------------------------------------------------
+def test_segmentation_splits_large_head():
+    sim, queue = make_queue()
+    big = make_packet(payload=1_000)
+    queue.enqueue(big)
+    first = queue.pull(400, allow_segmentation=True)
+    assert first.completed == []
+    assert first.consumed_bytes == 400
+    assert len(queue) == 1  # the SDU stays queued with its remainder
+    second = queue.pull(400, allow_segmentation=True)
+    assert second.consumed_bytes == 400
+    last = queue.pull(400, allow_segmentation=True)
+    assert last.completed == [big]
+    assert last.consumed_bytes == 200  # the remainder
+    assert not queue
+
+
+def test_segmentation_records_wait_at_completion():
+    sim, queue = make_queue()
+    big = make_packet(payload=500)
+    queue.enqueue(big)
+    queue.pull(300, allow_segmentation=True)
+    sim.schedule(1_000, lambda: None)
+    sim.run_until_idle()
+    queue.pull(300, allow_segmentation=True)
+    # One wait sample, measured at the final segment.
+    assert len(queue.wait_samples_us) == 1
+
+
+def test_no_segmentation_below_min_segment():
+    from repro.stack.rlc import MIN_SEGMENT_BYTES
+    sim, queue = make_queue()
+    queue.enqueue(make_packet(payload=1_000))
+    result = queue.pull(MIN_SEGMENT_BYTES - 1, allow_segmentation=True)
+    assert result.consumed_bytes == 0
+    assert not result.carries_data
+
+
+def test_segment_then_small_packets_wait_fifo():
+    # FIFO holds across segmentation: packets behind a half-sent SDU
+    # are not reordered ahead of it.
+    sim, queue = make_queue()
+    big = make_packet(payload=1_000)
+    small = make_packet(payload=10)
+    queue.enqueue(big)
+    queue.enqueue(small)
+    queue.pull(400, allow_segmentation=True)
+    result = queue.pull(400, allow_segmentation=True)
+    assert result.completed == []  # big still unfinished
+    result = queue.pull(400, allow_segmentation=True)
+    assert result.completed == [big, small]
+
+
+def test_dequeue_resets_partial_state():
+    sim, queue = make_queue()
+    big = make_packet(payload=1_000)
+    queue.enqueue(big)
+    queue.pull(400, allow_segmentation=True)
+    assert queue.dequeue() is big
+    # A fresh SDU pulls from byte zero.
+    queue.enqueue(make_packet(payload=50))
+    result = queue.pull(100, allow_segmentation=True)
+    assert result.consumed_bytes == 50

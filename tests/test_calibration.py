@@ -1,0 +1,60 @@
+"""Tests for the calibration constants against the paper's numbers."""
+
+import pytest
+
+from repro import calibration
+
+
+def test_table2_rows_present():
+    expected = {"SDAP", "PDCP", "RLC", "MAC", "PHY"}
+    assert set(calibration.GNB_LAYER_STATS) == expected
+
+
+def test_table2_values_are_the_papers():
+    assert calibration.GNB_LAYER_STATS["MAC"] == (55.21, 16.31)
+    assert calibration.GNB_LAYER_STATS["PHY"] == (41.55, 10.83)
+    assert calibration.PAPER_RLC_QUEUE_STATS == (484.20, 89.46)
+
+
+def test_gnb_layer_delays_scaling(rng):
+    base = calibration.gnb_layer_delays()
+    scaled = calibration.gnb_layer_delays(scale=0.5)
+    assert scaled["MAC"].mean_us == pytest.approx(
+        base["MAC"].mean_us / 2)
+
+
+def test_ue_tx_slower_than_rx():
+    # §7: the modem's transmit path dominates.
+    assert calibration.UE_TX_PROCESSING_SCALE > \
+        calibration.UE_RX_PROCESSING_SCALE > 1.0
+
+
+def test_ue_delay_factories(rng):
+    tx = calibration.ue_tx_layer_delays()
+    rx = calibration.ue_rx_layer_delays()
+    assert tx["MAC"].mean_us > rx["MAC"].mean_us
+    assert "APP" in tx and "APP" in rx
+
+
+def test_interface_params_cover_fig5_buses():
+    assert {"usb2", "usb3"} <= set(calibration.INTERFACE_PARAMS)
+    usb2 = calibration.INTERFACE_PARAMS["usb2"]
+    usb3 = calibration.INTERFACE_PARAMS["usb3"]
+    assert usb2[1] > usb3[1]  # per-sample cost
+
+
+def test_interface_spike_lookup(rng):
+    probability, sampler = calibration.interface_spike("usb3")
+    assert 0.0 < probability < 1.0
+    assert sampler.sample(rng) >= 0.0
+
+
+def test_rh_latency_is_the_papers_500us():
+    assert calibration.TESTBED_RH_LATENCY_US == 500.0
+
+
+def test_jitter_regimes_ordered():
+    assert calibration.OS_JITTER_GPOS["spike_probability"] > \
+        calibration.OS_JITTER_RT_KERNEL["spike_probability"]
+    assert calibration.OS_JITTER_GPOS["spike_mean_us"] > \
+        calibration.OS_JITTER_RT_KERNEL["spike_mean_us"]

@@ -1,0 +1,58 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_table1_output(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "✓" in out and "✗" in out and "Mini-slot" in out
+
+
+def test_fig4_output(capsys):
+    assert main(["fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "Grant-free UL" in out and "budget 500" in out
+
+
+def test_journey_output(capsys):
+    assert main(["journey", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "RTT" in out and "RLC queue" in out
+
+
+def test_journey_grant_free(capsys):
+    assert main(["journey", "--grant-free"]) == 0
+    out = capsys.readouterr().out
+    assert "grant-free UL data tx" in out
+
+
+def test_fig6_small_run(capsys):
+    assert main(["fig6", "--packets", "40", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "grant-based" in out and "Uplink" in out
+
+
+def test_sweep_output(capsys):
+    assert main(["sweep", "--radio-us", "0", "250"]) == 0
+    out = capsys.readouterr().out
+    assert "µ=2" in out and "250" in out
+
+
+def test_technologies_output(capsys):
+    assert main(["technologies"]) == 0
+    out = capsys.readouterr().out
+    assert "Bluetooth" in out and "Wi-Fi" in out and "mmWave" in out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["nope"])
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

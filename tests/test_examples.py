@@ -1,0 +1,66 @@
+"""Smoke tests: the example scripts run end to end.
+
+Each example is executed in-process (import + ``main()``) with stdout
+captured; the assertions check the headline strings a reader relies on.
+The slowest studies are exercised by their benchmark twins instead.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "Table 1" in out
+    assert "✓" in out and "✗" in out
+    assert "grant-free" in out
+
+
+def test_ping_journey(capsys):
+    out = run_example("ping_journey", capsys)
+    assert "RTT" in out
+    assert "grant-free UL data tx" in out
+    assert "RLC queue" in out
+
+
+def test_design_space_exploration(capsys):
+    out = run_example("design_space_exploration", capsys)
+    assert "µ=2" in out
+    assert "Bluetooth" in out
+    assert "bottleneck" in out
+
+
+@pytest.mark.slow
+def test_industrial_automation(capsys):
+    out = run_example("industrial_automation", capsys)
+    assert "MET" in out
+    assert "VIOLATED" in out
+
+
+def test_every_example_has_main_and_docstring():
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        assert '"""' in source.split("\n", 2)[2][:500] or \
+            source.lstrip().startswith(('#!/usr/bin/env python3\n"""',
+                                        '"""')), path.name
+        assert "def main()" in source, path.name
+        assert "__main__" in source, path.name

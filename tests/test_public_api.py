@@ -1,0 +1,49 @@
+"""The public API surface: exports resolve and stay consistent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = ["repro", "repro.sim", "repro.phy", "repro.mac",
+            "repro.stack", "repro.radio", "repro.net", "repro.traffic",
+            "repro.baselines", "repro.analysis", "repro.core"]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), package_name
+    for name in package.__all__:
+        assert hasattr(package, name), (
+            f"{package_name}.__all__ lists {name!r} but it is missing")
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_headline_workflow_via_top_level_imports():
+    matrix = repro.feasibility_matrix()
+    text = repro.render_table1(matrix)
+    assert "✓" in text
+    model = repro.LatencyModel(repro.minimal_dm())
+    extremes = model.extremes(repro.Direction.DL)
+    assert repro.URLLC_5G.met_by_worst_case(extremes)
+
+
+def test_every_public_item_has_a_docstring():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in package.__all__:
+            item = getattr(package, name)
+            if callable(item) or isinstance(item, type):
+                assert item.__doc__, (
+                    f"{package_name}.{name} lacks a docstring")
+
+
+def test_module_docstrings_exist():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        assert package.__doc__, f"{package_name} lacks a module docstring"

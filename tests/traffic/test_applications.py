@@ -1,0 +1,44 @@
+"""Unit tests for application workload presets."""
+
+import pytest
+
+from repro.phy.timebase import tc_from_ms, tc_from_us
+from repro.traffic.applications import (
+    ALL_WORKLOADS,
+    INDUSTRIAL_AUTOMATION,
+    TESTBED_PING,
+    VR_AR,
+    Workload,
+)
+from repro.core.feasibility import Requirement
+
+
+def test_presets_are_consistent():
+    for workload in ALL_WORKLOADS:
+        assert workload.payload_bytes > 0
+        assert workload.requirement.one_way_budget_tc > 0
+
+
+def test_industrial_arrivals_are_periodic(rng):
+    arrivals = INDUSTRIAL_AUTOMATION.arrivals(10, tc_from_ms(100), rng)
+    gaps = {b - a for a, b in zip(arrivals, arrivals[1:])}
+    assert gaps == {tc_from_us(1000)}
+
+
+def test_testbed_ping_is_uniform(rng):
+    arrivals = TESTBED_PING.arrivals(100, tc_from_ms(50), rng)
+    assert len(arrivals) == 100
+    assert max(arrivals) < tc_from_ms(50)
+
+
+def test_vr_ar_is_poisson(rng):
+    arrivals = VR_AR.arrivals(0, tc_from_ms(1_000), rng)
+    assert len(arrivals) == pytest.approx(2_000, rel=0.2)
+    capped = VR_AR.arrivals(10, tc_from_ms(1_000), rng)
+    assert len(capped) == 10
+
+
+def test_unknown_arrival_kind_rejected(rng):
+    workload = Workload("x", 10, Requirement("r", 100, 0.9), "fractal")
+    with pytest.raises(ValueError):
+        workload.arrivals(10, 1000, rng)
