@@ -21,6 +21,8 @@ from repro.net.probes import LatencyProbe
 from repro.stack.packets import LatencySource
 from repro.phy.timebase import us_from_tc
 
+__all__ = ["export_probe", "export_histogram", "export_series"]
+
 
 def export_probe(probe: LatencyProbe, path: str | Path) -> int:
     """Write one row per delivered packet; returns the row count."""

@@ -13,6 +13,13 @@ from repro.mac.tdd import TddCommonConfig
 from repro.mac.types import SymbolRole
 from repro.phy.timebase import us_from_tc
 
+__all__ = [
+    "render_tdd_configuration",
+    "render_table",
+    "render_layer_table",
+    "render_worst_case_bars",
+]
+
 
 def render_tdd_configuration(config: TddCommonConfig) -> str:
     """Fig 1a-style rendering of a Common Configuration.

@@ -6,6 +6,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+__all__ = ["Histogram", "histogram", "Cdf", "cdf"]
+
 
 @dataclass(frozen=True)
 class Histogram:

@@ -14,6 +14,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+__all__ = [
+    "BLUETOOTH_SLOT_US",
+    "MAX_ACTIVE_SLAVES",
+    "MAX_TX_POWER_MW",
+    "BluetoothPiconet",
+]
+
 #: Fixed Bluetooth slot length (µs).
 BLUETOOTH_SLOT_US: float = 625.0
 

@@ -27,6 +27,12 @@ from repro.phy.channel import GilbertElliottChannel
 from repro.phy.timebase import tc_from_ms
 from repro.sim.distributions import Exponential, LogNormal
 
+__all__ = [
+    "MmWaveParameters",
+    "MmWaveBaseline",
+    "PAPER_SUB_MS_FRACTION",
+]
+
 
 @dataclass(frozen=True)
 class MmWaveParameters:

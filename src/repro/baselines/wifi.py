@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+__all__ = ["WifiParameters", "WifiBaseline"]
+
 
 @dataclass(frozen=True)
 class WifiParameters:

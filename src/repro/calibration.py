@@ -26,6 +26,22 @@ from __future__ import annotations
 
 from repro.sim.distributions import DelaySampler, Exponential, from_mean_std
 
+__all__ = [
+    "GNB_LAYER_STATS",
+    "PAPER_RLC_QUEUE_STATS",
+    "gnb_layer_delays",
+    "UE_TX_PROCESSING_SCALE",
+    "UE_RX_PROCESSING_SCALE",
+    "UE_APP_DELAY_US",
+    "ue_tx_layer_delays",
+    "ue_rx_layer_delays",
+    "INTERFACE_PARAMS",
+    "interface_spike",
+    "TESTBED_RH_LATENCY_US",
+    "OS_JITTER_GPOS",
+    "OS_JITTER_RT_KERNEL",
+]
+
 # ---------------------------------------------------------------------------
 # Table 2: gNB per-layer processing times (µs).
 # ---------------------------------------------------------------------------

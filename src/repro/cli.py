@@ -8,6 +8,8 @@ Usage (after installation)::
     urllc5g fig6 --packets 400    # testbed latency distributions
     urllc5g sweep                 # slot duration × radio latency
     urllc5g technologies          # Wi-Fi / Bluetooth / mmWave (§9)
+    urllc5g lint src/             # domain static analysis (docs/LINTING.md)
+    urllc5g check --determinism   # same-seed trace-digest comparison
 
 or ``python -m repro.cli <command>``.
 """
@@ -17,8 +19,6 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Sequence
-
-import numpy as np
 
 from repro.analysis.report import render_table, render_worst_case_bars
 from repro.analysis.stats import histogram
@@ -38,6 +38,8 @@ from repro.radio.os_jitter import gpos
 from repro.radio.radio_head import RadioHead
 from repro.sim.rng import RngRegistry
 from repro.traffic.generators import uniform_in_horizon
+
+__all__ = ["build_parser", "main"]
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
@@ -105,7 +107,7 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
 
 
 def _cmd_technologies(args: argparse.Namespace) -> None:
-    rng = np.random.default_rng(args.seed)
+    rng = RngRegistry(args.seed).stream("technologies")
     rows = [("5G FR2 mmWave",
              f"{MmWaveBaseline().sub_ms_fraction(rng, 30_000):.1%} sub-ms")]
     for stations in (2, 10):
@@ -118,6 +120,53 @@ def _cmd_technologies(args: argparse.Namespace) -> None:
         rows.append((f"Bluetooth ({slaves} slaves)",
                      f"worst {piconet.worst_case_uplink_us():g} µs"))
     print(render_table(("technology", "vs the 0.5 ms budget"), rows))
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily so analysis commands stay import-light.
+    from pathlib import Path
+
+    from repro.devtools.lintkit import (
+        LintConfig, lint_paths, load_config, render_json, render_text)
+    paths = args.paths or ["src"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        # A typo'd path must not produce a green "0 files checked".
+        print(f"error: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.no_config:
+            config = LintConfig()
+        else:
+            config = load_config(pyproject=args.config, start=paths[0])
+        if args.select:
+            config.select = tuple(args.select)
+        if args.ignore:
+            config.ignore = tuple(config.ignore) + tuple(args.ignore)
+        report = lint_paths(paths, config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_json(report) if args.format == "json"
+          else render_text(report))
+    return report.exit_code
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.devtools.determinism import determinism_report
+    if not args.determinism:
+        print("nothing to check: pass --determinism")
+        return 2
+    try:
+        report = determinism_report(seed=args.seed,
+                                    packets=args.packets,
+                                    runs=args.runs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -157,14 +206,39 @@ def build_parser() -> argparse.ArgumentParser:
                           help="Wi-Fi/Bluetooth/mmWave baselines (§9)")
     tech.add_argument("--seed", type=int, default=3)
     tech.set_defaults(func=_cmd_technologies)
+
+    lint = sub.add_parser(
+        "lint", help="domain static analysis (see docs/LINTING.md)")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories (default: src)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text")
+    lint.add_argument("--select", nargs="*", metavar="RULE",
+                      help="run only these rule ids")
+    lint.add_argument("--ignore", nargs="*", metavar="RULE",
+                      help="additionally disable these rule ids")
+    lint.add_argument("--config", default=None,
+                      help="explicit pyproject.toml path")
+    lint.add_argument("--no-config", action="store_true",
+                      help="ignore [tool.urllc5g.lint] entirely")
+    lint.set_defaults(func=_cmd_lint)
+
+    check = sub.add_parser(
+        "check", help="runtime sanitizers (currently: --determinism)")
+    check.add_argument("--determinism", action="store_true",
+                       help="run a scenario twice with the same seed "
+                            "and compare trace digests")
+    check.add_argument("--seed", type=int, default=7)
+    check.add_argument("--packets", type=int, default=40)
+    check.add_argument("--runs", type=int, default=2)
+    check.set_defaults(func=_cmd_check)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
-    return 0
+    return int(args.func(args) or 0)
 
 
 if __name__ == "__main__":

@@ -30,6 +30,14 @@ from repro.mac.types import AccessMode, Direction
 from repro.phy.timebase import tc_from_us, us_from_tc
 from repro import calibration
 
+__all__ = [
+    "SystemProfile",
+    "BudgetBreakdown",
+    "system_extremes",
+    "worst_case_budget",
+    "slot_duration_sweep",
+]
+
 
 @dataclass(frozen=True)
 class SystemProfile:

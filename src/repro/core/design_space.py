@@ -30,6 +30,19 @@ from repro.mac.tdd import TddCommonConfig
 from repro.mac.types import AccessMode, Direction
 from repro.phy.numerology import Numerology
 
+__all__ = [
+    "TABLE1_ROWS",
+    "TABLE1_COLUMNS",
+    "FeasibilityCell",
+    "table1_schemes",
+    "evaluate_cell",
+    "feasibility_matrix",
+    "feasible_designs",
+    "enumerate_common_configurations",
+    "exhaustive_search",
+    "render_table1",
+]
+
 #: Row labels in the paper's Table 1 order.
 TABLE1_ROWS: tuple[str, ...] = ("Grant-Based UL", "Grant-Free UL", "DL")
 

@@ -12,6 +12,14 @@ from dataclasses import dataclass
 from repro.core.latency_model import LatencyExtremes
 from repro.phy.timebase import ms_from_tc, tc_from_ms
 
+__all__ = [
+    "Requirement",
+    "URLLC_5G",
+    "URLLC_5G_RELAXED",
+    "URLLC_6G",
+    "verdict_mark",
+]
+
 
 @dataclass(frozen=True)
 class Requirement:

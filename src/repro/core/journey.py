@@ -14,6 +14,8 @@ from repro.net.session import PingResult
 from repro.sim.trace import Tracer
 from repro.phy.timebase import us_from_tc
 
+__all__ = ["JourneyStep", "PingJourney", "reconstruct_ping_journey"]
+
 
 @dataclass(frozen=True)
 class JourneyStep:

@@ -36,6 +36,13 @@ from repro.mac.scheme import DuplexingScheme
 from repro.mac.types import AccessMode, Direction
 from repro.phy.timebase import ms_from_tc, us_from_tc
 
+__all__ = [
+    "ProtocolTimings",
+    "GrantChainTrace",
+    "LatencyExtremes",
+    "LatencyModel",
+]
+
 
 @dataclass(frozen=True)
 class ProtocolTimings:

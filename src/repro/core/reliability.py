@@ -23,6 +23,14 @@ from repro.net.probes import LatencyProbe
 from repro.radio.os_jitter import OsJitterModel
 from repro.phy.timebase import us_from_tc
 
+__all__ = [
+    "ReliabilityReport",
+    "assess",
+    "MarginTradeoff",
+    "margin_tradeoff",
+    "required_margin_us",
+]
+
 
 @dataclass(frozen=True)
 class ReliabilityReport:

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
+__all__ = ["SensitivityResult", "tornado"]
+
 
 @dataclass(frozen=True)
 class SensitivityResult:

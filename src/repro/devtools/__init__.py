@@ -1,0 +1,37 @@
+"""Developer tooling for the urllc5g reproduction.
+
+Two quality gates live here, both wired into the ``urllc5g`` CLI and CI:
+
+- :mod:`repro.devtools.lintkit` — an AST static-analysis framework with
+  domain rules enforcing the invariants the paper's results rest on
+  (no wall-clock reads in simulated paths, explicit RNG threading,
+  time-unit suffix consistency, deterministic iteration order);
+- :mod:`repro.devtools.determinism` — a runtime sanitizer that runs a
+  scenario twice with the same seed and compares trace digests.
+"""
+
+from repro.devtools.determinism import (
+    DeterminismReport,
+    determinism_report,
+    run_traced_scenario,
+)
+from repro.devtools.lintkit import (
+    LintConfig,
+    LintReport,
+    Rule,
+    Severity,
+    Violation,
+    lint_paths,
+)
+
+__all__ = [
+    "DeterminismReport",
+    "determinism_report",
+    "run_traced_scenario",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "Violation",
+    "lint_paths",
+]

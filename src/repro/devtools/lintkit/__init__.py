@@ -1,0 +1,42 @@
+"""``urllc5g lint`` — AST static analysis for simulation invariants.
+
+The framework (:mod:`.core`) walks Python sources, runs every
+registered :class:`Rule`, honours ``# lint: disable=RULE`` pragmas and
+the ``[tool.urllc5g.lint]`` baseline, and reports through
+:mod:`.reporters`.  The domain rules live in :mod:`.rules`; importing
+this package registers them all.
+"""
+
+from repro.devtools.lintkit.config import find_pyproject, load_config
+from repro.devtools.lintkit.core import (
+    LintConfig,
+    LintReport,
+    ModuleUnderLint,
+    Rule,
+    Severity,
+    Violation,
+    lint_paths,
+    lint_source,
+    register,
+    registered_rules,
+)
+from repro.devtools.lintkit.reporters import render_json, render_text
+from repro.devtools.lintkit import rules  # noqa: F401  (registers rules)
+
+__all__ = [
+    "LintConfig",
+    "LintReport",
+    "ModuleUnderLint",
+    "Rule",
+    "Severity",
+    "Violation",
+    "find_pyproject",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "register",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "rules",
+]

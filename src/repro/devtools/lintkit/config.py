@@ -1,0 +1,87 @@
+"""Load lint configuration from ``pyproject.toml``.
+
+The ``[tool.urllc5g.lint]`` table controls rule selection and the
+reviewed suppression baseline::
+
+    [tool.urllc5g.lint]
+    select = []                 # empty = every registered rule
+    ignore = []
+    exclude = ["build/*"]
+
+    [tool.urllc5g.lint.per-path]
+    "sim/rng.py" = ["rng-discipline"]
+
+    [tool.urllc5g.lint.severity]
+    "public-api-exports" = "warning"
+
+``tomllib`` ships with Python 3.11+; on older interpreters (the project
+floor is 3.10) configuration silently falls back to defaults rather
+than pulling in a third-party TOML parser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.lintkit.core import LintConfig
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - Python 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+__all__ = ["load_config", "find_pyproject"]
+
+
+def find_pyproject(start: str | Path) -> Path | None:
+    """Nearest ``pyproject.toml`` at or above ``start``."""
+    current = Path(start).resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in (current, *current.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_config(pyproject: str | Path | None = None,
+                start: str | Path = ".") -> LintConfig:
+    """Build a :class:`LintConfig` from the nearest ``pyproject.toml``.
+
+    Missing file, missing table, or a pre-3.11 interpreter all yield
+    the default config (every rule, no excludes).
+    """
+    if tomllib is None:  # pragma: no cover - Python 3.10 fallback
+        return LintConfig()
+    path = Path(pyproject) if pyproject is not None else (
+        find_pyproject(start))
+    if path is None or not path.is_file():
+        return LintConfig()
+    with open(path, "rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get("urllc5g", {}).get("lint", {})
+    if not isinstance(table, dict):
+        raise ValueError("[tool.urllc5g.lint] must be a table")
+    per_path_raw = table.get("per-path", {})
+    per_path = {pattern: tuple(_as_str_list(rules, f"per-path.{pattern}"))
+                for pattern, rules in per_path_raw.items()}
+    severity = table.get("severity", {})
+    if not all(isinstance(v, str) for v in severity.values()):
+        raise ValueError("[tool.urllc5g.lint.severity] values must be "
+                         "severity strings")
+    return LintConfig(
+        select=tuple(_as_str_list(table.get("select", []), "select")),
+        ignore=tuple(_as_str_list(table.get("ignore", []), "ignore")),
+        exclude=tuple(_as_str_list(table.get("exclude", []), "exclude")),
+        per_path=per_path,
+        severity_overrides=dict(severity),
+    )
+
+
+def _as_str_list(value: object, key: str) -> list[str]:
+    if (not isinstance(value, list)
+            or not all(isinstance(item, str) for item in value)):
+        raise ValueError(
+            f"[tool.urllc5g.lint] {key} must be a list of strings")
+    return value

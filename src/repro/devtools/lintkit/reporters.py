@@ -1,0 +1,53 @@
+"""Render a :class:`~repro.devtools.lintkit.core.LintReport`.
+
+Two formats: ``text`` for humans/CI logs, ``json`` for tooling.  Both
+are pure functions of the report so tests can assert on them directly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.lintkit.core import LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """One line per violation plus a summary footer."""
+    lines = [v.render() for v in report.violations]
+    lines.extend(f"{path_error}: could not parse"
+                 for path_error in report.parse_errors)
+    n_err = len(report.errors)
+    n_warn = len(report.warnings)
+    summary = (f"{report.files_checked} file(s) checked: "
+               f"{n_err} error(s), {n_warn} warning(s)")
+    if report.suppressed:
+        summary += f", {report.suppressed} suppressed"
+    if not report.violations and not report.parse_errors:
+        summary += " — clean"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (stable key order)."""
+    payload = {
+        "files_checked": report.files_checked,
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "suppressed": report.suppressed,
+        "parse_errors": list(report.parse_errors),
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule_id,
+                "severity": v.severity,
+                "message": v.message,
+            }
+            for v in report.violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

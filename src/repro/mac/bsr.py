@@ -15,6 +15,14 @@ from __future__ import annotations
 
 import bisect
 
+__all__ = [
+    "BSR_TABLE_BYTES",
+    "TOP_LEVEL_BYTES",
+    "bsr_index",
+    "reported_bytes",
+    "quantize",
+]
+
 #: Upper edge (bytes) of each 5-bit BSR level (TS 38.321 table
 #: 6.1.3.1-1).  Level 0 = empty buffer; level 31 = above the table.
 BSR_TABLE_BYTES: tuple[int, ...] = (

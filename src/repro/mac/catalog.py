@@ -24,6 +24,18 @@ from repro.mac.minislot import MiniSlotConfig
 from repro.mac.tdd import ALLOWED_PERIODS_MS, TddCommonConfig, TddPattern
 from repro.phy.numerology import Numerology
 
+__all__ = [
+    "DEFAULT_MIXED_SPLIT",
+    "minimal_du",
+    "minimal_dm",
+    "minimal_mu",
+    "testbed_dddu",
+    "minimal_mini_slot",
+    "fdd",
+    "from_letters",
+    "minimal_common_configurations",
+]
+
 #: Default mixed-slot split: DL symbols, flexible (guard), UL symbols.
 DEFAULT_MIXED_SPLIT: tuple[int, int, int] = (4, 2, 8)
 

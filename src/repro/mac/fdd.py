@@ -20,6 +20,8 @@ from repro.phy.frame import FrameStructure
 from repro.phy.numerology import Numerology
 from repro.phy.timebase import TC_PER_MS
 
+__all__ = ["FddConfig"]
+
 
 class FddConfig:
     """Full-duplex: every slot carries both a DL and a UL opportunity."""

@@ -28,6 +28,13 @@ from repro.mac.opportunities import OpportunityTimeline
 from repro.mac.scheme import DuplexingScheme
 from repro.phy.numerology import SYMBOLS_PER_SLOT
 
+__all__ = [
+    "MAX_HARQ_PROCESSES",
+    "HarqTiming",
+    "HarqFeedbackModel",
+    "HarqProcessPool",
+]
+
 #: NR maximum HARQ processes per direction (TS 38.321).
 MAX_HARQ_PROCESSES: int = 16
 

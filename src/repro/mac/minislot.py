@@ -28,6 +28,12 @@ from repro.phy.frame import FrameStructure
 from repro.phy.numerology import SYMBOLS_PER_SLOT, Numerology
 from repro.phy.timebase import TC_PER_MS
 
+__all__ = [
+    "ALLOWED_MINI_SLOT_SYMBOLS",
+    "RECOMMENDED_MIN_SLOT_MS",
+    "MiniSlotConfig",
+]
+
 #: Mini-slot (type-B scheduling) lengths permitted by TS 38.214.
 ALLOWED_MINI_SLOT_SYMBOLS: tuple[int, ...] = (2, 4, 7)
 

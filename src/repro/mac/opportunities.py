@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
+__all__ = ["Window", "OpportunityTimeline", "PeriodicInstants"]
+
 
 @dataclass(frozen=True, order=True)
 class Window:

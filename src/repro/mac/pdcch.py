@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+__all__ = ["PdcchCounters", "PdcchModel"]
+
 
 @dataclass
 class PdcchCounters:

@@ -31,6 +31,13 @@ from repro.mac.scheme import DuplexingScheme
 from repro.phy.numerology import SYMBOLS_PER_SLOT
 from repro.phy.timebase import tc_from_ms
 
+__all__ = [
+    "N_PREAMBLES",
+    "MAX_ATTEMPTS",
+    "RachOutcome",
+    "RachProcedure",
+]
+
 #: Contention preambles per PRACH occasion (64 minus reserved).
 N_PREAMBLES: int = 54
 

@@ -24,6 +24,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+__all__ = ["UlGrant", "SchedulerCounters", "GnbMacScheduler"]
+
 if TYPE_CHECKING:
     from repro.mac.harq import HarqProcessPool
     from repro.mac.pdcch import PdcchModel

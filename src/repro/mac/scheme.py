@@ -13,6 +13,8 @@ from typing import Protocol, runtime_checkable
 from repro.mac.opportunities import OpportunityTimeline, PeriodicInstants
 from repro.phy.numerology import Numerology
 
+__all__ = ["DuplexingScheme"]
+
 
 @runtime_checkable
 class DuplexingScheme(Protocol):

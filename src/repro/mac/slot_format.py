@@ -24,6 +24,8 @@ from repro.phy.frame import FrameStructure
 from repro.phy.numerology import SYMBOLS_PER_SLOT, Numerology
 from repro.phy.timebase import TC_PER_MS
 
+__all__ = ["SLOT_FORMATS", "format_roles", "SlotFormatConfig"]
+
 #: TS 38.213 table 11.1.1-1, formats 0-45 (D = downlink, U = uplink,
 #: F = flexible), one 14-character string per format index.
 SLOT_FORMATS: tuple[str, ...] = (

@@ -34,6 +34,13 @@ from repro.phy.frame import FrameStructure
 from repro.phy.numerology import SYMBOLS_PER_SLOT, Numerology
 from repro.phy.timebase import TC_PER_MS
 
+__all__ = [
+    "ALLOWED_PERIODS_MS",
+    "TddPattern",
+    "slot_letter",
+    "TddCommonConfig",
+]
+
 #: Pattern periods permitted by TS 38.331 (paper §2), in milliseconds.
 ALLOWED_PERIODS_MS: tuple[Fraction, ...] = tuple(
     Fraction(p) for p in ("0.5", "0.625", "1", "1.25", "2", "2.5", "5", "10")

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from enum import Enum
 
+__all__ = ["Direction", "SymbolRole", "AccessMode"]
+
 
 class Direction(Enum):
     """Transmission direction of a resource."""

@@ -10,12 +10,14 @@ the hop without bottlenecking on it.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Iterator
 
 import numpy as np
 
 from repro.sim.distributions import DelaySampler, from_mean_std
 from repro.sim.engine import Simulator
+
+__all__ = ["DEFAULT_UPF_DELAY_US", "Upf", "PingServer"]
 
 if TYPE_CHECKING:
     from repro.sim.resources import CpuResource
@@ -80,15 +82,22 @@ class Upf:
 
 
 class PingServer:
-    """Destination host that reflects ping requests (Fig 2's far end)."""
+    """Destination host that reflects ping requests (Fig 2's far end).
+
+    ``packet_ids`` is the owning system's packet-id sequence; replies
+    draw from it so ids stay deterministic per simulation rather than
+    per process.
+    """
 
     def __init__(self, sim: Simulator, tracer: Tracer,
-                 turnaround_us: float = 20.0):
+                 turnaround_us: float = 20.0,
+                 packet_ids: Iterator[int] | None = None):
         if turnaround_us < 0:
             raise ValueError("turnaround must be >= 0")
         self.sim = sim
         self.tracer = tracer
         self.turnaround_tc = tc_from_us(turnaround_us)
+        self._packet_ids = packet_ids
 
     def respond(self, request: Packet,
                 send_reply: Callable[[Packet], None]) -> None:
@@ -99,6 +108,8 @@ class PingServer:
                          packet_id=request.packet_id)
 
         def reply() -> None:
+            extra = ({} if self._packet_ids is None
+                     else {"packet_id": next(self._packet_ids)})
             response = Packet(
                 kind=PacketKind.PING_REPLY,
                 direction=Direction.DL,
@@ -106,6 +117,7 @@ class PingServer:
                 created_tc=self.sim.now,
                 ue_id=request.ue_id,
                 related_id=request.packet_id,
+                **extra,
             )
             response.stamp("server.reply_created", self.sim.now)
             self.tracer.emit(self.sim.now, "server", "reply_sent",

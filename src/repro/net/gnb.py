@@ -30,6 +30,8 @@ from repro.stack.layers import LayerPipeline, ProcessingLayer
 from repro.stack.packets import LatencySource, Packet
 from repro import calibration
 
+__all__ = ["GnbCounters", "Gnb"]
+
 _DOWN_LAYERS = ("SDAP", "PDCP", "RLC")
 _UP_LAYERS = ("PHY", "MAC", "RLC", "PDCP", "SDAP")
 

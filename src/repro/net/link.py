@@ -18,6 +18,8 @@ from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
 from repro.stack.packets import LatencySource, Packet
 
+__all__ = ["LinkCounters", "AirLink"]
+
 
 @dataclass
 class LinkCounters:

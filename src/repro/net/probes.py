@@ -9,6 +9,8 @@ import numpy as np
 from repro.stack.packets import LatencySource, Packet
 from repro.phy.timebase import us_from_tc
 
+__all__ = ["LatencySummary", "summarize_us", "LatencyProbe"]
+
 
 @dataclass(frozen=True)
 class LatencySummary:

@@ -12,6 +12,7 @@ entry points the benchmarks use:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 from repro.mac.harq import HarqFeedbackModel, HarqProcessPool
@@ -35,6 +36,8 @@ from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
 from repro.stack.packets import LatencySource, Packet, PacketKind
 from repro import calibration
+
+__all__ = ["RanConfig", "PingResult", "RanSystem"]
 
 
 @dataclass
@@ -106,12 +109,17 @@ class RanSystem:
         self.ul_probe = LatencyProbe("ul")
         self.ping_results: list[PingResult] = []
         self._pending_pings: dict[int, Packet] = {}
+        # Per-system id sequence: packet ids (and therefore traces)
+        # depend only on this system's own history, never on other
+        # simulations run earlier in the same process.
+        self._packet_ids = itertools.count(1)
 
         self.link = AirLink(self.sim, self.tracer,
                             self.rngs.stream("link"),
                             channel=self.config.channel)
         self.upf = Upf(self.sim, self.tracer, self.rngs.stream("upf"))
-        self.server = PingServer(self.sim, self.tracer)
+        self.server = PingServer(self.sim, self.tracer,
+                                 packet_ids=self._packet_ids)
 
         symbol_tc = scheme.numerology.slot_duration_tc // 14
         self.harq_pool: HarqProcessPool | None = None
@@ -314,7 +322,8 @@ class RanSystem:
         payload = payload_bytes or self.config.payload_bytes
         for arrival in arrivals:
             packet = Packet(PacketKind.DATA, Direction.DL, payload,
-                            created_tc=arrival, ue_id=ue_id)
+                            created_tc=arrival, ue_id=ue_id,
+                            packet_id=next(self._packet_ids))
             self.sim.schedule(
                 arrival,
                 lambda p=packet: self.upf.forward_downlink(
@@ -327,7 +336,8 @@ class RanSystem:
         payload = payload_bytes or self.config.payload_bytes
         for arrival in arrivals:
             packet = Packet(PacketKind.DATA, Direction.UL, payload,
-                            created_tc=arrival, ue_id=ue_id)
+                            created_tc=arrival, ue_id=ue_id,
+                            packet_id=next(self._packet_ids))
             self.sim.schedule(
                 arrival,
                 lambda p=packet: self.ues[p.ue_id].send_uplink(p))
@@ -339,7 +349,8 @@ class RanSystem:
         payload = payload_bytes or self.config.payload_bytes
         for arrival in arrivals:
             packet = Packet(PacketKind.PING_REQUEST, Direction.UL,
-                            payload, created_tc=arrival, ue_id=ue_id)
+                            payload, created_tc=arrival, ue_id=ue_id,
+                            packet_id=next(self._packet_ids))
             self.sim.schedule(
                 arrival,
                 lambda p=packet: self.ues[p.ue_id].send_uplink(p))

@@ -37,6 +37,8 @@ from repro.stack.packets import LatencySource, Packet
 from repro.stack.rlc import RlcQueue
 from repro import calibration
 
+__all__ = ["UeCounters", "Ue"]
+
 #: Order of layers on the way down (UL) and up (DL).
 _DOWN_LAYERS = ("APP", "SDAP", "PDCP", "RLC", "MAC")
 _UP_LAYERS = ("PHY", "MAC", "RLC", "PDCP", "SDAP")

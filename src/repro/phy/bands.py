@@ -18,6 +18,16 @@ from enum import Enum
 
 from repro.phy.numerology import FrequencyRange
 
+__all__ = [
+    "DuplexMode",
+    "FDD_MAX_FREQUENCY_GHZ",
+    "Band",
+    "BANDS",
+    "get_band",
+    "fdd_bands",
+    "private_5g_bands",
+]
+
 
 class DuplexMode(Enum):
     """Duplexing scheme of an operating band."""

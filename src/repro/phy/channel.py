@@ -26,6 +26,15 @@ import numpy as np
 
 from repro.phy.timebase import tc_from_us
 
+__all__ = [
+    "SPEED_OF_LIGHT_M_PER_S",
+    "propagation_delay_tc",
+    "Channel",
+    "PerfectChannel",
+    "IidErasureChannel",
+    "GilbertElliottChannel",
+]
+
 #: Speed of light (m/s), for propagation delay.
 SPEED_OF_LIGHT_M_PER_S: float = 299_792_458.0
 

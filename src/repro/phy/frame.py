@@ -18,6 +18,8 @@ from repro.phy.numerology import (
 )
 from repro.phy.timebase import TC_PER_FRAME, TC_PER_SUBFRAME
 
+__all__ = ["SlotAddress", "FrameStructure"]
+
 
 @dataclass(frozen=True)
 class SlotAddress:

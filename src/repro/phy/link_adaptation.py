@@ -20,6 +20,15 @@ import math
 
 from repro.phy.transport import MCS_TABLE_64QAM, mcs
 
+__all__ = [
+    "IMPLEMENTATION_GAP_DB",
+    "waterfall_snr_db",
+    "bler_at",
+    "required_snr_db",
+    "select_mcs",
+    "efficiency_at",
+]
+
 #: Gap to Shannon capacity of a practical LDPC at moderate block
 #: lengths (dB).
 IMPLEMENTATION_GAP_DB: float = 2.0

@@ -24,6 +24,16 @@ from functools import lru_cache
 
 from repro.phy.timebase import KAPPA, TC_PER_SUBFRAME
 
+__all__ = [
+    "SYMBOLS_PER_SLOT",
+    "VALID_MU",
+    "FrequencyRange",
+    "Numerology",
+    "symbol_lengths_in_subframe",
+    "symbol_starts_in_subframe",
+    "slot_starts_in_subframe",
+]
+
 #: OFDM symbols per slot with normal cyclic prefix.
 SYMBOLS_PER_SLOT: int = 14
 

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 from repro.phy.numerology import SYMBOLS_PER_SLOT, Numerology
 
+__all__ = ["SUBCARRIERS_PER_PRB", "n_rb_for", "fft_size_for", "Carrier"]
+
 #: Subcarriers per physical resource block.
 SUBCARRIERS_PER_PRB: int = 12
 

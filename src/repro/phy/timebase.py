@@ -20,6 +20,23 @@ from __future__ import annotations
 
 from fractions import Fraction
 
+__all__ = [
+    "TC_PER_SECOND",
+    "KAPPA",
+    "TC_PER_MS",
+    "TC_PER_SUBFRAME",
+    "TC_PER_FRAME",
+    "tc_from_seconds",
+    "tc_from_ms",
+    "tc_from_us",
+    "tc_from_ns",
+    "seconds_from_tc",
+    "ms_from_tc",
+    "us_from_tc",
+    "ns_from_tc",
+    "tc_exact_ms",
+]
+
 #: Tc ticks per second: 480 000 * 4096.
 TC_PER_SECOND: int = 480_000 * 4096
 
@@ -35,8 +52,8 @@ TC_PER_SUBFRAME: int = TC_PER_MS
 #: Tc ticks in one radio frame (10 ms).
 TC_PER_FRAME: int = 10 * TC_PER_MS
 
-_NS_PER_SECOND = 1_000_000_000
-_US_PER_SECOND = 1_000_000
+_NS_PER_SECOND: int = 1_000_000_000
+_US_PER_SECOND: int = 1_000_000
 
 
 def tc_from_seconds(seconds: float) -> int:

@@ -12,6 +12,15 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+__all__ = [
+    "MCS_TABLE_64QAM",
+    "TBS_TABLE",
+    "Mcs",
+    "mcs",
+    "transport_block_size",
+    "prbs_needed",
+]
+
 #: MCS index → (modulation order Qm, code rate × 1024).
 #: TS 38.214 table 5.1.3.1-1 (the 64QAM table used by the testbed).
 MCS_TABLE_64QAM: dict[int, tuple[int, int]] = {

@@ -17,6 +17,8 @@ import numpy as np
 from repro.calibration import INTERFACE_PARAMS
 from repro.sim.distributions import Exponential
 
+__all__ = ["InterfaceBus", "bus", "usb2", "usb3", "pcie", "ethernet"]
+
 
 @dataclass(frozen=True)
 class InterfaceBus:

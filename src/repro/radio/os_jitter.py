@@ -23,6 +23,8 @@ import numpy as np
 from repro.calibration import OS_JITTER_GPOS, OS_JITTER_RT_KERNEL
 from repro.sim.distributions import Exponential, TruncatedNormal
 
+__all__ = ["OsJitterModel", "gpos", "rt_kernel", "none"]
+
 
 @dataclass(frozen=True)
 class OsJitterModel:

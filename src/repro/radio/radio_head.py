@@ -26,6 +26,8 @@ from repro.phy.timebase import tc_from_us
 from repro.radio.interface import InterfaceBus
 from repro.radio.os_jitter import OsJitterModel
 
+__all__ = ["RadioHead"]
+
 
 @dataclass(frozen=True)
 class RadioHead:

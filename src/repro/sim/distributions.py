@@ -20,6 +20,16 @@ from typing import Protocol
 
 import numpy as np
 
+__all__ = [
+    "DelaySampler",
+    "Constant",
+    "LogNormal",
+    "TruncatedNormal",
+    "Exponential",
+    "Spiked",
+    "from_mean_std",
+]
+
 
 class DelaySampler(Protocol):
     """Anything that can produce a non-negative delay in microseconds."""

@@ -16,11 +16,30 @@ for this project:
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Optional
+
+__all__ = ["SimulationError", "Event", "Simulator"]
 
 
 class SimulationError(RuntimeError):
     """Raised on misuse of the simulator (e.g. scheduling in the past)."""
+
+
+def _as_tick(value: int | float, what: str) -> int:
+    """Coerce a scheduling time to an integer tick.
+
+    Integral floats (e.g. the result of tick arithmetic that passed
+    through a float) are accepted; non-integral values are rejected
+    instead of silently truncated, because a dropped fraction of a tick
+    is exactly the kind of unit bug the timebase discipline exists to
+    prevent.
+    """
+    tick = int(value)
+    if tick != value:
+        raise SimulationError(
+            f"{what} must be an integer tick count, got {value!r}; "
+            "convert with repro.phy.timebase (tc_from_us/...) first")
+    return tick
 
 
 class Event:
@@ -34,7 +53,7 @@ class Event:
     __slots__ = ("time", "seq", "callback", "args", "cancelled")
 
     def __init__(self, time: int, seq: int,
-                 callback: Callable[..., Any], args: tuple):
+                 callback: Callable[..., Any], args: tuple[Any, ...]):
         self.time = time
         self.seq = seq
         self.callback = callback
@@ -96,9 +115,10 @@ class Simulator:
         """Schedule ``callback(*args)`` at absolute tick ``at``.
 
         ``at`` may equal :attr:`now` (the event runs later in the current
-        tick) but must not lie in the past.
+        tick) but must not lie in the past, and must be an integral tick
+        (non-integral floats raise instead of truncating).
         """
-        at = int(at)
+        at = _as_tick(at, "schedule time")
         if at < self._now:
             raise SimulationError(
                 f"cannot schedule at {at}; current time is {self._now}")
@@ -109,10 +129,16 @@ class Simulator:
 
     def call_in(self, delay: int, callback: Callable[..., Any],
                 *args: Any) -> Event:
-        """Schedule ``callback(*args)`` after a relative ``delay`` ticks."""
-        delay = int(delay)
+        """Schedule ``callback(*args)`` after a relative ``delay`` ticks.
+
+        Raises :class:`SimulationError` for a negative or non-integral
+        delay rather than scheduling in the past or truncating.
+        """
+        delay = _as_tick(delay, "relative delay")
         if delay < 0:
-            raise SimulationError(f"negative delay {delay}")
+            raise SimulationError(
+                f"cannot schedule {delay} ticks in the past; "
+                "relative delays must be >= 0")
         return self.schedule(self._now + delay, callback, *args)
 
     # ------------------------------------------------------------------
@@ -174,6 +200,6 @@ class Simulator:
     # ------------------------------------------------------------------
     # convenience
     # ------------------------------------------------------------------
-    def timeline(self) -> Iterable[int]:
+    def timeline(self) -> list[int]:
         """Times of the live events currently queued (sorted)."""
         return sorted(e.time for e in self._queue if not e.cancelled)

@@ -15,6 +15,8 @@ from typing import Callable
 from repro.sim.engine import Simulator
 from repro.phy.timebase import us_from_tc
 
+__all__ = ["CpuResource"]
+
 
 class CpuResource:
     """An m-core FIFO processing resource.

@@ -14,6 +14,8 @@ import hashlib
 
 import numpy as np
 
+__all__ = ["RngRegistry"]
+
 
 class RngRegistry:
     """Factory of independent, deterministic ``numpy`` generators.

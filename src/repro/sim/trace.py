@@ -16,8 +16,11 @@ Records carry:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
 
 
 @dataclass(frozen=True)
@@ -27,7 +30,13 @@ class TraceRecord:
     time: int
     category: str
     name: str
-    fields: dict = field(default_factory=dict)
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def canonical(self) -> str:
+        """A stable one-line rendering used for digests and diffs."""
+        payload = ",".join(f"{k}={self.fields[k]!r}"
+                           for k in sorted(self.fields))
+        return f"{self.time}|{self.category}|{self.name}|{payload}"
 
     def matches(self, category: Optional[str] = None,
                 name: Optional[str] = None) -> bool:
@@ -90,6 +99,19 @@ class Tracer:
 
     def clear(self) -> None:
         self._records.clear()
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical record stream.
+
+        Two simulation runs of the same scenario with the same seed must
+        produce identical digests; ``urllc5g check --determinism`` and
+        the determinism tests are built on this.
+        """
+        hasher = hashlib.sha256()
+        for record in self._records:
+            hasher.update(record.canonical().encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
 
     def first(self, category: Optional[str] = None,
               name: Optional[str] = None) -> Optional[TraceRecord]:

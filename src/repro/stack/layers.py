@@ -17,6 +17,8 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
+__all__ = ["ProcessingLayer", "LayerPipeline"]
+
 if TYPE_CHECKING:
     from repro.sim.resources import CpuResource
 

@@ -19,7 +19,14 @@ from enum import Enum
 
 from repro.mac.types import Direction
 
-_packet_ids = itertools.count(1)
+__all__ = ["PacketKind", "LatencySource", "HEADER_BYTES", "Packet"]
+
+#: Fallback id source for packets built outside a simulation context
+#: (ad-hoc tests, notebooks).  Simulation code must pass ``packet_id``
+#: explicitly from a per-system counter — a process-global sequence
+#: would make trace digests depend on how many packets earlier runs in
+#: the same process created (see docs/LINTING.md, determinism).
+_fallback_packet_ids = itertools.count(1)
 
 
 class PacketKind(Enum):
@@ -57,7 +64,8 @@ class Packet:
     payload_bytes: int
     created_tc: int
     ue_id: int = 0
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    packet_id: int = field(
+        default_factory=lambda: next(_fallback_packet_ids))
     header_bytes: int = 0
     timestamps: dict[str, int] = field(default_factory=dict)
     budget: dict[LatencySource, int] = field(

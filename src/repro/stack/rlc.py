@@ -18,6 +18,8 @@ from repro.sim.trace import Tracer
 from repro.stack.packets import LatencySource, Packet
 from repro.phy.timebase import us_from_tc
 
+__all__ = ["MIN_SEGMENT_BYTES", "PullResult", "RlcQueue"]
+
 #: Smallest useful RLC segment (segment header + a few payload bytes);
 #: leftover transport-block space below this is not worth splitting for.
 MIN_SEGMENT_BYTES: int = 36

@@ -15,6 +15,16 @@ from repro.core.feasibility import Requirement
 from repro.phy.timebase import tc_from_ms, tc_from_us
 from repro.traffic import generators
 
+__all__ = [
+    "Workload",
+    "INDUSTRIAL_AUTOMATION",
+    "PROFESSIONAL_AUDIO",
+    "REMOTE_SURGERY",
+    "VR_AR",
+    "TESTBED_PING",
+    "ALL_WORKLOADS",
+]
+
 
 @dataclass(frozen=True)
 class Workload:

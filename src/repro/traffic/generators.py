@@ -12,6 +12,8 @@ import numpy as np
 
 from repro.phy.timebase import tc_from_us
 
+__all__ = ["uniform_in_horizon", "periodic", "poisson"]
+
 
 def uniform_in_horizon(n_packets: int, horizon_tc: int,
                        rng: np.random.Generator,

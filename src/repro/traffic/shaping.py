@@ -18,6 +18,8 @@ from __future__ import annotations
 from repro.mac.scheme import DuplexingScheme
 from repro.mac.types import AccessMode, Direction
 
+__all__ = ["phase_is_stable", "optimal_phase", "align_periodic"]
+
 
 def phase_is_stable(arrivals: list[int],
                     scheme: DuplexingScheme) -> bool:

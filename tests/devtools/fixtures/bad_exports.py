@@ -1,0 +1,5 @@
+"""Fixture: public module without an export list (public-api-exports)."""
+
+
+def visible() -> int:
+    return 1

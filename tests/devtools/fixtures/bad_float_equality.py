@@ -1,0 +1,11 @@
+"""Fixture: exact equality on float time values (no-float-tick-equality)."""
+
+__all__ = ["on_deadline", "same_instant"]
+
+
+def on_deadline(latency_us: float) -> bool:
+    return latency_us == 500.0  # violation: float literal equality
+
+
+def same_instant(arrival_us: float, service_us: float) -> bool:
+    return arrival_us != service_us  # violation: float-unit equality

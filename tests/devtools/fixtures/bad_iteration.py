@@ -1,0 +1,14 @@
+"""Fixture: hash-ordered iteration feeding the event queue
+(unordered-iteration-before-schedule)."""
+
+__all__ = ["kick_all", "retime"]
+
+
+def kick_all(sim, handlers) -> None:
+    for handler in set(handlers):  # violation: set order feeds schedule
+        sim.schedule(0, handler)
+
+
+def retime(sim, timers) -> None:
+    for name in timers.keys():  # violation: .keys() view feeds call_in
+        sim.call_in(1, timers[name])

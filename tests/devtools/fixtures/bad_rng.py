@@ -1,0 +1,22 @@
+"""Fixture: global/implicit randomness (rng-discipline)."""
+
+import random  # violation: stdlib global-state RNG
+
+import numpy as np
+
+__all__ = ["seed_everything", "jitter_us", "implicit_draw"]
+
+
+def seed_everything() -> None:
+    random.seed(4)
+    np.random.seed(4)  # violation: process-global generator
+
+
+def jitter_us() -> float:
+    gen = np.random.default_rng()  # violation: ad-hoc construction
+    return float(gen.normal()) + float(np.random.normal())  # violation
+
+
+def implicit_draw() -> float:
+    # violation: uses `rng` without accepting it as a parameter
+    return float(rng.uniform())

@@ -1,0 +1,16 @@
+"""Fixture: wall-clock reads inside simulation code (no-wall-clock)."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+__all__ = ["stamp", "label"]
+
+
+def stamp() -> float:
+    started = time.time()          # violation
+    return started - perf_counter()  # violation
+
+
+def label() -> str:
+    return datetime.now().isoformat()  # violation

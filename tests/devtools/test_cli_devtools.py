@@ -1,0 +1,63 @@
+"""CLI wiring for ``urllc5g lint`` and ``urllc5g check``."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_lint_src_is_clean_and_exits_zero(capsys):
+    code = main(["lint", str(REPO_ROOT / "src"),
+                 "--config", str(REPO_ROOT / "pyproject.toml")])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "0 error(s)" in out
+
+
+def test_lint_fixture_violations_exit_nonzero(capsys):
+    code = main(["lint", str(FIXTURES), "--no-config"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "no-wall-clock" in out
+    assert "rng-discipline" in out
+
+
+def test_lint_json_format(capsys):
+    code = main(["lint", str(FIXTURES / "bad_exports.py"),
+                 "--no-config", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["errors"] == 1
+    assert payload["violations"][0]["rule"] == "public-api-exports"
+
+
+def test_lint_select_narrows_rules(capsys):
+    code = main(["lint", str(FIXTURES), "--no-config",
+                 "--select", "no-wall-clock"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "rng-discipline" not in out
+
+
+def test_lint_ignore_disables_rule(capsys):
+    code = main(["lint", str(FIXTURES / "bad_exports.py"), "--no-config",
+                 "--ignore", "public-api-exports"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+
+
+def test_check_determinism_passes(capsys):
+    code = main(["check", "--determinism", "--seed", "3",
+                 "--packets", "8"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "PASS" in out
+
+
+def test_check_without_sanitizer_flag(capsys):
+    code = main(["check"])
+    assert code == 2
+    assert "--determinism" in capsys.readouterr().out

@@ -1,0 +1,270 @@
+"""The lint framework: rules, suppressions, config, reporters."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lintkit import (
+    LintConfig,
+    Severity,
+    lint_paths,
+    lint_source,
+    load_config,
+    registered_rules,
+    render_json,
+    render_text,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+EXPECTED_RULES = {
+    "no-wall-clock",
+    "rng-discipline",
+    "unit-suffix-mixing",
+    "no-float-tick-equality",
+    "unordered-iteration-before-schedule",
+    "public-api-exports",
+}
+
+
+def rules():
+    return [cls() for cls in registered_rules().values()]
+
+
+def rule_ids_in(source: str, path: str = "mod.py") -> set[str]:
+    violations, _ = lint_source(source, path, rules())
+    return {v.rule_id for v in violations}
+
+
+def test_all_six_domain_rules_are_registered():
+    assert EXPECTED_RULES <= set(registered_rules())
+
+
+# ----------------------------------------------------------------------
+# the fixture files each trip exactly their intended rule
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fixture, expected_rule, expected_count", [
+    ("bad_wall_clock.py", "no-wall-clock", 3),
+    ("bad_rng.py", "rng-discipline", 5),
+    ("bad_units.py", "unit-suffix-mixing", 2),
+    ("bad_float_equality.py", "no-float-tick-equality", 2),
+    ("bad_iteration.py", "unordered-iteration-before-schedule", 2),
+    ("bad_exports.py", "public-api-exports", 1),
+])
+def test_fixture_caught_by_correct_rule(fixture, expected_rule,
+                                        expected_count):
+    source = (FIXTURES / fixture).read_text(encoding="utf-8")
+    violations, suppressed = lint_source(source, fixture, rules())
+    assert suppressed == 0
+    by_rule = {v.rule_id for v in violations}
+    assert by_rule == {expected_rule}, (
+        f"{fixture}: expected only {expected_rule}, got {sorted(by_rule)}")
+    assert len(violations) == expected_count
+
+
+def test_fixture_directory_linted_as_a_tree():
+    report = lint_paths([FIXTURES])
+    assert report.files_checked == 6
+    assert {v.rule_id for v in report.violations} == EXPECTED_RULES
+    assert report.exit_code == 1
+
+
+# ----------------------------------------------------------------------
+# clean code stays clean
+# ----------------------------------------------------------------------
+def test_clean_simulation_code_passes():
+    source = '''"""A well-behaved component."""
+import numpy as np
+
+__all__ = ["Component"]
+
+
+class Component:
+    def __init__(self, sim, rng: np.random.Generator):
+        self.sim = sim
+        self.rng = rng
+
+    def fire(self, delay_us: float) -> None:
+        from repro.phy.timebase import tc_from_us
+        self.sim.call_in(tc_from_us(delay_us), self._on_fire)
+
+    def _on_fire(self) -> None:
+        pass
+'''
+    assert rule_ids_in(source) == set()
+
+
+def test_conversion_calls_reconcile_units():
+    source = ('__all__ = []\n'
+              'def f(slot_tc, margin_us, tc_from_us):\n'
+              '    return slot_tc + tc_from_us(margin_us)\n')
+    assert rule_ids_in(source) == set()
+
+
+def test_sorted_set_iteration_is_fine():
+    source = ('__all__ = []\n'
+              'def f(sim, ues):\n'
+              '    for ue in sorted(set(ues)):\n'
+              '        sim.schedule(0, ue)\n')
+    assert rule_ids_in(source) == set()
+
+
+def test_rng_parameter_and_closure_are_fine():
+    source = ('__all__ = []\n'
+              'def outer(rng):\n'
+              '    def inner():\n'
+              '        return rng.normal()\n'
+              '    return inner\n')
+    assert rule_ids_in(source) == set()
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_inline_pragma_suppresses_one_line():
+    source = ('__all__ = []\n'
+              'import time\n'
+              'def f():\n'
+              '    return time.time()  # lint: disable=no-wall-clock\n')
+    violations, suppressed = lint_source(source, "mod.py", rules())
+    assert violations == []
+    assert suppressed == 1
+
+
+def test_file_pragma_suppresses_whole_file():
+    source = ('# lint: disable-file=no-wall-clock\n'
+              '__all__ = []\n'
+              'import time\n'
+              'def f():\n'
+              '    return time.time()\n')
+    violations, _ = lint_source(source, "mod.py", rules())
+    assert violations == []
+
+
+def test_pragma_only_silences_the_named_rule():
+    source = ('__all__ = []\n'
+              'import random  # lint: disable=no-wall-clock\n')
+    violations, _ = lint_source(source, "mod.py", rules())
+    assert {v.rule_id for v in violations} == {"rng-discipline"}
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+def test_select_and_ignore():
+    config = LintConfig(select=("no-wall-clock", "rng-discipline"),
+                        ignore=("rng-discipline",))
+    active = {rule.rule_id for rule in config.active_rules()}
+    assert active == {"no-wall-clock"}
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError, match="unknown rule"):
+        LintConfig(select=("no-such-rule",)).active_rules()
+
+
+def test_per_path_baseline(tmp_path):
+    bad = tmp_path / "generators.py"
+    bad.write_text('__all__ = []\nimport random\n', encoding="utf-8")
+    strict = lint_paths([tmp_path])
+    assert strict.exit_code == 1
+    baselined = lint_paths(
+        [tmp_path],
+        LintConfig(per_path={"generators.py": ("rng-discipline",)}))
+    assert baselined.exit_code == 0
+
+
+def test_exclude_glob(tmp_path):
+    bad = tmp_path / "vendored.py"
+    bad.write_text("import random\n", encoding="utf-8")
+    report = lint_paths([tmp_path], LintConfig(exclude=("vendored.py",)))
+    assert report.files_checked == 0
+
+
+def test_severity_override_downgrades_to_warning(tmp_path):
+    bad = tmp_path / "mod.py"
+    bad.write_text("import random\n__all__ = []\n", encoding="utf-8")
+    config = LintConfig(
+        severity_overrides={"rng-discipline": Severity.WARNING})
+    report = lint_paths([tmp_path], config)
+    assert report.errors == []
+    assert len(report.warnings) == 1
+    assert report.exit_code == 0
+
+
+def test_load_config_from_pyproject(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.urllc5g.lint]\n'
+        'ignore = ["public-api-exports"]\n'
+        'exclude = ["gen/*"]\n'
+        '[tool.urllc5g.lint.per-path]\n'
+        '"sim/rng.py" = ["rng-discipline"]\n'
+        '[tool.urllc5g.lint.severity]\n'
+        '"no-float-tick-equality" = "warning"\n',
+        encoding="utf-8")
+    config = load_config(start=tmp_path)
+    assert config.ignore == ("public-api-exports",)
+    assert config.exclude == ("gen/*",)
+    assert config.per_path == {"sim/rng.py": ("rng-discipline",)}
+    assert config.severity_overrides == {
+        "no-float-tick-equality": "warning"}
+
+
+def test_load_config_defaults_when_table_missing(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n",
+                                             encoding="utf-8")
+    config = load_config(start=tmp_path)
+    assert config == LintConfig()
+
+
+def test_load_config_rejects_bad_types(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.urllc5g.lint]\nselect = "oops"\n', encoding="utf-8")
+    with pytest.raises(ValueError, match="list of strings"):
+        load_config(start=tmp_path)
+
+
+def test_repo_config_names_only_known_rules():
+    repo_root = Path(__file__).resolve().parents[2]
+    config = load_config(pyproject=repo_root / "pyproject.toml")
+    config.active_rules()  # raises on unknown ids
+
+
+# ----------------------------------------------------------------------
+# reporters
+# ----------------------------------------------------------------------
+def test_text_reporter_lists_violations_and_summary():
+    report = lint_paths([FIXTURES / "bad_units.py"])
+    text = render_text(report)
+    assert "unit-suffix-mixing" in text
+    assert "bad_units.py:" in text
+    assert "1 file(s) checked" in text
+
+
+def test_json_reporter_round_trips():
+    report = lint_paths([FIXTURES / "bad_exports.py"])
+    payload = json.loads(render_json(report))
+    assert payload["errors"] == 1
+    assert payload["violations"][0]["rule"] == "public-api-exports"
+    assert payload["violations"][0]["line"] == 1
+
+
+def test_clean_report_says_clean(tmp_path):
+    good = tmp_path / "mod.py"
+    good.write_text('__all__ = []\n', encoding="utf-8")
+    text = render_text(lint_paths([tmp_path]))
+    assert "clean" in text
+
+
+# ----------------------------------------------------------------------
+# the repository itself is lint-clean
+# ----------------------------------------------------------------------
+def test_src_tree_is_lint_clean():
+    repo_root = Path(__file__).resolve().parents[2]
+    config = load_config(pyproject=repo_root / "pyproject.toml")
+    report = lint_paths([repo_root / "src"], config)
+    assert report.exit_code == 0, render_text(report)
+    # The reviewed baseline lives in pyproject.toml, not in scattered
+    # pragma comments: the src tree must contain none.
+    assert report.suppressed == 0

@@ -1,0 +1,160 @@
+"""Engine edge cases backing the determinism guarantees.
+
+Same-tick FIFO under interleaved cancellation, re-entrant scheduling
+from callbacks, strict tick validation, and trace-digest stability.
+"""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.trace import Tracer
+
+
+# ----------------------------------------------------------------------
+# strict tick validation (regression: negative / fractional delays)
+# ----------------------------------------------------------------------
+def test_call_in_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="in the past"):
+        sim.call_in(-1, lambda: None)
+
+
+def test_call_in_negative_delay_raises_mid_run():
+    sim = Simulator()
+    errors = []
+
+    def bad():
+        try:
+            sim.call_in(-5, lambda: None)
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(10, bad)
+    sim.run_until_idle()
+    assert len(errors) == 1
+
+
+def test_non_integral_delay_raises_instead_of_truncating():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="integer tick"):
+        sim.call_in(2.7, lambda: None)
+    with pytest.raises(SimulationError, match="integer tick"):
+        sim.schedule(1.5, lambda: None)
+
+
+def test_integral_float_ticks_accepted():
+    sim = Simulator()
+    fired = []
+    sim.call_in(2.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run_until_idle()
+    assert fired == ["a", "b"]
+    assert sim.now == 5
+
+
+# ----------------------------------------------------------------------
+# same-tick FIFO under interleaved cancellation
+# ----------------------------------------------------------------------
+def test_same_tick_fifo_survives_interleaved_cancellation():
+    sim = Simulator()
+    order = []
+    events = [sim.schedule(100, order.append, i) for i in range(8)]
+    for i in (1, 3, 4, 6):
+        events[i].cancel()
+    sim.run_until_idle()
+    assert order == [0, 2, 5, 7]
+
+
+def test_callback_can_cancel_a_later_same_tick_event():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        doomed.cancel()  # same tick, scheduled after us: must not run
+
+    sim.schedule(50, first)
+    doomed = sim.schedule(50, order.append, "doomed")
+    sim.schedule(50, order.append, "last")
+    sim.run_until_idle()
+    assert order == ["first", "last"]
+
+
+# ----------------------------------------------------------------------
+# re-entrant scheduling from callbacks
+# ----------------------------------------------------------------------
+def test_callback_scheduling_same_tick_runs_within_tick():
+    sim = Simulator()
+    order = []
+
+    def outer():
+        order.append("outer")
+        sim.schedule(sim.now, order.append, "inner")
+
+    sim.schedule(7, outer)
+    sim.run_until_idle()
+    assert order == ["outer", "inner"]
+    assert sim.now == 7
+
+
+def test_reentrant_chain_respects_until():
+    sim = Simulator()
+    ticks = []
+
+    def hop():
+        ticks.append(sim.now)
+        sim.call_in(10, hop)
+
+    sim.schedule(0, hop)
+    executed = sim.run(until=35)
+    assert ticks == [0, 10, 20, 30]
+    assert executed == 4
+    assert sim.now == 35
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    caught = []
+
+    def recurse():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            caught.append(exc)
+
+    sim.schedule(0, recurse)
+    sim.run_until_idle()
+    assert len(caught) == 1
+
+
+# ----------------------------------------------------------------------
+# trace digest stability
+# ----------------------------------------------------------------------
+def _traced_run(seed_offset: int = 0) -> str:
+    sim = Simulator()
+    tracer = Tracer()
+    for i in range(5):
+        sim.schedule(i * 10,
+                     lambda i=i: tracer.emit(sim.now, "comp", "fire",
+                                             idx=i))
+    sim.run_until_idle()
+    return tracer.digest()
+
+
+def test_trace_digest_stable_across_identical_runs():
+    assert _traced_run() == _traced_run()
+
+
+def test_trace_digest_sensitive_to_field_changes():
+    sim = Simulator()
+    tracer_a, tracer_b = Tracer(), Tracer()
+    tracer_a.emit(0, "c", "fire", idx=1)
+    tracer_b.emit(0, "c", "fire", idx=2)
+    assert tracer_a.digest() != tracer_b.digest()
+
+
+def test_trace_digest_field_order_is_canonical():
+    tracer_a, tracer_b = Tracer(), Tracer()
+    tracer_a.emit(0, "c", "fire", a=1, b=2)
+    tracer_b.emit(0, "c", "fire", b=2, a=1)
+    assert tracer_a.digest() == tracer_b.digest()
