@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.phy.channel import GilbertElliottChannel
-from repro.phy.timebase import tc_from_ms
+from repro.phy.timebase import tc_from_ms, us_from_ms
 from repro.sim.distributions import Exponential, LogNormal
 
 __all__ = [
@@ -65,7 +65,7 @@ class MmWaveBaseline:
             mean_good_tc=mean_good, mean_bad_tc=max(1, mean_bad))
         self._los_latency = LogNormal(self.params.los_latency_mean_us,
                                       self.params.los_latency_std_us)
-        self._recovery = Exponential(self.params.recovery_mean_ms * 1000)
+        self._recovery = Exponential(us_from_ms(self.params.recovery_mean_ms))
 
     def sample_latency_us(self, rng: np.random.Generator) -> float:
         """One one-way latency sample (µs)."""

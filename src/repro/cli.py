@@ -8,7 +8,8 @@ Usage (after installation)::
     urllc5g fig6 --packets 400    # testbed latency distributions
     urllc5g sweep                 # slot duration × radio latency
     urllc5g technologies          # Wi-Fi / Bluetooth / mmWave (§9)
-    urllc5g lint src/             # domain static analysis (docs/LINTING.md)
+    urllc5g lint src/             # per-file static analysis (docs/LINTING.md)
+    urllc5g analyze src/          # whole-program analysis (docs/ANALYSIS.md)
     urllc5g check --determinism   # same-seed trace-digest comparison
 
 or ``python -m repro.cli <command>``.
@@ -127,7 +128,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.devtools.lintkit import (
-        LintConfig, lint_paths, load_config, render_json, render_text)
+        LintConfig, lint_paths, load_config, render_json, render_sarif,
+        render_text)
     paths = args.paths or ["src"]
     missing = [p for p in paths if not Path(p).exists()]
     if missing:
@@ -148,8 +150,53 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(render_json(report) if args.format == "json"
-          else render_text(report))
+    renderers = {"json": render_json, "sarif": render_sarif,
+                 "text": render_text}
+    print(renderers[args.format](report))
+    return report.exit_code
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    # Imported lazily so analysis commands stay import-light.
+    from pathlib import Path
+
+    from repro.devtools.analyze import (
+        AnalyzeConfig, Baseline, analyze_paths, load_analyze_config,
+        load_baseline, render_analysis_json, render_analysis_sarif,
+        render_analysis_text, write_baseline)
+    paths = args.paths or ["src"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.no_config:
+            config = AnalyzeConfig()
+        else:
+            config = load_analyze_config(pyproject=args.config,
+                                         start=paths[0])
+        baseline = (load_baseline(args.baseline)
+                    if args.baseline else None)
+        if args.write_baseline:
+            # Capture the *unfiltered* findings as the new baseline.
+            report = analyze_paths(paths, config, baseline=Baseline(),
+                                   cache_path=args.cache,
+                                   use_cache=not args.no_cache)
+            write_baseline(args.write_baseline, report.violations)
+            print(f"wrote {len(report.violations)} finding(s) to "
+                  f"{args.write_baseline}")
+            return 0
+        report = analyze_paths(paths, config, baseline=baseline,
+                               cache_path=args.cache,
+                               use_cache=not args.no_cache)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    renderers = {"json": render_analysis_json,
+                 "sarif": render_analysis_sarif,
+                 "text": render_analysis_text}
+    print(renderers[args.format](report))
     return report.exit_code
 
 
@@ -211,7 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="domain static analysis (see docs/LINTING.md)")
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories (default: src)")
-    lint.add_argument("--format", choices=("text", "json"),
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
                       default="text")
     lint.add_argument("--select", nargs="*", metavar="RULE",
                       help="run only these rule ids")
@@ -222,6 +269,32 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--no-config", action="store_true",
                       help="ignore [tool.urllc5g.lint] entirely")
     lint.set_defaults(func=_cmd_lint)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="whole-program analysis (see docs/ANALYSIS.md)")
+    analyze.add_argument("paths", nargs="*", default=["src"],
+                         help="files or directories (default: src)")
+    analyze.add_argument("--format",
+                         choices=("text", "json", "sarif"),
+                         default="text")
+    analyze.add_argument("--baseline", default=None, metavar="FILE",
+                         help="accepted-findings file "
+                              "(overrides pyproject)")
+    analyze.add_argument("--write-baseline", default=None,
+                         metavar="FILE",
+                         help="accept all current findings into FILE "
+                              "and exit 0")
+    analyze.add_argument("--cache", default=None, metavar="FILE",
+                         help="incremental cache location "
+                              "(overrides pyproject)")
+    analyze.add_argument("--no-cache", action="store_true",
+                         help="re-parse every module")
+    analyze.add_argument("--config", default=None,
+                         help="explicit pyproject.toml path")
+    analyze.add_argument("--no-config", action="store_true",
+                         help="ignore [tool.urllc5g.analyze] entirely")
+    analyze.set_defaults(func=_cmd_analyze)
 
     check = sub.add_parser(
         "check", help="runtime sanitizers (currently: --determinism)")

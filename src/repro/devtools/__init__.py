@@ -1,15 +1,23 @@
 """Developer tooling for the urllc5g reproduction.
 
-Two quality gates live here, both wired into the ``urllc5g`` CLI and CI:
+Three quality gates live here, all wired into the ``urllc5g`` CLI and CI:
 
 - :mod:`repro.devtools.lintkit` — an AST static-analysis framework with
-  domain rules enforcing the invariants the paper's results rest on
-  (no wall-clock reads in simulated paths, explicit RNG threading,
-  time-unit suffix consistency, deterministic iteration order);
+  per-file domain rules enforcing the invariants the paper's results
+  rest on (no wall-clock reads in simulated paths, explicit RNG
+  threading, time-unit suffix consistency, deterministic iteration
+  order);
+- :mod:`repro.devtools.analyze` — the whole-program companion:
+  cross-module time-unit inference and transitive purity checking over
+  the project call graph (see docs/ANALYSIS.md);
 - :mod:`repro.devtools.determinism` — a runtime sanitizer that runs a
   scenario twice with the same seed and compares trace digests.
+
+Shared infrastructure: :mod:`repro.devtools.walker` (file discovery)
+and :mod:`repro.devtools.sarif` (SARIF 2.1.0 output).
 """
 
+from repro.devtools.analyze import AnalysisReport, analyze_paths
 from repro.devtools.determinism import (
     DeterminismReport,
     determinism_report,
@@ -25,7 +33,9 @@ from repro.devtools.lintkit import (
 )
 
 __all__ = [
+    "AnalysisReport",
     "DeterminismReport",
+    "analyze_paths",
     "determinism_report",
     "run_traced_scenario",
     "LintConfig",

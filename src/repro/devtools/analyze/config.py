@@ -1,0 +1,83 @@
+"""Load analyzer configuration from ``pyproject.toml``.
+
+The ``[tool.urllc5g.analyze]`` table mirrors the lint one::
+
+    [tool.urllc5g.analyze]
+    ignore = []                        # analyzer rule ids disabled
+    exclude = ["*/fixtures/*"]         # path globs never analyzed
+    baseline = "analyze-baseline.json" # reviewed accepted findings
+    cache = ".urllc5g-analyze-cache.json"
+
+Per-line/per-file escapes use ``# analyze: disable=RULE`` pragmas (see
+docs/ANALYSIS.md); the baseline file is the reviewed bulk mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.lintkit.core import _glob_match
+from repro.devtools.lintkit.config import find_pyproject
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - Python 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+__all__ = ["AnalyzeConfig", "load_analyze_config"]
+
+
+@dataclass
+class AnalyzeConfig:
+    """Which analyzer rules run where; see ``[tool.urllc5g.analyze]``."""
+
+    ignore: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    baseline: str | None = None
+    cache: str | None = None
+    _extra_excludes: tuple[str, ...] = field(default=(), repr=False)
+
+    def is_excluded(self, path: str) -> bool:
+        patterns = self.exclude + self._extra_excludes
+        return any(_glob_match(path, pattern) for pattern in patterns)
+
+
+def load_analyze_config(pyproject: str | Path | None = None,
+                        start: str | Path = ".") -> AnalyzeConfig:
+    """Build an :class:`AnalyzeConfig` from the nearest pyproject.
+
+    Missing file, missing table, or a pre-3.11 interpreter all yield
+    the default config.
+    """
+    if tomllib is None:  # pragma: no cover - Python 3.10 fallback
+        return AnalyzeConfig()
+    path = Path(pyproject) if pyproject is not None else (
+        find_pyproject(start))
+    if path is None or not path.is_file():
+        return AnalyzeConfig()
+    with open(path, "rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get("urllc5g", {}).get("analyze", {})
+    if not isinstance(table, dict):
+        raise ValueError("[tool.urllc5g.analyze] must be a table")
+    baseline = table.get("baseline")
+    cache = table.get("cache")
+    for key, value in (("baseline", baseline), ("cache", cache)):
+        if value is not None and not isinstance(value, str):
+            raise ValueError(
+                f"[tool.urllc5g.analyze] {key} must be a string")
+    return AnalyzeConfig(
+        ignore=tuple(_as_str_list(table.get("ignore", []), "ignore")),
+        exclude=tuple(_as_str_list(table.get("exclude", []), "exclude")),
+        baseline=baseline,
+        cache=cache,
+    )
+
+
+def _as_str_list(value: object, key: str) -> list[str]:
+    if (not isinstance(value, list)
+            or not all(isinstance(item, str) for item in value)):
+        raise ValueError(
+            f"[tool.urllc5g.analyze] {key} must be a list of strings")
+    return value

@@ -1,0 +1,204 @@
+"""Analysis orchestration: load -> resolve -> report.
+
+:func:`analyze_paths` is the one entry point the CLI and tests use:
+it loads the project model (through the incremental cache when
+enabled), runs the unit-inference and purity passes, applies
+``# analyze:`` pragmas, the config ``ignore`` list and the reviewed
+baseline, and returns an :class:`AnalysisReport` whose ``exit_code``
+is the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.devtools.lintkit.core import (
+    SYNTAX_ERROR_RULE_ID,
+    Severity,
+    Violation,
+)
+from repro.devtools.analyze.baseline import Baseline, load_baseline
+from repro.devtools.analyze.cache import AnalysisCache
+from repro.devtools.analyze.config import AnalyzeConfig
+from repro.devtools.analyze.loader import Project, load_project
+from repro.devtools.analyze.purity import purity_violations
+from repro.devtools.analyze.units import resolve_units, unit_violations
+
+__all__ = ["ANALYZE_RULES", "AnalysisReport", "analyze_paths",
+           "render_analysis_text", "render_analysis_json",
+           "render_analysis_sarif"]
+
+#: Rule id -> one-line description (feeds the SARIF rules array).
+ANALYZE_RULES = {
+    "cross-unit-arithmetic":
+        "additive arithmetic mixes two different time units",
+    "cross-unit-comparison":
+        "comparison between values carrying different time units",
+    "cross-unit-assignment":
+        "value's inferred unit contradicts the target name's suffix",
+    "cross-unit-return":
+        "returned value's unit contradicts the function's declared unit",
+    "cross-unit-argument":
+        "argument's unit contradicts the callee parameter's declared unit",
+    "transitive-wall-clock":
+        "callee transitively reads the wall clock",
+    "transitive-global-rng":
+        "callee transitively draws from process-global RNG state",
+    "transitive-unordered-schedule":
+        "unordered iteration transitively schedules simulator events",
+    SYNTAX_ERROR_RULE_ID:
+        "file could not be parsed",
+}
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one whole-program analysis run."""
+
+    violations: list[Violation]
+    files_checked: int
+    parsed: int = 0
+    from_cache: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    project: Project | None = field(default=None, repr=False)
+
+    @property
+    def errors(self) -> list[Violation]:
+        return [v for v in self.violations
+                if v.severity >= Severity.ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+
+def _syntax_violations(project: Project) -> list[Violation]:
+    violations = []
+    for module in project.modules:
+        error = module.parse_error
+        if error is None:
+            continue
+        violations.append(Violation(
+            path=module.path, line=error["line"], col=error["col"],
+            rule_id=SYNTAX_ERROR_RULE_ID, severity=Severity.ERROR,
+            message=f"could not parse file: {error['message']}"))
+    return violations
+
+
+def _apply_pragmas(project: Project, violations: list[Violation]
+                   ) -> tuple[list[Violation], int]:
+    by_path = {module.path: module for module in project.modules}
+    kept: list[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        module = by_path.get(violation.path)
+        if module is not None:
+            file_off = set(module.file_pragmas)
+            line_off = set(module.line_pragmas.get(violation.line, ()))
+            off = file_off | line_off
+            if violation.rule_id in off or "all" in off:
+                suppressed += 1
+                continue
+        kept.append(violation)
+    return kept, suppressed
+
+
+def analyze_paths(paths: Iterable[str | Path],
+                  config: AnalyzeConfig | None = None,
+                  *,
+                  baseline: Baseline | None = None,
+                  cache_path: str | Path | None = None,
+                  use_cache: bool = True) -> AnalysisReport:
+    """Run the whole-program analysis and aggregate a report.
+
+    ``baseline`` overrides the config's baseline file; ``cache_path``
+    overrides the config's cache location; ``use_cache=False`` disables
+    the incremental cache entirely (every module is re-parsed).
+    """
+    config = config or AnalyzeConfig()
+    cache: AnalysisCache | None = None
+    if use_cache:
+        location = cache_path if cache_path is not None else config.cache
+        if location is not None:
+            cache = AnalysisCache(location)
+    project = load_project(paths, exclude=config.is_excluded, cache=cache)
+    if cache is not None:
+        cache.save()
+
+    tables = resolve_units(project)
+    violations = (_syntax_violations(project)
+                  + unit_violations(project, tables)
+                  + purity_violations(project))
+    if config.ignore:
+        ignored = set(config.ignore)
+        violations = [v for v in violations if v.rule_id not in ignored]
+    violations, suppressed = _apply_pragmas(project, violations)
+
+    if baseline is None and config.baseline is not None:
+        baseline = load_baseline(config.baseline)
+    baselined = 0
+    if baseline is not None:
+        violations, baselined = baseline.filter(violations)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return AnalysisReport(
+        violations=violations,
+        files_checked=project.files_checked,
+        parsed=project.parsed,
+        from_cache=project.from_cache,
+        suppressed=suppressed,
+        baselined=baselined,
+        project=project,
+    )
+
+
+def render_analysis_text(report: AnalysisReport) -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    lines = [violation.render() for violation in report.violations]
+    summary = (f"{report.files_checked} file(s) analyzed "
+               f"({report.parsed} parsed, {report.from_cache} from "
+               f"cache), {len(report.violations)} finding(s)")
+    extras = []
+    if report.suppressed:
+        extras.append(f"{report.suppressed} suppressed")
+    if report.baselined:
+        extras.append(f"{report.baselined} baselined")
+    if extras:
+        summary += " (" + ", ".join(extras) + ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_analysis_json(report: AnalysisReport) -> str:
+    """Machine-readable report for tooling."""
+    payload = {
+        "files_checked": report.files_checked,
+        "parsed": report.parsed,
+        "from_cache": report.from_cache,
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "exit_code": report.exit_code,
+        "violations": [
+            {
+                "path": violation.path,
+                "line": violation.line,
+                "col": violation.col,
+                "rule": violation.rule_id,
+                "severity": str(violation.severity),
+                "message": violation.message,
+            }
+            for violation in report.violations
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_analysis_sarif(report: AnalysisReport) -> str:
+    """SARIF 2.1.0 document via the shared writer."""
+    from repro.devtools.sarif import render_sarif
+
+    return render_sarif(report.violations, tool_name="urllc5g-analyze",
+                        rules=ANALYZE_RULES)

@@ -1,0 +1,1024 @@
+"""Project loader: parse once, summarise every module.
+
+The loader walks the analysis roots with the shared
+:func:`repro.devtools.walker.iter_python_files`, parses each module
+once (or restores it from the incremental cache without parsing — see
+:data:`PARSE_HOOKS`), and extracts a :class:`ModuleSummary`: the symbol
+table (functions, methods, classes, module constants), the call edges
+resolvable from imports/``self``, per-function purity effects, and the
+*symbolic* unit facts the global passes resolve later.
+
+Symbolic unit expressions are plain JSON-able dicts so summaries can be
+cached to disk and whole-program resolution never needs the AST again:
+
+- ``{"k": "c", "u": "us"}`` — a known lattice element
+  (``tc | ns | us | ms | s | unitless | unknown``);
+- ``{"k": "r", "f": [qualname, ...]}`` — the return unit of one of the
+  candidate callees;
+- ``{"k": "g", "n": qualname}`` — the unit of a module-level symbol;
+- ``{"k": "j", "x": [expr, ...]}`` — the lattice join of sub-expressions.
+
+The intraprocedural pass is flow-sensitive: an abstract environment of
+name -> unit expression is threaded through each function body in
+statement order, branches are merged by joining, and every additive
+binop, comparison, suffixed assignment, return and call argument
+records a *check* for :mod:`repro.devtools.analyze.units` to evaluate
+once return units are known project-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.devtools.walker import iter_python_files
+
+__all__ = [
+    "PARSE_HOOKS",
+    "UNITS",
+    "FunctionSummary",
+    "ClassSummary",
+    "ModuleSummary",
+    "Project",
+    "load_project",
+    "module_qualname",
+    "unit_of_name",
+    "conversion_units",
+]
+
+#: Hooks called with the file path on every real ``ast.parse``.  Tests
+#: register a counter here to assert the incremental cache performs
+#: zero re-parses on an unchanged tree.
+PARSE_HOOKS: list[Callable[[str], None]] = []
+
+#: Concrete lattice units (besides ``unitless`` and ``unknown``).
+UNITS = ("tc", "ns", "us", "ms", "s")
+
+_SUFFIX_UNITS = {"tc": "tc", "ns": "ns", "us": "us", "ms": "ms"}
+_BARE_NAME_UNITS = {"tc": "tc", "ns": "ns", "us": "us", "ms": "ms",
+                    "seconds": "s"}
+_LONG_UNIT_NAMES = {"seconds": "s", "second": "s", **{u: u for u in UNITS}}
+
+#: Module constants whose unit cannot be derived syntactically: the
+#: timebase scale factors are durations *expressed in Tc*.
+CONSTANT_UNIT_SEEDS = {
+    "repro.phy.timebase.TC_PER_SECOND": "tc",
+    "repro.phy.timebase.TC_PER_MS": "tc",
+    "repro.phy.timebase.TC_PER_SUBFRAME": "tc",
+    "repro.phy.timebase.TC_PER_FRAME": "tc",
+    "repro.phy.timebase.KAPPA": "unitless",
+}
+
+_UNIT_ANNOTATION_RE = re.compile(r"#\s*unit:\s*([A-Za-z]+)")
+_PRAGMA_RE = re.compile(r"#\s*analyze:\s*disable=([A-Za-z0-9_,\- ]+)")
+_PRAGMA_FILE_RE = re.compile(
+    r"#\s*analyze:\s*disable-file=([A-Za-z0-9_,\- ]+)")
+
+_WALL_CLOCK_TIME_FUNCS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns",
+})
+_WALL_CLOCK_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+_GLOBAL_NP_RANDOM = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_sample",
+    "normal", "uniform", "exponential", "lognormal", "poisson",
+    "binomial", "choice", "shuffle", "permutation", "standard_normal",
+})
+_SCHEDULE_METHODS = frozenset({"schedule", "call_in"})
+_PASSTHROUGH_CALLS = frozenset({"float", "int", "round", "abs"})
+_JOIN_CALLS = frozenset({"min", "max"})
+_BUILTIN_NAMES = frozenset(dir(__import__("builtins")))
+
+
+def unit_of_name(name: str) -> str | None:
+    """Lattice unit carried by a name's suffix (case-insensitive)."""
+    lowered = name.lower()
+    stem, _, tail = lowered.rpartition("_")
+    if stem and tail in _SUFFIX_UNITS:
+        return _SUFFIX_UNITS[tail]
+    return _BARE_NAME_UNITS.get(lowered)
+
+
+def conversion_units(name: str) -> tuple[str, str] | None:
+    """``(target, source)`` units of a ``<t>_from_<s>`` converter name."""
+    target, sep, source = name.partition("_from_")
+    if not sep:
+        return None
+    target_unit = _LONG_UNIT_NAMES.get(target)
+    source_unit = _LONG_UNIT_NAMES.get(source)
+    if target_unit and source_unit:
+        return target_unit, source_unit
+    return None
+
+
+# ----------------------------------------------------------------------
+# symbolic unit expressions
+# ----------------------------------------------------------------------
+def u_const(unit: str) -> dict:
+    return {"k": "c", "u": unit}
+
+
+U_UNKNOWN = u_const("unknown")
+U_UNITLESS = u_const("unitless")
+
+
+def u_join(exprs: list[dict]) -> dict:
+    flat: list[dict] = []
+    for expr in exprs:
+        if expr["k"] == "j":
+            flat.extend(expr["x"])
+        else:
+            flat.append(expr)
+    unique = [expr for i, expr in enumerate(flat)
+              if expr not in flat[:i]]
+    if not unique:
+        return U_UNKNOWN
+    if len(unique) == 1:
+        return unique[0]
+    return {"k": "j", "x": unique}
+
+
+# ----------------------------------------------------------------------
+# summaries
+# ----------------------------------------------------------------------
+@dataclass
+class FunctionSummary:
+    """Everything the global passes need to know about one function."""
+
+    qualname: str
+    name: str
+    path: str
+    line: int
+    params: list[str] = field(default_factory=list)
+    declared_unit: str | None = None
+    return_expr: dict | None = None
+    checks: list[dict] = field(default_factory=list)
+    calls: list[str] = field(default_factory=list)
+    call_edges: list[dict] = field(default_factory=list)
+    wall_clock: list[dict] = field(default_factory=list)
+    global_rng: list[dict] = field(default_factory=list)
+    schedules: bool = False
+    unordered_loops: list[dict] = field(default_factory=list)
+
+    def param_unit(self, index: int) -> str | None:
+        if 0 <= index < len(self.params):
+            return unit_of_name(self.params[index])
+        return None
+
+    def param_unit_by_name(self, name: str) -> str | None:
+        if name in self.params:
+            return unit_of_name(name)
+        return None
+
+
+@dataclass
+class ClassSummary:
+    qualname: str
+    name: str
+    path: str
+    line: int
+    fields: list[str] = field(default_factory=list)
+    methods: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ModuleSummary:
+    path: str
+    qualname: str
+    content_hash: str = ""
+    aliases: dict[str, str] = field(default_factory=dict)
+    constants: dict[str, dict] = field(default_factory=dict)
+    module_checks: list[dict] = field(default_factory=list)
+    functions: list[FunctionSummary] = field(default_factory=list)
+    classes: list[ClassSummary] = field(default_factory=list)
+    line_pragmas: dict[int, list[str]] = field(default_factory=dict)
+    file_pragmas: list[str] = field(default_factory=list)
+    parse_error: dict | None = None
+
+    def to_json(self) -> dict:
+        from dataclasses import asdict
+        payload = asdict(self)
+        payload["line_pragmas"] = {
+            str(line): rules for line, rules in self.line_pragmas.items()}
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ModuleSummary":
+        functions = [FunctionSummary(**f) for f in payload["functions"]]
+        classes = [ClassSummary(**c) for c in payload["classes"]]
+        return cls(
+            path=payload["path"],
+            qualname=payload["qualname"],
+            content_hash=payload["content_hash"],
+            aliases=dict(payload["aliases"]),
+            constants=dict(payload["constants"]),
+            module_checks=list(payload["module_checks"]),
+            functions=functions,
+            classes=classes,
+            line_pragmas={int(line): rules for line, rules
+                          in payload["line_pragmas"].items()},
+            file_pragmas=list(payload["file_pragmas"]),
+            parse_error=payload.get("parse_error"),
+        )
+
+
+@dataclass
+class Project:
+    """All module summaries plus the cross-module symbol indexes."""
+
+    modules: list[ModuleSummary]
+    files_checked: int = 0
+    parsed: int = 0
+    from_cache: int = 0
+
+    def __post_init__(self) -> None:
+        self.by_qualname: dict[str, ModuleSummary] = {}
+        self.functions: dict[str, FunctionSummary] = {}
+        self.classes: dict[str, ClassSummary] = {}
+        self.constant_seeds: dict[str, dict] = {}
+        for module in self.modules:
+            self.by_qualname[module.qualname] = module
+            for function in module.functions:
+                self.functions[function.qualname] = function
+            for klass in module.classes:
+                self.classes[klass.qualname] = klass
+            for name, expr in module.constants.items():
+                self.constant_seeds[f"{module.qualname}.{name}"] = expr
+        for qualname, unit in CONSTANT_UNIT_SEEDS.items():
+            self.constant_seeds[qualname] = u_const(unit)
+
+    # ------------------------------------------------------------------
+    # symbol resolution across re-export chains
+    # ------------------------------------------------------------------
+    def resolve_function(self, qualname: str) -> FunctionSummary | None:
+        resolved = self._resolve(qualname)
+        if resolved is None:
+            return None
+        summary = self.functions.get(resolved)
+        if summary is not None:
+            return summary
+        # A class used as a callable resolves to its __init__.
+        klass = self.classes.get(resolved)
+        if klass is not None:
+            return self.functions.get(f"{resolved}.__init__")
+        return None
+
+    def resolve_callable(self, qualname: str
+                         ) -> FunctionSummary | ClassSummary | None:
+        resolved = self._resolve(qualname)
+        if resolved is None:
+            return None
+        return (self.functions.get(resolved)
+                or self.classes.get(resolved))
+
+    def resolve_constant(self, qualname: str) -> dict | None:
+        resolved = self._resolve(qualname)
+        if resolved is None:
+            return None
+        return self.constant_seeds.get(resolved)
+
+    def _resolve(self, qualname: str, depth: int = 0) -> str | None:
+        """Follow import/re-export links until a definition is found."""
+        if depth > 10 or not qualname:
+            return None
+        if (qualname in self.functions or qualname in self.classes
+                or qualname in self.constant_seeds):
+            return qualname
+        head, _, tail = qualname.rpartition(".")
+        if not head:
+            return qualname
+        module = self.by_qualname.get(head)
+        if module is not None and tail in module.aliases:
+            return self._resolve(module.aliases[tail], depth + 1)
+        # Method on a re-exported class: resolve the class, re-append.
+        method_head, _, method = head.rpartition(".")
+        if method_head:
+            owner = self.by_qualname.get(method_head)
+            if owner is not None and method in owner.aliases:
+                resolved = self._resolve(owner.aliases[method], depth + 1)
+                if resolved is not None:
+                    return self._resolve(f"{resolved}.{tail}", depth + 1)
+        return qualname
+
+
+# ----------------------------------------------------------------------
+# module name derivation
+# ----------------------------------------------------------------------
+def module_qualname(path: Path) -> str:
+    """Dotted module name, derived from the ``__init__.py`` chain."""
+    parts: list[str] = [] if path.stem == "__init__" else [path.stem]
+    current = path.resolve().parent
+    while (current / "__init__.py").is_file():
+        parts.insert(0, current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    return ".".join(parts) if parts else path.stem
+
+
+# ----------------------------------------------------------------------
+# extraction
+# ----------------------------------------------------------------------
+class _ModuleExtractor:
+    """One parsed module -> a :class:`ModuleSummary`."""
+
+    def __init__(self, path: str, qualname: str, source: str,
+                 tree: ast.Module):
+        self.path = path
+        self.qualname = qualname
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.summary = ModuleSummary(path=path, qualname=qualname)
+        self.is_package = Path(path).name == "__init__.py"
+
+    def run(self) -> ModuleSummary:
+        self._collect_pragmas()
+        self._collect_imports()
+        module_fn = _FunctionExtractor(
+            self, qualname=f"{self.qualname}.<module>", name="<module>",
+            params=[], lineno=1, declared_unit=None, class_name=None,
+            module_level=True)
+        module_fn.exec_block(
+            [stmt for stmt in self.tree.body
+             if not isinstance(stmt, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef,
+                                      ast.ClassDef))])
+        self.summary.module_checks = module_fn.checks
+        for name, expr in module_fn.env.items():
+            self.summary.constants[name] = expr
+        for stmt in self.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._extract_function(stmt, parent=self.qualname,
+                                       class_name=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._extract_class(stmt)
+        return self.summary
+
+    # -- comments ------------------------------------------------------
+    def _collect_pragmas(self) -> None:
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _PRAGMA_RE.search(line)
+            if match:
+                rules = [r.strip() for r in match.group(1).split(",")]
+                self.summary.line_pragmas.setdefault(
+                    lineno, []).extend(rules)
+            match = _PRAGMA_FILE_RE.search(line)
+            if match:
+                self.summary.file_pragmas.extend(
+                    r.strip() for r in match.group(1).split(","))
+
+    def unit_annotation(self, lineno: int) -> str | None:
+        """A ``# unit: tc`` annotation on the given source line."""
+        if 1 <= lineno <= len(self.lines):
+            match = _UNIT_ANNOTATION_RE.search(self.lines[lineno - 1])
+            if match:
+                unit = match.group(1).lower()
+                return _LONG_UNIT_NAMES.get(unit, unit)
+        return None
+
+    # -- imports -------------------------------------------------------
+    def _collect_imports(self) -> None:
+        package_parts = self.qualname.split(".")
+        if not self.is_package:
+            package_parts = package_parts[:-1]
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = (alias.name if alias.asname
+                              else alias.name.split(".")[0])
+                    self.summary.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base_parts = list(package_parts)
+                if node.level:
+                    cut = node.level - 1
+                    base_parts = (base_parts[:-cut] if cut
+                                  else base_parts)
+                base = ".".join(base_parts)
+                module = node.module or ""
+                prefix = ".".join(p for p in (base if node.level else "",
+                                              module) if p) \
+                    if node.level else module
+                if not prefix:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.summary.aliases[local] = f"{prefix}.{alias.name}"
+
+    def resolve_dotted(self, dotted: str) -> str:
+        """Rewrite a local dotted name through the import table."""
+        head, _, tail = dotted.partition(".")
+        target = self.summary.aliases.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{tail}" if tail else target
+
+    # -- definitions ---------------------------------------------------
+    def _extract_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                          parent: str, class_name: str | None) -> None:
+        qualname = f"{parent}.{node.name}"
+        args = node.args
+        params = [a.arg for a in (list(args.posonlyargs) + list(args.args))]
+        if class_name and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        conversion = conversion_units(node.name)
+        declared = (conversion[0] if conversion
+                    else self.unit_annotation(node.lineno)
+                    or unit_of_name(node.name))
+        extractor = _FunctionExtractor(
+            self, qualname=qualname, name=node.name, params=params,
+            lineno=node.lineno, declared_unit=declared,
+            class_name=class_name, module_level=False,
+            is_converter=conversion is not None)
+        extractor.exec_block(node.body)
+        self.summary.functions.append(extractor.finish(self.path))
+
+    def _extract_class(self, node: ast.ClassDef) -> None:
+        qualname = f"{self.qualname}.{node.name}"
+        klass = ClassSummary(qualname=qualname, name=node.name,
+                             path=self.path, line=node.lineno)
+        init_params: list[str] | None = None
+        class_fn = _FunctionExtractor(
+            self, qualname=f"{qualname}.<class>", name="<class>",
+            params=[], lineno=node.lineno, declared_unit=None,
+            class_name=node.name, module_level=False)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                klass.methods.append(stmt.name)
+                self._extract_function(stmt, parent=qualname,
+                                       class_name=node.name)
+                if stmt.name == "__init__":
+                    args = stmt.args
+                    init_params = [
+                        a.arg for a in (list(args.posonlyargs)
+                                        + list(args.args))][1:]
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name):
+                klass.fields.append(stmt.target.id)
+                class_fn.exec_stmt(stmt)
+            elif isinstance(stmt, ast.Assign):
+                class_fn.exec_stmt(stmt)
+        # Dataclass-style classes take their fields as __init__ params.
+        klass.fields = init_params if init_params is not None \
+            else klass.fields
+        self.summary.module_checks.extend(class_fn.checks)
+        self.summary.classes.append(klass)
+
+
+class _FunctionExtractor:
+    """Flow-sensitive abstract interpretation of one function body."""
+
+    def __init__(self, module: _ModuleExtractor, *, qualname: str,
+                 name: str, params: list[str], lineno: int,
+                 declared_unit: str | None, class_name: str | None,
+                 module_level: bool, is_converter: bool = False):
+        self.module = module
+        self.qualname = qualname
+        self.name = name
+        self.params = params
+        self.declared_unit = declared_unit
+        # A <target>_from_<source> converter changes units by contract;
+        # its body would otherwise always fail its own return check.
+        self.is_converter = is_converter
+        self.class_name = class_name
+        self.module_level = module_level
+        self.env: dict[str, dict] = {
+            param: u_const(unit_of_name(param) or "unknown")
+            for param in params
+        }
+        self.local_defs: dict[str, str] = {}
+        self.checks: list[dict] = []
+        self.calls: list[str] = []
+        self.call_edges: list[dict] = []
+        self.return_exprs: list[dict] = []
+        self.wall_clock: list[dict] = []
+        self.global_rng: list[dict] = []
+        self.schedules = False
+        self.unordered_loops: list[dict] = []
+        self._loop_stack: list[dict] = []
+        self._lineno = lineno
+
+    def finish(self, path: str) -> FunctionSummary:
+        return FunctionSummary(
+            qualname=self.qualname,
+            name=self.name,
+            path=path,
+            line=self._lineno,
+            params=self.params,
+            declared_unit=self.declared_unit,
+            return_expr=(u_join(self.return_exprs)
+                         if self.return_exprs else None),
+            checks=self.checks,
+            calls=sorted(set(self.calls)),
+            call_edges=self.call_edges,
+            wall_clock=self.wall_clock,
+            global_rng=self.global_rng,
+            schedules=self.schedules,
+            unordered_loops=self.unordered_loops,
+        )
+
+    # -- statements ----------------------------------------------------
+    def exec_block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested functions get their own summary; bare-name calls to
+            # them resolve through local_defs, so taint still flows.
+            self.local_defs[stmt.name] = f"{self.qualname}.{stmt.name}"
+            self.module._extract_function(stmt, parent=self.qualname,
+                                          class_name=self.class_name)
+        elif isinstance(stmt, ast.ClassDef):
+            pass
+        elif isinstance(stmt, ast.Assign):
+            value = self.eval_expr(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, value, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            value = (self.eval_expr(stmt.value)
+                     if stmt.value is not None else None)
+            if value is not None:
+                self._assign(stmt.target, value, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self.eval_expr(stmt.value)
+            target_unit = self._target_unit(stmt.target, stmt)
+            if target_unit is not None and isinstance(
+                    stmt.op, (ast.Add, ast.Sub, ast.Mod, ast.FloorDiv)):
+                self._record("cross-unit-arithmetic", stmt, {
+                    "a": u_const(target_unit), "b": value,
+                    "ctx": f"augmented assignment to "
+                           f"'{_target_name(stmt.target)}'"})
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self.eval_expr(stmt.value)
+                self.return_exprs.append(value)
+                if self.declared_unit is not None and not self.is_converter:
+                    self._record("cross-unit-return", stmt, {
+                        "declared": self.declared_unit, "v": value,
+                        "fn": self.name})
+        elif isinstance(stmt, (ast.If,)):
+            self.eval_expr(stmt.test)
+            self._branches(stmt, [stmt.body, stmt.orelse])
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._exec_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self.eval_expr(stmt.test)
+            self._branches(stmt, [stmt.body, stmt.orelse])
+        elif isinstance(stmt, ast.With) or isinstance(stmt, ast.AsyncWith):
+            for item in stmt.items:
+                self.eval_expr(item.context_expr)
+            self.exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            blocks = [stmt.body]
+            for handler in stmt.handlers:
+                blocks.append(handler.body)
+            self._branches(stmt, blocks)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self.eval_expr(stmt.value)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval_expr(child)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        # pass/break/continue/import/global/nonlocal: no unit effect
+
+    def _branches(self, stmt: ast.stmt,
+                  blocks: list[list[ast.stmt]]) -> None:
+        before = dict(self.env)
+        outcomes: list[dict[str, dict]] = []
+        for block in blocks:
+            self.env = dict(before)
+            self.exec_block(block)
+            outcomes.append(self.env)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)) \
+                or (isinstance(stmt, ast.If) and not stmt.orelse):
+            outcomes.append(before)
+        merged: dict[str, dict] = {}
+        names = set()
+        for outcome in outcomes:
+            names.update(outcome)
+        for name in names:
+            merged[name] = u_join([
+                outcome.get(name, before.get(name, U_UNKNOWN))
+                for outcome in outcomes])
+        self.env = merged
+
+    def _exec_for(self, stmt: ast.For | ast.AsyncFor) -> None:
+        self.eval_expr(stmt.iter)
+        if isinstance(stmt.target, ast.Name):
+            unit = unit_of_name(stmt.target.id)
+            self.env[stmt.target.id] = u_const(unit or "unknown")
+        reason = _unordered_reason(stmt.iter)
+        loop_record = None
+        if reason is not None:
+            loop_record = {
+                "line": stmt.lineno, "col": stmt.col_offset,
+                "reason": reason, "calls": [], "direct": False,
+            }
+            self._loop_stack.append(loop_record)
+        try:
+            self._branches(stmt, [stmt.body, stmt.orelse])
+        finally:
+            if loop_record is not None:
+                self._loop_stack.pop()
+                loop_record["calls"] = sorted(set(loop_record["calls"]))
+                self.unordered_loops.append(loop_record)
+
+    # -- assignments ---------------------------------------------------
+    def _target_unit(self, target: ast.expr, stmt: ast.stmt
+                     ) -> str | None:
+        annotated = self.module.unit_annotation(stmt.lineno)
+        if annotated is not None:
+            return annotated
+        name = _target_name(target)
+        if name is None:
+            return None
+        return unit_of_name(name.rpartition(".")[2] or name)
+
+    def _assign(self, target: ast.expr, value: dict,
+                stmt: ast.stmt) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, U_UNKNOWN, stmt)
+            return
+        target_unit = self._target_unit(target, stmt)
+        if target_unit is not None:
+            self._record("cross-unit-assignment", stmt, {
+                "target": _target_name(target),
+                "declared": target_unit, "v": value})
+        if isinstance(target, ast.Name):
+            self.env[target.id] = (u_const(target_unit) if target_unit
+                                   else value)
+
+    # -- expressions ---------------------------------------------------
+    def eval_expr(self, node: ast.expr) -> dict:
+        if isinstance(node, ast.Constant):
+            return (U_UNITLESS if isinstance(node.value, (int, float))
+                    and not isinstance(node.value, bool) else U_UNKNOWN)
+        if isinstance(node, ast.Name):
+            return self._name_unit(node.id)
+        if isinstance(node, ast.Attribute):
+            self.eval_expr(node.value)
+            dotted = _dotted(node)
+            if dotted is not None:
+                resolved = self.module.resolve_dotted(dotted)
+                constant = u_const_for_qualname(resolved)
+                if constant is not None:
+                    return constant
+                head = dotted.split(".")[0]
+                if head in self.module.summary.aliases:
+                    return {"k": "g", "n": resolved}
+            unit = unit_of_name(node.attr)
+            return u_const(unit) if unit else U_UNKNOWN
+        if isinstance(node, ast.UnaryOp):
+            return self.eval_expr(node.operand)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.Compare):
+            return self._compare(node)
+        if isinstance(node, ast.BoolOp):
+            return u_join([self.eval_expr(v) for v in node.values])
+        if isinstance(node, ast.IfExp):
+            self.eval_expr(node.test)
+            return u_join([self.eval_expr(node.body),
+                           self.eval_expr(node.orelse)])
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Subscript):
+            base = self.eval_expr(node.value)
+            self.eval_expr(node.slice)
+            if isinstance(node.slice, ast.Constant) and isinstance(
+                    node.slice.value, str):
+                unit = unit_of_name(node.slice.value)
+                if unit:
+                    return u_const(unit)
+            return base
+        if isinstance(node, ast.Starred):
+            return self.eval_expr(node.value)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            for element in node.elts:
+                self.eval_expr(element)
+            return U_UNKNOWN
+        if isinstance(node, ast.Dict):
+            for child in (*node.keys, *node.values):
+                if child is not None:
+                    self.eval_expr(child)
+            return U_UNKNOWN
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            for generator in node.generators:
+                self.eval_expr(generator.iter)
+                for condition in generator.ifs:
+                    self.eval_expr(condition)
+            if isinstance(node, ast.DictComp):
+                self.eval_expr(node.key)
+                self.eval_expr(node.value)
+            else:
+                self.eval_expr(node.elt)
+            return U_UNKNOWN
+        if isinstance(node, ast.Lambda):
+            return U_UNKNOWN
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval_expr(child)
+        return U_UNKNOWN
+
+    def _name_unit(self, name: str) -> dict:
+        if name in self.env:
+            return self.env[name]
+        if name in self.module.summary.constants and not self.module_level:
+            return {"k": "g", "n": f"{self.module.qualname}.{name}"}
+        if name in self.module.summary.aliases:
+            target = self.module.summary.aliases[name]
+            return u_const_for_qualname(target) or {"k": "g", "n": target}
+        unit = unit_of_name(name)
+        return u_const(unit) if unit else U_UNKNOWN
+
+    def _binop(self, node: ast.BinOp) -> dict:
+        left = self.eval_expr(node.left)
+        right = self.eval_expr(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mod)):
+            self._record("cross-unit-arithmetic", node, {
+                "a": left, "b": right,
+                "ctx": f"'{type(node.op).__name__.lower()}' expression"})
+            return u_join([left, right])
+        if isinstance(node.op, ast.FloorDiv):
+            self._record("cross-unit-arithmetic", node, {
+                "a": left, "b": right, "ctx": "floor division"})
+            return U_UNITLESS
+        if isinstance(node.op, ast.Mult):
+            return {"k": "m", "a": left, "b": right}
+        if isinstance(node.op, (ast.Div,)):
+            return {"k": "d", "a": left, "b": right}
+        return U_UNKNOWN
+
+    def _compare(self, node: ast.Compare) -> dict:
+        operands = [self.eval_expr(node.left)]
+        operands.extend(self.eval_expr(c) for c in node.comparators)
+        if any(isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+                               ast.Eq, ast.NotEq)) for op in node.ops):
+            self._record("cross-unit-comparison", node, {"xs": operands})
+        return U_UNKNOWN
+
+    def _call(self, node: ast.Call) -> dict:
+        kw_units = {keyword.arg: self.eval_expr(keyword.value)
+                    for keyword in node.keywords
+                    if keyword.arg is not None}
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                self.eval_expr(keyword.value)
+        arg_units = [self.eval_expr(arg) for arg in node.args]
+
+        func = node.func
+        callee_name: str | None = None
+        candidates: list[str] = []
+        if isinstance(func, ast.Name):
+            callee_name = func.id
+            candidates = self._resolve_name_call(func.id)
+        elif isinstance(func, ast.Attribute):
+            self.eval_expr(func.value)
+            callee_name = func.attr
+            candidates = self._resolve_attr_call(func)
+            self._detect_schedule(func, node)
+        self._detect_impurity(func, node)
+
+        # The <target>_from_<source> naming convention is authoritative
+        # even when the converter is defined outside the analysis roots.
+        conversion = (conversion_units(callee_name)
+                      if callee_name is not None else None)
+        if candidates:
+            self.calls.extend(candidates)
+            edge = {"f": candidates, "line": node.lineno,
+                    "col": node.col_offset,
+                    "name": callee_name or "<call>"}
+            self.call_edges.append(edge)
+            if self._loop_stack:
+                for loop in self._loop_stack:
+                    loop["calls"].extend(candidates)
+        if candidates or conversion is not None:
+            for index, value in enumerate(arg_units):
+                if isinstance(node.args[index], ast.Starred):
+                    continue
+                check = {"f": candidates, "i": index, "v": value,
+                         "callee": callee_name}
+                if conversion is not None and index == 0:
+                    check["param_unit"] = conversion[1]
+                self._record("cross-unit-argument", node, check)
+        for kw_name, value in kw_units.items():
+            self._record("cross-unit-argument", node, {
+                "f": candidates, "kw": kw_name, "v": value,
+                "callee": callee_name or "<call>"})
+
+        if callee_name in _PASSTHROUGH_CALLS and arg_units:
+            return arg_units[0]
+        if callee_name in _JOIN_CALLS and arg_units:
+            return u_join(arg_units)
+        if callee_name == "sum" and arg_units:
+            return arg_units[0]
+        if isinstance(func, ast.Attribute) and func.attr in (
+                "floor", "ceil") and arg_units:
+            return arg_units[0]
+        if conversion is not None:
+            return u_const(conversion[0])
+        if candidates:
+            return {"k": "r", "f": candidates}
+        if callee_name is not None:
+            unit = unit_of_name(callee_name)
+            if unit:
+                return u_const(unit)
+        return U_UNKNOWN
+
+    def _resolve_name_call(self, name: str) -> list[str]:
+        if name in self.local_defs:
+            return [self.local_defs[name]]
+        if name in self.env:
+            # A parameter or locally rebound name; its target is dynamic.
+            return []
+        if name in self.module.summary.aliases:
+            return [self.module.summary.aliases[name]]
+        if name in _BUILTIN_NAMES:
+            return []
+        # Otherwise assume a sibling definition in the same module.
+        return [f"{self.module.qualname}.{name}"]
+
+    def _resolve_attr_call(self, func: ast.Attribute) -> list[str]:
+        dotted = _dotted(func)
+        if dotted is None:
+            return []
+        head = dotted.split(".")[0]
+        if head in ("self", "cls") and self.class_name is not None:
+            tail = dotted.split(".", 1)[1]
+            if "." not in tail:
+                return [f"{self.module.qualname}.{self.class_name}.{tail}"]
+            return []
+        if head in self.module.summary.aliases:
+            return [self.module.resolve_dotted(dotted)]
+        return []
+
+    # -- purity --------------------------------------------------------
+    def _detect_schedule(self, func: ast.Attribute,
+                         node: ast.Call) -> None:
+        if func.attr in _SCHEDULE_METHODS:
+            self.schedules = True
+            for loop in self._loop_stack:
+                loop["direct"] = True
+
+    def _detect_impurity(self, func: ast.expr, node: ast.Call) -> None:
+        dotted = _dotted(func)
+        if dotted is None:
+            return
+        resolved = self.module.resolve_dotted(dotted)
+        parts = resolved.split(".")
+        if parts[0] == "time" and len(parts) == 2 \
+                and parts[1] in _WALL_CLOCK_TIME_FUNCS:
+            self._effect(self.wall_clock, node, resolved)
+        elif resolved in {f"time.{f}" for f in _WALL_CLOCK_TIME_FUNCS}:
+            self._effect(self.wall_clock, node, resolved)
+        elif parts[0] == "datetime" and parts[-1] in \
+                _WALL_CLOCK_DATETIME_FUNCS:
+            self._effect(self.wall_clock, node, resolved)
+        elif parts[0] == "random" and len(parts) == 2:
+            self._effect(self.global_rng, node, resolved)
+        elif len(parts) >= 2 and parts[-2] == "random" \
+                and parts[0] in ("numpy",) and (
+                    parts[-1] in _GLOBAL_NP_RANDOM):
+            self._effect(self.global_rng, node, resolved)
+
+    def _effect(self, sink: list[dict], node: ast.Call,
+                what: str) -> None:
+        sink.append({"line": node.lineno, "col": node.col_offset,
+                     "what": what})
+
+    # -- bookkeeping ---------------------------------------------------
+    def _record(self, rule: str, node: ast.AST, payload: dict) -> None:
+        check = {"rule": rule,
+                 "line": getattr(node, "lineno", 1),
+                 "col": getattr(node, "col_offset", 0)}
+        check.update(payload)
+        self.checks.append(check)
+
+
+def u_const_for_qualname(qualname: str) -> dict | None:
+    unit = CONSTANT_UNIT_SEEDS.get(qualname)
+    return u_const(unit) if unit else None
+
+
+def _target_name(target: ast.expr) -> str | None:
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return _dotted(target)
+    return None
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _unordered_reason(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}(...)"
+        if isinstance(func, ast.Attribute) and func.attr == "keys":
+            return "a .keys() view"
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        left = _unordered_reason(node.left)
+        right = _unordered_reason(node.right)
+        if left or right:
+            return left or right
+    return None
+
+
+# ----------------------------------------------------------------------
+# loading
+# ----------------------------------------------------------------------
+def _parse_module(path: Path, source: str) -> ast.Module:
+    for hook in PARSE_HOOKS:
+        hook(path.as_posix())
+    return ast.parse(source, filename=path.as_posix())
+
+
+def load_project(paths: Iterable[str | Path], *,
+                 exclude: Callable[[str], bool] | None = None,
+                 cache=None) -> Project:
+    """Parse/extract every module under ``paths`` into a project model.
+
+    ``cache`` is an :class:`repro.devtools.analyze.cache.AnalysisCache`
+    (or None); a cache hit restores the stored summary without calling
+    ``ast.parse`` at all.
+    """
+    modules: list[ModuleSummary] = []
+    files_checked = 0
+    parsed = 0
+    from_cache = 0
+    for path in iter_python_files(paths):
+        path_str = path.as_posix()
+        if exclude is not None and exclude(path_str):
+            continue
+        files_checked += 1
+        try:
+            raw = path.read_bytes()
+        except OSError as exc:
+            summary = ModuleSummary(
+                path=path_str, qualname=module_qualname(path),
+                parse_error={"line": 1, "col": 0, "message": str(exc)})
+            modules.append(summary)
+            continue
+        digest = hashlib.sha256(raw).hexdigest()
+        if cache is not None:
+            hit = cache.lookup(path_str, digest)
+            if hit is not None:
+                modules.append(hit)
+                from_cache += 1
+                continue
+        qualname = module_qualname(path)
+        try:
+            source = raw.decode("utf-8")
+            tree = _parse_module(path, source)
+            parsed += 1
+        except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            col = (getattr(exc, "offset", 1) or 1) - 1
+            message = (exc.msg if isinstance(exc, SyntaxError) and exc.msg
+                       else str(exc))
+            summary = ModuleSummary(
+                path=path_str, qualname=qualname, content_hash=digest,
+                parse_error={"line": line, "col": max(col, 0),
+                             "message": message})
+            modules.append(summary)
+            if cache is not None:
+                cache.store(path_str, digest, summary)
+            continue
+        summary = _ModuleExtractor(path_str, qualname, source, tree).run()
+        summary.content_hash = digest
+        modules.append(summary)
+        if cache is not None:
+            cache.store(path_str, digest, summary)
+    return Project(modules=modules, files_checked=files_checked,
+                   parsed=parsed, from_cache=from_cache)

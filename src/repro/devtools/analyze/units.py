@@ -1,0 +1,239 @@
+"""Whole-program time-unit inference over the unit lattice.
+
+The loader records *symbolic* unit facts; this pass resolves them
+project-wide.  Function return units and module-constant units are
+computed by a fixpoint over the summaries (a declared suffix such as
+``worst_case_uplink_us`` wins; otherwise the joined unit of the
+function's ``return`` expressions), then every recorded check —
+additive arithmetic, comparison, suffixed assignment, declared return,
+call argument — is evaluated and the ones where two *concrete* units
+disagree become violations.
+
+``unitless`` (bare numeric literals, ratios of same-unit quantities)
+and ``unknown`` never flag: the pass only reports when it can prove
+both sides carry different physical units, which keeps it quiet on
+idiomatic code and loud on genuine cross-module mismatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devtools.lintkit.core import Severity, Violation
+from repro.devtools.analyze.loader import (
+    ClassSummary,
+    FunctionSummary,
+    Project,
+    UNITS,
+    unit_of_name,
+)
+
+__all__ = ["UnitTables", "resolve_units", "unit_violations"]
+
+_MAX_FIXPOINT_ROUNDS = 25
+
+
+@dataclass
+class UnitTables:
+    """Resolved units, keyed by qualified name."""
+
+    fn_ret: dict[str, str] = field(default_factory=dict)
+    constants: dict[str, str] = field(default_factory=dict)
+
+
+def join_units(units: list[str]) -> str:
+    """Lattice join: unitless is absorbed, conflicts go to unknown."""
+    concrete: set[str] = set()
+    saw_unknown = False
+    for unit in units:
+        if unit == "unknown":
+            saw_unknown = True
+        elif unit != "unitless":
+            concrete.add(unit)
+    if saw_unknown:
+        return "unknown"
+    if not concrete:
+        return "unitless" if units else "unknown"
+    if len(concrete) == 1:
+        return next(iter(concrete))
+    return "unknown"
+
+
+class _Resolver:
+    """Evaluate symbolic unit expressions under the current tables."""
+
+    def __init__(self, project: Project, tables: UnitTables):
+        self.project = project
+        self.tables = tables
+
+    def eval(self, expr: dict | None, depth: int = 0) -> str:
+        if expr is None or depth > 20:
+            return "unknown"
+        kind = expr["k"]
+        if kind == "c":
+            return expr["u"]
+        if kind == "j":
+            return join_units([self.eval(x, depth + 1)
+                               for x in expr["x"]])
+        if kind == "g":
+            resolved = self.project._resolve(expr["n"])
+            if resolved is None:
+                return "unknown"
+            return self.tables.constants.get(resolved, "unknown")
+        if kind == "r":
+            units = []
+            for candidate in expr["f"]:
+                summary = self.project.resolve_function(candidate)
+                if summary is None:
+                    units.append("unknown")
+                else:
+                    units.append(self.tables.fn_ret.get(
+                        summary.qualname, "unknown"))
+            return join_units(units) if units else "unknown"
+        if kind == "m":
+            a = self.eval(expr["a"], depth + 1)
+            b = self.eval(expr["b"], depth + 1)
+            if a == "unitless":
+                return b
+            if b == "unitless":
+                return a
+            return "unknown"
+        if kind == "d":
+            a = self.eval(expr["a"], depth + 1)
+            b = self.eval(expr["b"], depth + 1)
+            if a in UNITS and a == b:
+                return "unitless"
+            if b == "unitless":
+                return a
+            return "unknown"
+        return "unknown"
+
+
+def resolve_units(project: Project) -> UnitTables:
+    """Fixpoint over module constants and function return units."""
+    tables = UnitTables()
+    resolver = _Resolver(project, tables)
+    for qualname, summary in project.functions.items():
+        tables.fn_ret[qualname] = summary.declared_unit or "unknown"
+    for qualname in project.constant_seeds:
+        tables.constants[qualname] = "unknown"
+    for _ in range(_MAX_FIXPOINT_ROUNDS):
+        changed = False
+        for qualname, expr in project.constant_seeds.items():
+            unit = resolver.eval(expr)
+            if tables.constants.get(qualname) != unit:
+                tables.constants[qualname] = unit
+                changed = True
+        for qualname, summary in project.functions.items():
+            if summary.declared_unit is not None:
+                continue
+            unit = resolver.eval(summary.return_expr)
+            if tables.fn_ret.get(qualname) != unit:
+                tables.fn_ret[qualname] = unit
+                changed = True
+        if not changed:
+            break
+    return tables
+
+
+def _callee_param_unit(project: Project, check: dict) -> str | None:
+    """The declared unit of the parameter a call argument binds to."""
+    if "param_unit" in check:
+        return check["param_unit"]
+    keyword = check.get("kw")
+    for candidate in check.get("f", ()):
+        target = project.resolve_callable(candidate)
+        if target is None:
+            continue
+        if isinstance(target, FunctionSummary):
+            if keyword is not None:
+                unit = target.param_unit_by_name(keyword)
+            else:
+                unit = target.param_unit(check["i"])
+            return unit
+        if isinstance(target, ClassSummary):
+            if keyword is not None:
+                if keyword in target.fields:
+                    return unit_of_name(keyword)
+                return None
+            index = check["i"]
+            if 0 <= index < len(target.fields):
+                return unit_of_name(target.fields[index])
+            return None
+    if keyword is not None:
+        # Even with an unresolvable callee, a suffixed keyword states
+        # the expected unit at the call site itself.
+        return unit_of_name(keyword)
+    return None
+
+
+def unit_violations(project: Project, tables: UnitTables
+                    ) -> list[Violation]:
+    """Evaluate every recorded check under the resolved tables."""
+    resolver = _Resolver(project, tables)
+    violations: list[Violation] = []
+
+    def flag(path: str, check: dict, message: str) -> None:
+        violations.append(Violation(
+            path=path, line=check["line"], col=check["col"],
+            rule_id=check["rule"], severity=Severity.ERROR,
+            message=message))
+
+    def run_checks(path: str, checks: list[dict],
+                   owner: str | None) -> None:
+        for check in checks:
+            rule = check["rule"]
+            if rule == "cross-unit-arithmetic":
+                a = resolver.eval(check["a"])
+                b = resolver.eval(check["b"])
+                if a in UNITS and b in UNITS and a != b:
+                    flag(path, check,
+                         f"{check.get('ctx', 'expression')} mixes _{a} "
+                         f"and _{b}; convert via repro.phy.timebase "
+                         f"(e.g. {a}_from_{b}(...)) before combining")
+            elif rule == "cross-unit-comparison":
+                units = sorted({
+                    u for u in (resolver.eval(x) for x in check["xs"])
+                    if u in UNITS})
+                if len(units) > 1:
+                    mixed = " and ".join(f"_{u}" for u in units)
+                    flag(path, check,
+                         f"compares values in different units ({mixed}); "
+                         "convert to a common unit via repro.phy.timebase")
+            elif rule == "cross-unit-assignment":
+                value = resolver.eval(check["v"])
+                declared = check["declared"]
+                if value in UNITS and declared in UNITS \
+                        and value != declared:
+                    flag(path, check,
+                         f"assigns a _{value} value to "
+                         f"'{check.get('target')}' (declared _{declared}); "
+                         f"convert with {declared}_from_{value}(...)")
+            elif rule == "cross-unit-return":
+                value = resolver.eval(check["v"])
+                declared = check["declared"]
+                if value in UNITS and declared in UNITS \
+                        and value != declared:
+                    flag(path, check,
+                         f"'{check.get('fn', owner)}' is declared _"
+                         f"{declared} but returns a _{value} value; "
+                         f"convert with {declared}_from_{value}(...)")
+            elif rule == "cross-unit-argument":
+                value = resolver.eval(check["v"])
+                if value not in UNITS:
+                    continue
+                param_unit = _callee_param_unit(project, check)
+                if param_unit in UNITS and param_unit != value:
+                    where = (f"keyword '{check['kw']}'"
+                             if check.get("kw") is not None
+                             else f"argument {check['i'] + 1}")
+                    flag(path, check,
+                         f"passes a _{value} value as {where} of "
+                         f"{check.get('callee')}() which expects _"
+                         f"{param_unit}; convert via repro.phy.timebase")
+
+    for module in project.modules:
+        run_checks(module.path, module.module_checks, None)
+        for function in module.functions:
+            run_checks(function.path, function.checks, function.name)
+    return violations

@@ -9,6 +9,7 @@ this package registers them all.
 
 from repro.devtools.lintkit.config import find_pyproject, load_config
 from repro.devtools.lintkit.core import (
+    SYNTAX_ERROR_RULE_ID,
     LintConfig,
     LintReport,
     ModuleUnderLint,
@@ -20,7 +21,11 @@ from repro.devtools.lintkit.core import (
     register,
     registered_rules,
 )
-from repro.devtools.lintkit.reporters import render_json, render_text
+from repro.devtools.lintkit.reporters import (
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.devtools.lintkit import rules  # noqa: F401  (registers rules)
 
 __all__ = [
@@ -28,6 +33,7 @@ __all__ = [
     "LintReport",
     "ModuleUnderLint",
     "Rule",
+    "SYNTAX_ERROR_RULE_ID",
     "Severity",
     "Violation",
     "find_pyproject",
@@ -37,6 +43,7 @@ __all__ = [
     "register",
     "registered_rules",
     "render_json",
+    "render_sarif",
     "render_text",
     "rules",
 ]

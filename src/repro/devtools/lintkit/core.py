@@ -18,14 +18,18 @@ in scattered comments — see docs/LINTING.md.
 from __future__ import annotations
 
 import ast
+import enum
 import fnmatch
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro.devtools.walker import iter_python_files
+
 __all__ = [
     "Severity",
+    "SYNTAX_ERROR_RULE_ID",
     "Violation",
     "ModuleUnderLint",
     "Rule",
@@ -38,11 +42,65 @@ __all__ = [
 ]
 
 
-class Severity:
-    """Violation severities; ``ERROR`` fails the build, ``WARNING`` not."""
+class Severity(str, enum.Enum):
+    """Violation severities, ordered ``NOTE < WARNING < ERROR``.
 
-    ERROR = "error"
+    A ``str`` subclass so existing code (and configuration files) can
+    keep comparing against the plain strings ``"error"``/``"warning"``;
+    ordering comparisons rank by severity, not lexicographically, so
+    ``lint`` and ``analyze`` share one "is this at least a warning?"
+    predicate.  ``ERROR`` fails the build, the others do not.
+    """
+
+    NOTE = "note"
     WARNING = "warning"
+    ERROR = "error"
+
+    # A str-mixin enum would otherwise render as "Severity.ERROR" on
+    # some interpreter versions; reports need the bare value.
+    __str__ = str.__str__
+    __format__ = str.__format__
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANKS[self.value]
+
+    def _coerced_rank(self, other: object) -> int | None:
+        if isinstance(other, Severity):
+            return other.rank
+        if isinstance(other, str) and other in _SEVERITY_RANKS:
+            return _SEVERITY_RANKS[other]
+        return None
+
+    def __lt__(self, other: object) -> bool:
+        rank = self._coerced_rank(other)
+        if rank is None:
+            return NotImplemented
+        return self.rank < rank
+
+    def __le__(self, other: object) -> bool:
+        rank = self._coerced_rank(other)
+        if rank is None:
+            return NotImplemented
+        return self.rank <= rank
+
+    def __gt__(self, other: object) -> bool:
+        rank = self._coerced_rank(other)
+        if rank is None:
+            return NotImplemented
+        return self.rank > rank
+
+    def __ge__(self, other: object) -> bool:
+        rank = self._coerced_rank(other)
+        if rank is None:
+            return NotImplemented
+        return self.rank >= rank
+
+
+_SEVERITY_RANKS = {"note": 0, "warning": 1, "error": 2}
+
+#: Pseudo-rule id under which unparseable files are reported.
+SYNTAX_ERROR_RULE_ID = "syntax-error"
 
 
 @dataclass(frozen=True)
@@ -181,7 +239,13 @@ class LintConfig:
             rule = rules[rule_id]()
             override = self.severity_overrides.get(rule_id)
             if override is not None:
-                rule.severity = override
+                try:
+                    rule.severity = Severity(override)
+                except ValueError:
+                    raise ValueError(
+                        f"invalid severity {override!r} for rule "
+                        f"{rule_id!r}; expected one of "
+                        f"{sorted(_SEVERITY_RANKS)}") from None
             active.append(rule)
         return active
 
@@ -234,15 +298,6 @@ class LintReport:
         return 1 if (self.errors or self.parse_errors) else 0
 
 
-def _iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
-        elif path.suffix == ".py":
-            yield path
-
-
 def lint_source(source: str, path: str, rules: Iterable[Rule],
                 disabled: set[str] | None = None
                 ) -> tuple[list[Violation], int]:
@@ -266,6 +321,21 @@ def lint_source(source: str, path: str, rules: Iterable[Rule],
     return kept, suppressed
 
 
+def _syntax_error_violation(path: str, exc: Exception) -> Violation:
+    """An ERROR-severity finding for a file that could not be parsed."""
+    line = 1
+    col = 0
+    message = str(exc)
+    if isinstance(exc, SyntaxError):
+        line = exc.lineno or 1
+        col = (exc.offset or 1) - 1
+        message = exc.msg or "invalid syntax"
+    return Violation(path=path, line=line, col=max(col, 0),
+                     rule_id=SYNTAX_ERROR_RULE_ID,
+                     severity=Severity.ERROR,
+                     message=f"could not parse file: {message}")
+
+
 def lint_paths(paths: Iterable[str | Path],
                config: LintConfig | None = None) -> LintReport:
     """Lint files/directories and aggregate a :class:`LintReport`."""
@@ -275,18 +345,21 @@ def lint_paths(paths: Iterable[str | Path],
     parse_errors: list[str] = []
     files_checked = 0
     suppressed_total = 0
-    for path in _iter_python_files(paths):
+    for path in iter_python_files(paths):
         path_str = path.as_posix()
         if config.is_excluded(path_str):
             continue
         files_checked += 1
-        source = path.read_text(encoding="utf-8")
         try:
+            source = path.read_text(encoding="utf-8")
             found, suppressed = lint_source(
                 source, path_str, rules,
                 disabled=config.rules_disabled_for(path_str))
-        except SyntaxError as exc:
-            parse_errors.append(f"{path_str}: {exc.msg} (line {exc.lineno})")
+        # ast.parse raises SyntaxError for malformed code but ValueError
+        # for e.g. null bytes; a broken file must surface as an ERROR
+        # finding for that file, never abort the whole run.
+        except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+            violations.append(_syntax_error_violation(path_str, exc))
             continue
         violations.extend(found)
         suppressed_total += suppressed

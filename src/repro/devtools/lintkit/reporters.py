@@ -1,16 +1,22 @@
 """Render a :class:`~repro.devtools.lintkit.core.LintReport`.
 
-Two formats: ``text`` for humans/CI logs, ``json`` for tooling.  Both
-are pure functions of the report so tests can assert on them directly.
+Three formats: ``text`` for humans/CI logs, ``json`` for tooling, and
+``sarif`` (via the shared :mod:`repro.devtools.sarif` writer) for code
+scanning UIs.  All are pure functions of the report so tests can
+assert on them directly.
 """
 
 from __future__ import annotations
 
 import json
 
-from repro.devtools.lintkit.core import LintReport
+from repro.devtools.lintkit.core import (
+    SYNTAX_ERROR_RULE_ID,
+    LintReport,
+    registered_rules,
+)
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(report: LintReport, verbose: bool = False) -> str:
@@ -51,3 +57,16 @@ def render_json(report: LintReport) -> str:
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 document listing every registered rule."""
+    from repro.devtools.sarif import render_sarif as _render
+
+    rules = {SYNTAX_ERROR_RULE_ID: "file could not be parsed"}
+    severities = {SYNTAX_ERROR_RULE_ID: "error"}
+    for rule_id, rule_cls in registered_rules().items():
+        rules[rule_id] = rule_cls.description
+        severities[rule_id] = str(rule_cls.severity)
+    return _render(report.violations, tool_name="urllc5g-lint",
+                   rules=rules, rule_severities=severities)

@@ -1,0 +1,4 @@
+"""Fixture: unparseable file — lint must report it, not crash."""
+
+def broken(:
+    return 1

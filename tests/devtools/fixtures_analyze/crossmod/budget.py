@@ -1,0 +1,17 @@
+"""Fixture: cross-module unit mismatch behind an unsuffixed local.
+
+``slot_duration_us`` returns microseconds; stashing it in the bare
+name ``used`` erases the suffix per-file lint relies on, and the
+subtraction from a millisecond budget goes unflagged.  Whole-program
+inference carries the _us return unit through ``used`` and across the
+module boundary.
+"""
+
+from crossmod.phy import slot_duration_us
+
+__all__ = ["remaining_budget_ms"]
+
+
+def remaining_budget_ms(budget_ms: float, mu: int) -> float:
+    used = slot_duration_us(mu)
+    return budget_ms - used

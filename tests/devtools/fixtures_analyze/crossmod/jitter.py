@@ -1,0 +1,14 @@
+"""Fixture: transitive wall-clock leak through an imported helper.
+
+This module never imports ``time`` and is lint-clean; only the call
+graph reveals that ``now_us`` bottoms out in ``time.perf_counter``.
+"""
+
+from crossmod.timing import now_us
+
+__all__ = ["measure_jitter_us"]
+
+
+def measure_jitter_us() -> float:
+    start = now_us()
+    return now_us() - start

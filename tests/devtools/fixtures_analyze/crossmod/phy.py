@@ -1,0 +1,8 @@
+"""Fixture: a helper returning microseconds."""
+
+__all__ = ["slot_duration_us"]
+
+
+def slot_duration_us(mu: int) -> float:
+    """Slot duration in microseconds for numerology mu."""
+    return 1000.0 / (2 ** mu)

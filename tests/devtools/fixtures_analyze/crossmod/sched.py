@@ -1,0 +1,18 @@
+"""Fixture: unordered iteration scheduling through a helper.
+
+Lint's ``unordered-iteration-before-schedule`` needs the
+``.schedule(...)`` call literally inside the loop body; hiding it one
+call away in ``_wake`` makes the file lint-clean while the event
+order is still set-iteration nondeterministic.
+"""
+
+__all__ = ["wake_all"]
+
+
+def wake_all(sim, ues) -> None:
+    for ue in set(ues):
+        _wake(sim, ue)
+
+
+def _wake(sim, ue) -> None:
+    sim.schedule(0, ue)

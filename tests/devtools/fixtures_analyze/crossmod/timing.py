@@ -1,0 +1,9 @@
+"""Fixture: the direct wall-clock read (lint's finding, not analyze's)."""
+
+import time
+
+__all__ = ["now_us"]
+
+
+def now_us() -> float:
+    return time.perf_counter() * 1e6

@@ -1,4 +1,4 @@
-"""CLI wiring for ``urllc5g lint`` and ``urllc5g check``."""
+"""CLI wiring for ``urllc5g lint``, ``analyze`` and ``check``."""
 
 import json
 from pathlib import Path
@@ -6,6 +6,7 @@ from pathlib import Path
 from repro.cli import main
 
 FIXTURES = Path(__file__).parent / "fixtures"
+CROSSMOD = Path(__file__).parent / "fixtures_analyze" / "crossmod"
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
@@ -47,6 +48,60 @@ def test_lint_ignore_disables_rule(capsys):
                  "--ignore", "public-api-exports"])
     out = capsys.readouterr().out
     assert code == 0, out
+
+
+def test_lint_sarif_format(capsys):
+    code = main(["lint", str(FIXTURES / "bad_exports.py"),
+                 "--no-config", "--format", "sarif"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert document["version"] == "2.1.0"
+    assert document["runs"][0]["tool"]["driver"]["name"] == "urllc5g-lint"
+
+
+def test_analyze_src_is_clean_and_exits_zero(capsys):
+    code = main(["analyze", str(REPO_ROOT / "src"), "--no-cache",
+                 "--config", str(REPO_ROOT / "pyproject.toml")])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "0 finding(s)" in out
+
+
+def test_analyze_fixture_violations_exit_nonzero(capsys):
+    code = main(["analyze", str(CROSSMOD), "--no-config", "--no-cache"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "cross-unit-arithmetic" in out
+    assert "transitive-wall-clock" in out
+
+
+def test_analyze_sarif_format(capsys):
+    code = main(["analyze", str(CROSSMOD), "--no-config", "--no-cache",
+                 "--format", "sarif"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 1
+    driver = document["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "urllc5g-analyze"
+    assert document["runs"][0]["results"]
+
+
+def test_analyze_write_then_use_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    code = main(["analyze", str(CROSSMOD), "--no-config", "--no-cache",
+                 "--write-baseline", str(baseline)])
+    assert code == 0
+    assert "wrote" in capsys.readouterr().out
+    code = main(["analyze", str(CROSSMOD), "--no-config", "--no-cache",
+                 "--baseline", str(baseline)])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "baselined" in out
+
+
+def test_analyze_missing_path_is_an_error(capsys):
+    code = main(["analyze", "no/such/dir"])
+    assert code == 2
+    assert "no such path" in capsys.readouterr().err
 
 
 def test_check_determinism_passes(capsys):

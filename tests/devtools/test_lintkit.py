@@ -6,6 +6,7 @@ from pathlib import Path
 import pytest
 
 from repro.devtools.lintkit import (
+    SYNTAX_ERROR_RULE_ID,
     LintConfig,
     Severity,
     lint_paths,
@@ -13,6 +14,7 @@ from repro.devtools.lintkit import (
     load_config,
     registered_rules,
     render_json,
+    render_sarif,
     render_text,
 )
 
@@ -65,9 +67,69 @@ def test_fixture_caught_by_correct_rule(fixture, expected_rule,
 
 def test_fixture_directory_linted_as_a_tree():
     report = lint_paths([FIXTURES])
-    assert report.files_checked == 6
-    assert {v.rule_id for v in report.violations} == EXPECTED_RULES
+    assert report.files_checked == 7
+    assert {v.rule_id for v in report.violations} == (
+        EXPECTED_RULES | {SYNTAX_ERROR_RULE_ID})
     assert report.exit_code == 1
+
+
+# ----------------------------------------------------------------------
+# unparseable files are findings, not crashes
+# ----------------------------------------------------------------------
+def test_syntax_error_reported_as_violation_not_traceback():
+    report = lint_paths([FIXTURES / "bad_syntax.py"])
+    assert report.exit_code == 1
+    assert len(report.violations) == 1
+    violation = report.violations[0]
+    assert violation.rule_id == SYNTAX_ERROR_RULE_ID
+    assert violation.severity == Severity.ERROR
+    assert violation.line == 3  # points at the malformed def
+    assert "could not parse" in violation.message
+
+
+def test_lint_continues_past_a_broken_file(tmp_path):
+    (tmp_path / "broken.py").write_text("def broken(:\n",
+                                        encoding="utf-8")
+    (tmp_path / "ok.py").write_text("__all__ = []\nimport random\n",
+                                    encoding="utf-8")
+    report = lint_paths([tmp_path])
+    assert report.files_checked == 2
+    assert {v.rule_id for v in report.violations} == {
+        SYNTAX_ERROR_RULE_ID, "rng-discipline"}
+
+
+def test_null_bytes_reported_as_syntax_error(tmp_path):
+    (tmp_path / "nul.py").write_text("x = 1\x00\n", encoding="utf-8")
+    report = lint_paths([tmp_path])
+    assert [v.rule_id for v in report.violations] == [
+        SYNTAX_ERROR_RULE_ID]
+
+
+# ----------------------------------------------------------------------
+# Severity is an ordered enum
+# ----------------------------------------------------------------------
+def test_severity_orders_by_rank_not_lexicographically():
+    # Alphabetically "error" < "note"; by severity it is the maximum.
+    assert Severity.NOTE < Severity.WARNING < Severity.ERROR
+    assert Severity.ERROR > Severity.NOTE
+    assert max(Severity) is Severity.ERROR
+    ordered = sorted([Severity.ERROR, Severity.NOTE, Severity.WARNING])
+    assert ordered == [Severity.NOTE, Severity.WARNING, Severity.ERROR]
+
+
+def test_severity_compares_against_plain_strings():
+    # Config files hold plain strings; ranking must still apply.
+    assert Severity.ERROR >= "warning"
+    assert Severity.NOTE < "warning"
+    assert Severity.WARNING == "warning"
+    assert Severity("error") is Severity.ERROR
+
+
+def test_severity_renders_as_its_bare_value():
+    assert str(Severity.ERROR) == "error"
+    assert f"{Severity.WARNING}" == "warning"
+    assert json.dumps({"severity": Severity.NOTE}) == (
+        '{"severity": "note"}')
 
 
 # ----------------------------------------------------------------------
@@ -248,6 +310,19 @@ def test_json_reporter_round_trips():
     assert payload["errors"] == 1
     assert payload["violations"][0]["rule"] == "public-api-exports"
     assert payload["violations"][0]["line"] == 1
+
+
+def test_sarif_reporter_shares_the_common_writer():
+    report = lint_paths([FIXTURES / "bad_units.py"])
+    document = json.loads(render_sarif(report))
+    assert document["version"] == "2.1.0"
+    driver = document["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "urllc5g-lint"
+    listed = {rule["id"] for rule in driver["rules"]}
+    # Every registered rule appears, found or not.
+    assert EXPECTED_RULES | {SYNTAX_ERROR_RULE_ID} <= listed
+    results = document["runs"][0]["results"]
+    assert {r["ruleId"] for r in results} == {"unit-suffix-mixing"}
 
 
 def test_clean_report_says_clean(tmp_path):

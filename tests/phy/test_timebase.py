@@ -49,6 +49,57 @@ def test_tc_exact_ms_uses_fractions():
     assert timebase.tc_exact_ms(quarter_ms) == Fraction(1, 4)
 
 
+def test_tc_from_ms_round_trips_through_tc_exact_ms():
+    # Integral and dyadic millisecond values are exact in Tc, so the
+    # round trip through the Fraction view must be the identity.
+    for ms in (1, 2, 5, 10, 0.5, 0.25, 0.125):
+        assert timebase.tc_exact_ms(timebase.tc_from_ms(ms)) == \
+            Fraction(str(ms))
+
+
+def test_tc_from_us_round_trips_through_tc_exact_ms():
+    # 1000 µs = 1 ms exactly; tc_exact_ms is a Fraction, not a float.
+    tc = timebase.tc_from_us(1000.0)
+    exact = timebase.tc_exact_ms(tc)
+    assert isinstance(exact, Fraction)
+    assert exact == 1
+
+
+def test_tc_from_ns_round_trips_through_tc_exact_ms():
+    tc = timebase.tc_from_ns(1_000_000)  # 1 ms in ns
+    assert timebase.tc_exact_ms(tc) == 1
+
+
+def test_tc_exact_ms_is_exact_where_floats_are_not():
+    # One Tc is 1/1966080 ms — a denominator no binary float carries.
+    assert timebase.tc_exact_ms(1) == Fraction(1, 1_966_080)
+    third_ms = timebase.TC_PER_MS // 3 * 3  # exactly divisible
+    assert timebase.tc_exact_ms(third_ms) * 3 == 3  # no tolerance games
+
+
+def test_us_from_ms_scales_exactly():
+    assert timebase.us_from_ms(0.5) == 500.0
+    assert timebase.us_from_ms(20.0) == 20_000.0
+    assert timebase.us_from_ms(0.0) == 0.0
+
+
+@pytest.mark.parametrize("converter", [
+    timebase.tc_from_seconds,
+    timebase.tc_from_ms,
+    timebase.tc_from_us,
+    timebase.tc_from_ns,
+    timebase.seconds_from_tc,
+    timebase.ms_from_tc,
+    timebase.us_from_tc,
+    timebase.ns_from_tc,
+    timebase.us_from_ms,
+    timebase.tc_exact_ms,
+])
+def test_converters_reject_negative_durations(converter):
+    with pytest.raises(ValueError, match=">= 0"):
+        converter(-1)
+
+
 @given(us=st.floats(0.0, 1e7))
 @settings(max_examples=200, deadline=None)
 def test_us_round_trip_error_below_one_tick(us):
