@@ -4,8 +4,17 @@ Every benchmark regenerates one of the paper's tables/figures, asserts
 its *shape* against the paper, and writes the rendered artifact to
 ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can record
 paper-vs-measured values.
+
+The replication-heavy benchmarks (fig5, fig6, sensitivity, multi-UE,
+exhaustive search) no longer run their sweeps inline: they declare a
+campaign and hand it to the session-wide :data:`campaign_runner`,
+which shares one worker pool and one content-hash result cache across
+the whole benchmark session (see ``docs/CAMPAIGNS.md``).  Set
+``URLLC5G_BENCH_WORKERS`` to control the pool size and
+``URLLC5G_BENCH_NO_CACHE=1`` to force recomputation.
 """
 
+import os
 from pathlib import Path
 
 import pytest
@@ -17,10 +26,13 @@ from repro.phy.timebase import tc_from_ms
 from repro.radio.interface import usb3
 from repro.radio.os_jitter import gpos
 from repro.radio.radio_head import RadioHead
+from repro.runner import CampaignRunner, ResultCache, atomic_write_text
 from repro.sim.rng import RngRegistry
 from repro.traffic.generators import uniform_in_horizon
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+CACHE_PATH = Path(__file__).parent / ".urllc5g-bench-cache.json"
 
 
 @pytest.fixture(scope="session")
@@ -29,11 +41,24 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session")
+def campaign_runner():
+    """One pool + one result cache shared by every campaign benchmark."""
+    workers = int(os.environ.get("URLLC5G_BENCH_WORKERS",
+                                 min(4, os.cpu_count() or 1)))
+    cache = (None if os.environ.get("URLLC5G_BENCH_NO_CACHE")
+             else ResultCache(CACHE_PATH))
+    with CampaignRunner(workers=max(1, workers), cache=cache) as runner:
+        yield runner
+
+
 def write_artifact(name: str, content: str) -> None:
-    """Persist a rendered artifact for the experiment record."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(content + "\n",
-                                             encoding="utf-8")
+    """Persist a rendered artifact for the experiment record.
+
+    Atomic (temp file + ``os.replace``): parallel benchmark workers or
+    concurrent sessions can never interleave partial artifacts.
+    """
+    atomic_write_text(RESULTS_DIR / f"{name}.txt", content + "\n")
 
 
 def testbed_system(access: AccessMode, seed: int) -> RanSystem:

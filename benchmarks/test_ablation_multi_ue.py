@@ -2,49 +2,30 @@
 
 Paper: grant-free access "cannot scale to many UEs as these
 pre-allocated resources are limited and can be wasted if there are no
-uplink packets".  The benchmark grows the UE population with a fixed
-per-UE traffic rate and records (a) the configured-grant waste
-fraction and (b) the per-UE latency, showing waste stays high at low
-duty cycles while capacity shrinks per UE.
+uplink packets".  The populations run as the ``multi-ue`` campaign
+(one point per UE count, fixed per-UE traffic rate) and the merged
+metrics show (a) the configured-grant waste fraction staying high at
+low duty cycles while (b) per-UE latency holds.
 """
 
-from conftest import uniform_arrivals, write_artifact
+from conftest import write_artifact
 
 from repro.analysis.report import render_table
-from repro.mac.catalog import testbed_dddu
-from repro.mac.types import AccessMode
-from repro.net.session import RanConfig, RanSystem
+from repro.runner import build_campaign
 
 UE_COUNTS = [1, 2, 4, 8]
 PACKETS_PER_UE = 60
-HORIZON_MS = 1_500
 
 
-def run_sweep():
-    results = {}
-    for n_ues in UE_COUNTS:
-        system = RanSystem(
-            testbed_dddu(),
-            RanConfig(access=AccessMode.GRANT_FREE, n_ues=n_ues,
-                      seed=50 + n_ues))
-        for ue_id in range(1, n_ues + 1):
-            system.queue_uplink(
-                uniform_arrivals(PACKETS_PER_UE, HORIZON_MS,
-                                 seed=100 + ue_id),
-                ue_id=ue_id)
-        system.run()
-        counters = system.gnb.scheduler.counters
-        results[n_ues] = {
-            "delivered": len(system.ul_probe),
-            "mean_us": system.ul_probe.summary().mean_us,
-            "waste": counters.cg_waste_fraction(),
-            "allocated": counters.cg_allocated_bytes,
-        }
-    return results
+def test_ablation_multi_ue(benchmark, campaign_runner):
+    result = benchmark.pedantic(
+        lambda: campaign_runner.run(build_campaign("multi-ue")),
+        rounds=1, iterations=1)
 
-
-def test_ablation_multi_ue(benchmark):
-    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    results = {
+        point_result.point.params_dict()["n_ues"]: point_result.result
+        for point_result in result.point_results
+    }
 
     # Everything is delivered at these loads.
     for n_ues in UE_COUNTS:
@@ -53,7 +34,7 @@ def test_ablation_multi_ue(benchmark):
     # Pre-allocated capacity is mostly wasted at URLLC duty cycles —
     # the structural cost of grant-free access.
     for n_ues in UE_COUNTS:
-        assert results[n_ues]["waste"] > 0.5
+        assert results[n_ues]["cg_waste"] > 0.5
 
     # Total pre-allocated bytes grow with delivered traffic while the
     # per-UE share shrinks; latency should not collapse at this load.
@@ -61,7 +42,7 @@ def test_ablation_multi_ue(benchmark):
 
     rows = [(n, results[n]["delivered"],
              f"{results[n]['mean_us']:8.1f}",
-             f"{results[n]['waste']:.1%}")
+             f"{results[n]['cg_waste']:.1%}")
             for n in UE_COUNTS]
     write_artifact("ablation_multi_ue", render_table(
         ("UEs", "delivered", "mean UL µs", "CG waste"), rows,

@@ -7,45 +7,44 @@ paper's emphasis: the UE ("the UE needs more time for processing than
 gNB", §7) and the radio head dominate, while halving or doubling the
 gNB's µs-scale layer times barely registers — srsRAN's software stack
 is not the bottleneck, its radio and the modem are.
+
+The perturbations run as the ``sensitivity`` campaign (one point per
+parameter assignment, all under identical seeds so the comparison
+stays paired); the tornado is reassembled from the merged metrics.
 """
 
-from conftest import uniform_arrivals, write_artifact
+from conftest import write_artifact
 
 from repro.analysis.report import render_table
-from repro.core.sensitivity import tornado
-from repro.mac.catalog import testbed_dddu
-from repro.mac.types import AccessMode
-from repro.net.session import RanConfig, RanSystem
-from repro.radio.interface import InterfaceBus
-from repro.radio.os_jitter import gpos
-from repro.radio.radio_head import RadioHead
-
-PARAMETERS = {
-    # name: (low, baseline, high)
-    "rh_setup_us": (72.5, 145.0, 290.0),
-    "ue_processing_scale": (4.0, 8.0, 16.0),
-    "gnb_processing_scale": (0.5, 1.0, 2.0),
-}
+from repro.core.sensitivity import SensitivityResult
+from repro.runner import build_campaign
+from repro.runner.bench import SENSITIVITY_BOUNDS
 
 
-def metric(values) -> float:
-    bus = InterfaceBus("usb3-like", setup_us=values["rh_setup_us"],
-                       per_sample_us=0.0022, spike_probability=0.04,
-                       spike_mean_us=35.0)
-    system = RanSystem(
-        testbed_dddu(),
-        RanConfig(access=AccessMode.GRANT_FREE,
-                  gnb_radio_head=RadioHead("rh", bus, gpos()),
-                  ue_processing_scale=values["ue_processing_scale"],
-                  gnb_processing_scale=values["gnb_processing_scale"],
-                  seed=171))
-    probe = system.run_downlink(uniform_arrivals(250, 1_500, seed=172))
-    return probe.summary().mean_us
+def test_ablation_sensitivity(benchmark, campaign_runner):
+    result = benchmark.pedantic(
+        lambda: campaign_runner.run(build_campaign("sensitivity")),
+        rounds=1, iterations=1)
 
+    mean_by_values = {
+        tuple(sorted((name, value)
+                     for name, value in point.point.params_dict().items()
+                     if name in SENSITIVITY_BOUNDS)):
+        point.result["mean_us"]
+        for point in result.point_results
+    }
 
-def test_ablation_sensitivity(benchmark):
-    results = benchmark.pedantic(
-        lambda: tornado(metric, PARAMETERS), rounds=1, iterations=1)
+    def mean_at(assignment):
+        return mean_by_values[tuple(sorted(assignment.items()))]
+
+    baseline = {name: bounds[1]
+                for name, bounds in SENSITIVITY_BOUNDS.items()}
+    results = sorted(
+        (SensitivityResult(name, low, high,
+                           mean_at({**baseline, name: low}),
+                           mean_at({**baseline, name: high}))
+         for name, (low, _, high) in SENSITIVITY_BOUNDS.items()),
+        key=lambda r: r.swing, reverse=True)
 
     swings = {r.parameter: r.swing for r in results}
     # Halving/doubling the tiny gNB layer times moves the mean far
@@ -54,8 +53,8 @@ def test_ablation_sensitivity(benchmark):
     assert swings["gnb_processing_scale"] < \
         swings["ue_processing_scale"]
     # Every perturbation moves the metric in the expected direction.
-    for result in results:
-        assert result.metric_at_high >= result.metric_at_low
+    for result_entry in results:
+        assert result_entry.metric_at_high >= result_entry.metric_at_low
 
     rows = [(r.parameter, f"{r.low_value:g}", f"{r.high_value:g}",
              f"{r.metric_at_low:8.1f}", f"{r.metric_at_high:8.1f}",

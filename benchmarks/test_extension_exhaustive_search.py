@@ -7,53 +7,58 @@ benchmark walks the entire single-pattern TS 38.331 grammar at µ=2
 verifies computationally that the paper's conclusion generalises:
 **only DM at the 0.5 ms minimum period, with grant-free uplink,**
 meets 0.5 ms on both directions.
+
+The walk runs as the ``search`` campaign — one point per
+(configuration, budget), embarrassingly parallel over the session
+pool — and the feasible sets are reassembled from the merged payloads.
 """
 
 from conftest import write_artifact
 
 from repro.analysis.report import render_table
-from repro.core.design_space import (
-    enumerate_common_configurations,
-    exhaustive_search,
-)
-from repro.core.feasibility import URLLC_5G_RELAXED, Requirement
 from repro.phy.timebase import tc_from_ms
+from repro.runner import build_campaign
 
 
-def run_search():
-    universe = enumerate_common_configurations()
-    feasible = exhaustive_search()
-    relaxed = Requirement("1 ms one-way", tc_from_ms(1.0), 0.9999)
-    feasible_1ms = exhaustive_search(requirement=relaxed)
-    return universe, feasible, feasible_1ms
+def test_extension_exhaustive_search(benchmark, campaign_runner):
+    result = benchmark.pedantic(
+        lambda: campaign_runner.run(build_campaign("search")),
+        rounds=1, iterations=1)
 
+    (universe_size,) = {point.result["universe"]
+                        for point in result.point_results}
+    assert universe_size >= 50  # the grammar is genuinely walked
+    assert len(result.point_results) == 2 * universe_size
 
-def test_extension_exhaustive_search(benchmark):
-    universe, feasible, feasible_1ms = benchmark.pedantic(
-        run_search, rounds=1, iterations=1)
-
-    assert len(universe) >= 50  # the grammar is genuinely walked
+    feasible: dict[float, list[tuple[str, int, str]]] = {0.5: [],
+                                                         1.0: []}
+    for point_result in result.point_results:
+        budget_ms = point_result.point.params_dict()["budget_ms"]
+        for access in point_result.result["feasible_accesses"]:
+            feasible[budget_ms].append(
+                (point_result.result["letters"],
+                 point_result.result["period_tc"], access))
 
     # §5's conclusion over the whole grammar: only 0.5 ms DM with
     # grant-free UL.
-    assert feasible, "the feasible set must not be empty"
-    for config, access in feasible:
-        assert config.slot_letters() == ["D", "M"]
-        assert config.period_tc == tc_from_ms(0.5)
+    assert feasible[0.5], "the feasible set must not be empty"
+    for letters, period_tc, access in feasible[0.5]:
+        assert letters == "DM"
+        assert period_tc == tc_from_ms(0.5)
         assert access == "grant-free"
     # No grant-based design anywhere in the grammar meets 0.5 ms.
-    assert all(access != "grant-based" for _, access in feasible)
+    assert all(access != "grant-based"
+               for _, _, access in feasible[0.5])
 
     # Relaxing to 1 ms opens the space up (DM at 1 ms period, DMU
     # variants, ...), confirming the budget is the binding constraint.
-    assert len(feasible_1ms) > len(feasible)
+    assert len(feasible[1.0]) > len(feasible[0.5])
 
-    rows = [("configurations enumerated", len(universe)),
-            ("feasible at 0.5 ms", len(feasible)),
-            ("feasible at 1.0 ms", len(feasible_1ms))]
-    names = sorted({f"{''.join(c.slot_letters())}@"
-                    f"{c.period_tc / tc_from_ms(1):g}ms/{a}"
-                    for c, a in feasible_1ms})
+    rows = [("configurations enumerated", universe_size),
+            ("feasible at 0.5 ms", len(feasible[0.5])),
+            ("feasible at 1.0 ms", len(feasible[1.0]))]
+    names = sorted({f"{letters}@{period_tc / tc_from_ms(1):g}ms/{access}"
+                    for letters, period_tc, access in feasible[1.0]})
     write_artifact("extension_exhaustive_search", render_table(
         ("quantity", "count"), rows,
         title="Exhaustive Common-Configuration search (µ=2)")

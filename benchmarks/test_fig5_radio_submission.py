@@ -4,36 +4,33 @@ Paper: submitting 2 000-20 000 samples to the B210 costs ~150-400 µs
 over USB 2.0 and ~150-190 µs over USB 3.0, growing linearly in the
 sample count, with spikes from OS scheduling on top.
 
-The benchmark sweeps the same x-axis, asserts the linear-plus-spikes
-structure (USB 2.0 slope steeper, spikes above the affine floor), and
-records the two series.
+The sweep runs as the ``fig5`` campaign — one point per (bus, sample
+count), fanned out over the shared session pool and replayed from the
+result cache on unchanged source — and asserts the linear-plus-spikes
+structure (USB 2.0 slope steeper, spikes above the affine floor).
 """
 
-import numpy as np
 from conftest import write_artifact
 
-from repro.radio.interface import usb2, usb3
-from repro.sim.rng import RngRegistry
+from repro.runner import build_campaign
 
 SAMPLE_COUNTS = list(range(2_000, 20_001, 1_000))
-REPETITIONS = 300
 
 
-def run_sweep():
-    rngs = RngRegistry(5)
-    return {
-        bus.name: bus.sweep(SAMPLE_COUNTS, rngs.stream(bus.name),
-                            repetitions=REPETITIONS)
-        for bus in (usb2(), usb3())
+def test_fig5_radio_submission(benchmark, campaign_runner):
+    result = benchmark.pedantic(
+        lambda: campaign_runner.run(build_campaign("fig5")),
+        rounds=1, iterations=1)
+
+    by_point = {
+        (point_result.point.params_dict()["bus"],
+         point_result.point.params_dict()["samples"]):
+        point_result.result
+        for point_result in result.point_results
     }
-
-
-def test_fig5_radio_submission(benchmark):
-    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-
     medians = {
-        name: [float(np.median(values[n])) for n in SAMPLE_COUNTS]
-        for name, values in series.items()
+        bus: [by_point[(bus, n)]["median_us"] for n in SAMPLE_COUNTS]
+        for bus in ("usb2", "usb3")
     }
     # Paper magnitudes at the endpoints.
     assert 130 <= medians["usb2"][0] <= 200
@@ -49,12 +46,10 @@ def test_fig5_radio_submission(benchmark):
     assert slope(medians["usb2"]) > 4 * slope(medians["usb3"])
 
     # OS-scheduling spikes: maxima sit well above the median floor.
-    for name, values in series.items():
-        spikes = sum(
-            1 for n in SAMPLE_COUNTS
-            for sample in values[n]
-            if sample > np.median(values[n]) + 20.0)
-        assert spikes > 0, f"no spikes observed on {name}"
+    for bus in ("usb2", "usb3"):
+        spikes = sum(by_point[(bus, n)]["spike_count"]
+                     for n in SAMPLE_COUNTS)
+        assert spikes > 0, f"no spikes observed on {bus}"
 
     lines = ["Fig 5 — sample-submission latency (median µs per count)",
              "", f"{'samples':>9} {'USB 2.0':>9} {'USB 3.0':>9}"]

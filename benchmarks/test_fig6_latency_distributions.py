@@ -4,66 +4,65 @@ Paper (testbed, DDDU @ 0.5 ms slots, USB B210): DL mass around 1-3 ms
 in both subfigures; grant-based UL mass around 3-6 ms; grant-free UL
 lower by about one TDD period (2 ms); URLLC requirements not met.
 
-The benchmark simulates all four series with the calibrated models and
-asserts those relationships.
+The four series run as the ``fig6`` campaign (one point per access ×
+direction) on the shared session pool; each point's payload carries
+the summary statistics plus the raw latency samples the artifact's
+histograms are rendered from.
 """
 
 import pytest
-from conftest import testbed_system, uniform_arrivals, write_artifact
+from conftest import write_artifact
 
 from repro.analysis.stats import histogram
-from repro.mac.types import AccessMode
-
-N_PACKETS = 800
-HORIZON_MS = 4_000
+from repro.runner import build_campaign
 
 
-def run_fig6():
+def test_fig6_latency_distributions(benchmark, campaign_runner):
+    result = benchmark.pedantic(
+        lambda: campaign_runner.run(build_campaign("fig6")),
+        rounds=1, iterations=1)
+
     series = {}
-    for access in (AccessMode.GRANT_BASED, AccessMode.GRANT_FREE):
-        dl = testbed_system(access, seed=11).run_downlink(
-            uniform_arrivals(N_PACKETS, HORIZON_MS, seed=3))
-        ul = testbed_system(access, seed=12).run_uplink(
-            uniform_arrivals(N_PACKETS, HORIZON_MS, seed=4))
-        series[access] = {"Downlink": dl, "Uplink": ul}
-    return series
-
-
-def test_fig6_latency_distributions(benchmark):
-    series = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
-
-    based = series[AccessMode.GRANT_BASED]
-    free = series[AccessMode.GRANT_FREE]
+    for point_result in result.point_results:
+        params = point_result.point.params_dict()
+        series[(params["access"],
+                params["direction"])] = point_result.result
 
     # UL latency is much bigger than DL (§7).
-    assert based["Uplink"].summary().mean_us > \
-        1.5 * based["Downlink"].summary().mean_us
-    assert free["Uplink"].summary().mean_us > \
-        1.1 * free["Downlink"].summary().mean_us
+    assert series[("grant-based", "ul")]["mean_us"] > \
+        1.5 * series[("grant-based", "dl")]["mean_us"]
+    assert series[("grant-free", "ul")]["mean_us"] > \
+        1.1 * series[("grant-free", "dl")]["mean_us"]
 
     # The SR/grant handshake costs about one TDD period (2 ms).
-    saving = (based["Uplink"].summary().mean_us
-              - free["Uplink"].summary().mean_us)
+    saving = (series[("grant-based", "ul")]["mean_us"]
+              - series[("grant-free", "ul")]["mean_us"])
     assert saving == pytest.approx(2_000.0, rel=0.25)
 
     # Magnitudes of the measured figure.
-    assert 1_000 <= based["Downlink"].summary().mean_us <= 3_000
-    assert 3_000 <= based["Uplink"].summary().mean_us <= 6_000
+    assert 1_000 <= series[("grant-based", "dl")]["mean_us"] <= 3_000
+    assert 3_000 <= series[("grant-based", "ul")]["mean_us"] <= 6_000
 
-    # URLLC is not met on this hardware/software combination.
-    for probes in series.values():
-        for probe in probes.values():
-            assert probe.fraction_within(500.0) < 0.5
+    # URLLC is not met on this hardware/software combination: far
+    # fewer than half the packets arrive within the 0.5 ms budget.
+    for payload in series.values():
+        assert payload["reliability"] < 0.5
 
     blocks = []
-    for access, label in ((AccessMode.GRANT_BASED, "(a) grant-based"),
-                          (AccessMode.GRANT_FREE, "(b) grant-free")):
+    for access, label in (("grant-based", "(a) grant-based"),
+                          ("grant-free", "(b) grant-free")):
         blocks.append(label)
-        for direction in ("Downlink", "Uplink"):
-            probe = series[access][direction]
-            hist = histogram(probe.latencies_ms(), bin_width=0.5,
-                             low=0.0, high=8.0)
-            blocks.append(hist.render(
-                width=40, label=f"{direction}: {probe.summary()}"))
+        for direction, title in (("dl", "Downlink"), ("ul", "Uplink")):
+            payload = series[(access, direction)]
+            hist = histogram(
+                [lat_us / 1000.0 for lat_us in payload["latencies_us"]],
+                bin_width=0.5, low=0.0, high=8.0)
+            summary = (f"n={payload['count']} "
+                       f"mean={payload['mean_us']:.1f} "
+                       f"p50={payload['p50_us']:.1f} "
+                       f"p99={payload['p99_us']:.1f} "
+                       f"max={payload['max_us']:.1f} (µs)")
+            blocks.append(hist.render(width=40,
+                                      label=f"{title}: {summary}"))
             blocks.append("")
     write_artifact("fig6_latency_distributions", "\n".join(blocks))

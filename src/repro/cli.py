@@ -11,6 +11,8 @@ Usage (after installation)::
     urllc5g lint src/             # per-file static analysis (docs/LINTING.md)
     urllc5g analyze src/          # whole-program analysis (docs/ANALYSIS.md)
     urllc5g check --determinism   # same-seed trace-digest comparison
+    urllc5g bench smoke           # run a named campaign (docs/CAMPAIGNS.md)
+    urllc5g bench smoke --check benchmarks/baselines/smoke.json
 
 or ``python -m repro.cli <command>``.
 """
@@ -216,6 +218,53 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Imported lazily so analysis commands stay import-light.
+    from repro.runner import (
+        CAMPAIGNS, CampaignRunner, ResultCache, bench_payload,
+        build_campaign, check_against_baseline, load_baseline,
+        render_baseline, write_bench_json)
+    if args.list:
+        for name in sorted(CAMPAIGNS):
+            print(f"{name}: {len(build_campaign(name))} point(s)")
+        return 0
+    if args.campaign is None:
+        print("error: campaign name required (or --list)",
+              file=sys.stderr)
+        return 2
+    try:
+        campaign = build_campaign(args.campaign)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache)
+    with CampaignRunner(workers=args.workers, cache=cache) as runner:
+        result = runner.run(campaign)
+    payload = bench_payload(result)
+    output = args.output or f"BENCH_{campaign.name}.json"
+    write_bench_json(output, payload)
+    print(f"campaign {campaign.name}: {payload['points']} point(s) on "
+          f"{payload['workers']} worker(s) in "
+          f"{payload['wall_clock_s']:.2f}s wall-clock, cache hit-rate "
+          f"{payload['cache']['hit_rate']:.1%} -> {output}")
+    if args.write_baseline:
+        write_bench_json(args.write_baseline, render_baseline(payload))
+        print(f"wrote baseline {args.write_baseline} "
+              f"({len(payload['metrics'])} metric(s))")
+        return 0
+    if args.check:
+        try:
+            baseline = load_baseline(args.check)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.check}: {exc}",
+                  file=sys.stderr)
+            return 2
+        outcome = check_against_baseline(payload, baseline)
+        print(outcome.render())
+        return 0 if outcome.ok else 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="urllc5g",
@@ -305,6 +354,30 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--packets", type=int, default=40)
     check.add_argument("--runs", type=int, default=2)
     check.set_defaults(func=_cmd_check)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run a named campaign (see docs/CAMPAIGNS.md)")
+    bench.add_argument("campaign", nargs="?", default=None,
+                       help="campaign name (see --list)")
+    bench.add_argument("--list", action="store_true",
+                       help="list known campaigns and exit")
+    bench.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial, default)")
+    bench.add_argument("--cache", default=".urllc5g-bench-cache.json",
+                       metavar="FILE",
+                       help="result-cache location")
+    bench.add_argument("--no-cache", action="store_true",
+                       help="recompute every point")
+    bench.add_argument("--output", default=None, metavar="FILE",
+                       help="bench document path "
+                            "(default: BENCH_<campaign>.json)")
+    bench.add_argument("--check", default=None, metavar="BASELINE",
+                       help="compare metrics against a baseline file; "
+                            "exit 1 on regression, 2 if unreadable")
+    bench.add_argument("--write-baseline", default=None, metavar="FILE",
+                       help="record this run's metrics as a baseline")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -1,0 +1,65 @@
+"""Campaign execution subsystem: parallel, cached scenario sweeps.
+
+The paper's artifacts are thousands of independent simulation
+replications; this package turns such sweeps into declarative
+:class:`Campaign` grids of :class:`ScenarioPoint`s, executes them
+across worker processes with bit-identical-to-serial results
+(:class:`CampaignRunner`), and skips already-computed points through a
+content-hash :class:`ResultCache` keyed on point identity plus a
+source fingerprint.  ``urllc5g bench`` and the benchmark harness are
+the two front-ends; see ``docs/CAMPAIGNS.md``.
+"""
+
+from repro.runner.bench import (
+    CAMPAIGNS,
+    CheckOutcome,
+    bench_payload,
+    build_campaign,
+    check_against_baseline,
+    load_baseline,
+    render_baseline,
+    write_bench_json,
+)
+from repro.runner.cache import (
+    ResultCache,
+    atomic_write_text,
+    source_fingerprint,
+)
+from repro.runner.campaign import (
+    Campaign,
+    ScenarioPoint,
+    canonical_params,
+    derive_point_seed,
+    grid_params,
+)
+from repro.runner.executor import (
+    CampaignResult,
+    CampaignRunner,
+    PointResult,
+)
+from repro.runner.scenarios import SCENARIOS, run_point, scenario
+
+__all__ = [
+    "CAMPAIGNS",
+    "Campaign",
+    "CampaignResult",
+    "CampaignRunner",
+    "CheckOutcome",
+    "PointResult",
+    "ResultCache",
+    "SCENARIOS",
+    "ScenarioPoint",
+    "atomic_write_text",
+    "bench_payload",
+    "build_campaign",
+    "canonical_params",
+    "check_against_baseline",
+    "derive_point_seed",
+    "grid_params",
+    "load_baseline",
+    "render_baseline",
+    "run_point",
+    "scenario",
+    "source_fingerprint",
+    "write_bench_json",
+]

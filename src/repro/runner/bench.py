@@ -1,0 +1,284 @@
+"""Named campaigns, ``BENCH_<name>.json`` artifacts, the regression gate.
+
+This is the CI-facing layer of the campaign subsystem: a registry of
+named campaign builders (``urllc5g bench <name>`` resolves here), a
+merger that flattens a :class:`~repro.runner.executor.CampaignResult`
+into one JSON artifact, and :func:`check_against_baseline` — the gate
+that compares current metrics against a reviewed baseline file and
+reports every deviation beyond tolerance.
+
+Baseline files are JSON::
+
+    {
+      "campaign": "smoke",
+      "tolerance_rel": 0.01,
+      "tolerances": {"<metric key>": 0.05},
+      "max_wall_clock_s": 120.0,
+      "metrics": {"<point label>/<metric>": <value>, ...}
+    }
+
+Domain metrics are deterministic (same source, same seeds, same
+numbers), so the default tolerance is tight; ``max_wall_clock_s`` is
+the only wall-clock gate and should carry generous headroom — CI
+machines are noisy.  Refresh a baseline after an intentional behaviour
+change with ``urllc5g bench <name> --write-baseline <file>``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.core.design_space import enumerate_common_configurations
+from repro.runner.cache import atomic_write_text
+from repro.runner.campaign import Campaign, grid_params
+from repro.runner.executor import CampaignResult
+
+__all__ = [
+    "CAMPAIGNS",
+    "CheckOutcome",
+    "bench_payload",
+    "build_campaign",
+    "check_against_baseline",
+    "load_baseline",
+    "render_baseline",
+    "write_bench_json",
+]
+
+#: Default two-sided relative tolerance of the regression gate.
+_DEFAULT_TOLERANCE_REL = 0.01
+
+
+def _smoke() -> Campaign:
+    """Small but representative: one point per scenario family.
+
+    This is the blocking CI campaign — it must finish in seconds while
+    still exercising the simulator end to end (both access modes and
+    directions), the radio model and the analytic design space.
+    """
+    specs: list[tuple[str, dict[str, Any]]] = [
+        ("ran-latency", {"access": access, "direction": direction,
+                         "packets": 40, "horizon_ms": 200.0})
+        for access in ("grant-based", "grant-free")
+        for direction in ("dl", "ul")
+    ]
+    specs += [("radio-sweep", {"bus": bus_name, "samples": samples,
+                               "repetitions": 50})
+              for bus_name in ("usb2", "usb3")
+              for samples in (2_000, 20_000)]
+    specs += [("design-feasibility",
+               {"index": index, "mu": 2, "max_period_ms": 2.5,
+                "budget_ms": 0.5, "reliability": 0.99999})
+              for index in (0, 1)]
+    return Campaign.build("smoke", seed=2024, specs=specs)
+
+
+def _fig5() -> Campaign:
+    """Fig 5's full grid: bus × submission size, 300 repetitions each."""
+    return Campaign.from_grid(
+        "fig5", seed=5, scenario="radio-sweep",
+        grid={"bus": ["usb2", "usb3"],
+              "samples": list(range(2_000, 20_001, 1_000))},
+        fixed={"repetitions": 300})
+
+
+def _fig6() -> Campaign:
+    """Fig 6's four series: access mode × direction, 800 packets each."""
+    return Campaign.from_grid(
+        "fig6", seed=11, scenario="ran-latency",
+        grid={"access": ["grant-based", "grant-free"],
+              "direction": ["dl", "ul"]},
+        fixed={"packets": 800, "horizon_ms": 4_000.0})
+
+
+#: The A14 tornado bounds: parameter -> (low, baseline, high).
+SENSITIVITY_BOUNDS: dict[str, tuple[float, float, float]] = {
+    "rh_setup_us": (72.5, 145.0, 290.0),
+    "ue_processing_scale": (4.0, 8.0, 16.0),
+    "gnb_processing_scale": (0.5, 1.0, 2.0),
+}
+
+
+def _sensitivity() -> Campaign:
+    """A14's one-at-a-time grid: baseline plus each low/high bound."""
+    baseline = {name: bounds[1]
+                for name, bounds in SENSITIVITY_BOUNDS.items()}
+    fixed = {"packets": 250, "horizon_ms": 1_500.0,
+             "sim_seed": 171, "arrivals_seed": 172}
+    assignments = [dict(baseline)]
+    for name in sorted(SENSITIVITY_BOUNDS):
+        low, _, high = SENSITIVITY_BOUNDS[name]
+        for value in (low, high):
+            assignments.append({**baseline, name: value})
+    return Campaign.build(
+        "sensitivity", seed=171,
+        specs=[("sensitivity-latency", {**fixed, **params})
+               for params in assignments])
+
+
+def _multi_ue() -> Campaign:
+    """A3's population sweep at a fixed per-UE rate."""
+    return Campaign.from_grid(
+        "multi-ue", seed=50, scenario="multi-ue",
+        grid={"n_ues": [1, 2, 4, 8]},
+        fixed={"packets_per_ue": 60, "horizon_ms": 1_500.0})
+
+
+def _search() -> Campaign:
+    """E3: every Common Configuration at the 0.5 ms and 1 ms budgets."""
+    universe = len(enumerate_common_configurations(mu=2,
+                                                   max_period_ms=2.5))
+    return Campaign.from_grid(
+        "search", seed=38331, scenario="design-feasibility",
+        grid={"index": list(range(universe)),
+              "budget_ms": [0.5, 1.0]},
+        fixed={"mu": 2, "max_period_ms": 2.5, "reliability": 0.9999})
+
+
+def _sweep() -> Campaign:
+    """The scale campaign: every bus × a dense submission-size grid
+    plus the whole design grammar — hundreds of independent points,
+    the shape the runner's parallel/caching machinery is sized for."""
+    specs = [("radio-sweep", params) for params in grid_params(
+        {"bus": ["usb2", "usb3", "pcie", "ethernet"],
+         "samples": list(range(1_000, 20_001, 500))},
+        fixed={"repetitions": 100})]
+    universe = len(enumerate_common_configurations(mu=2,
+                                                   max_period_ms=2.5))
+    specs += [("design-feasibility",
+               {"index": index, "mu": 2, "max_period_ms": 2.5,
+                "budget_ms": 0.5, "reliability": 0.99999})
+              for index in range(universe)]
+    return Campaign.build("sweep", seed=9000, specs=specs)
+
+
+#: Campaign name -> builder; ``urllc5g bench --list`` renders this.
+CAMPAIGNS: dict[str, Callable[[], Campaign]] = {
+    "smoke": _smoke,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "sensitivity": _sensitivity,
+    "multi-ue": _multi_ue,
+    "search": _search,
+    "sweep": _sweep,
+}
+
+
+def build_campaign(name: str) -> Campaign:
+    """Resolve a named campaign to its point grid."""
+    builder = CAMPAIGNS.get(name)
+    if builder is None:
+        known = ", ".join(sorted(CAMPAIGNS))
+        raise ValueError(f"unknown campaign {name!r}; known: {known}")
+    return builder()
+
+
+# ----------------------------------------------------------------------
+# BENCH artifacts
+# ----------------------------------------------------------------------
+def bench_payload(result: CampaignResult) -> dict[str, Any]:
+    """The ``BENCH_<name>.json`` document for one campaign run."""
+    return {
+        "campaign": result.campaign.name,
+        "seed": result.campaign.seed,
+        "points": len(result.campaign),
+        "workers": result.workers,
+        "cache": {
+            "hits": result.cache_hits,
+            "misses": result.cache_misses,
+            "hit_rate": result.cache_hit_rate,
+        },
+        "wall_clock_s": result.wall_clock_s,
+        "metrics": result.metrics(),
+    }
+
+
+def write_bench_json(path: str | Path,
+                     payload: Mapping[str, Any]) -> None:
+    """Persist a bench document atomically."""
+    atomic_write_text(path, json.dumps(payload, indent=2,
+                                       sort_keys=True) + "\n")
+
+
+def render_baseline(payload: Mapping[str, Any],
+                    tolerance_rel: float = _DEFAULT_TOLERANCE_REL
+                    ) -> dict[str, Any]:
+    """A fresh baseline document from a bench payload."""
+    return {
+        "campaign": payload["campaign"],
+        "tolerance_rel": tolerance_rel,
+        "metrics": dict(payload["metrics"]),
+    }
+
+
+def load_baseline(path: str | Path) -> dict[str, Any]:
+    """Parse and validate a baseline file."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(document, dict) \
+            or not isinstance(document.get("metrics"), dict):
+        raise ValueError(f"{path}: baseline must be a JSON object "
+                         "with a 'metrics' table")
+    return document
+
+
+@dataclass
+class CheckOutcome:
+    """The verdict of one baseline comparison."""
+
+    failures: list[str] = field(default_factory=list)
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [f"checked {self.checked} baseline metric(s): "
+                 + ("PASS" if self.ok
+                    else f"{len(self.failures)} regression(s)")]
+        lines.extend(f"  REGRESSION: {failure}"
+                     for failure in self.failures)
+        return "\n".join(lines)
+
+
+def check_against_baseline(payload: Mapping[str, Any],
+                           baseline: Mapping[str, Any]) -> CheckOutcome:
+    """Compare a bench payload against a reviewed baseline.
+
+    Every baseline metric must exist in the payload and sit within
+    tolerance (two-sided: the simulation is deterministic, so *any*
+    unexplained drift is a behaviour change someone should review).
+    ``max_wall_clock_s``, when present, additionally bounds the
+    campaign's measured wall-clock time.
+    """
+    outcome = CheckOutcome()
+    default_tol = float(baseline.get("tolerance_rel",
+                                     _DEFAULT_TOLERANCE_REL))
+    per_metric = baseline.get("tolerances", {})
+    current = payload.get("metrics", {})
+    for key in sorted(baseline["metrics"]):
+        expected = float(baseline["metrics"][key])
+        outcome.checked += 1
+        if key not in current:
+            outcome.failures.append(
+                f"{key}: metric missing from current run "
+                f"(baseline {expected:g})")
+            continue
+        actual = float(current[key])
+        tolerance = float(per_metric.get(key, default_tol))
+        allowed = tolerance * max(abs(expected), 1.0)
+        if abs(actual - expected) > allowed:
+            outcome.failures.append(
+                f"{key}: {actual:g} deviates from baseline "
+                f"{expected:g} by more than {tolerance:.2%}")
+    limit = baseline.get("max_wall_clock_s")
+    if limit is not None:
+        outcome.checked += 1
+        elapsed = float(payload.get("wall_clock_s", 0.0))
+        if elapsed > float(limit):
+            outcome.failures.append(
+                f"wall_clock_s: {elapsed:.2f}s exceeds the "
+                f"{float(limit):.2f}s budget")
+    return outcome

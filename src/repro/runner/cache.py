@@ -1,0 +1,153 @@
+"""Content-hash result cache for campaign points.
+
+A point's payload is a pure function of two things: the point identity
+(scenario + canonical params + derived seed, hashed by
+:meth:`~repro.runner.campaign.ScenarioPoint.digest`) and the behaviour
+of the simulation source itself.  The cache therefore keys every entry
+on the point digest and stores alongside it a *source fingerprint* — a
+hash over every ``.py`` file of the ``repro`` package except
+``devtools`` (tooling cannot change simulation results).  A lookup
+hits only when both match, so editing any simulation module invalidates
+every cached point at once while re-running an unchanged tree replays
+entirely from disk.  Same idea as the analyzer's incremental cache
+(:mod:`repro.devtools.analyze.cache`), applied to results instead of
+parse summaries.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent campaign
+runs sharing one cache file can never observe a torn payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.devtools.walker import iter_python_files
+
+__all__ = [
+    "DEFAULT_CACHE_PATH",
+    "RUNNER_VERSION",
+    "ResultCache",
+    "atomic_write_text",
+    "source_fingerprint",
+]
+
+#: Bump on any change to the result payload schema or point hashing.
+RUNNER_VERSION = "1"
+
+DEFAULT_CACHE_PATH = ".urllc5g-bench-cache.json"
+
+#: Top-level ``repro`` subpackages whose content cannot affect
+#: simulation results (static-analysis tooling only).
+_FINGERPRINT_EXCLUDED = ("devtools",)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` with no partially-written window.
+
+    The payload lands in a sibling temp file first and is moved into
+    place with ``os.replace``, which is atomic on POSIX and Windows —
+    a reader (or a parallel writer) sees either the old file or the
+    new one, never an interleaving.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w", encoding="utf-8", dir=path.parent,
+        prefix=f".{path.name}.", suffix=".tmp", delete=False)
+    try:
+        with handle:
+            handle.write(text)
+        os.replace(handle.name, path)
+    except BaseException:
+        os.unlink(handle.name)
+        raise
+
+
+def source_fingerprint(roots: Iterable[str | Path] | None = None
+                       ) -> str:
+    """Hash of the source files campaign results depend on.
+
+    Defaults to the installed ``repro`` package minus ``devtools``.
+    The fingerprint covers relative paths and file contents, so both
+    edits and renames invalidate cached results.
+    """
+    excluded: tuple[str, ...] = ()
+    if roots is None:
+        roots = [Path(__file__).resolve().parents[1]]
+        excluded = _FINGERPRINT_EXCLUDED
+    digest = hashlib.sha256()
+    seen: set[Path] = set()
+    for root in roots:
+        root = Path(root)
+        base = root if root.is_dir() else root.parent
+        for path in iter_python_files([root]):
+            relative = path.relative_to(base)
+            if relative.parts and relative.parts[0] in excluded:
+                continue
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            digest.update(str(relative).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(hashlib.sha256(path.read_bytes()).digest())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of per-point result payloads."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.entries: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict) \
+                or payload.get("runner_version") != RUNNER_VERSION:
+            return
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self.entries = entries
+
+    def lookup(self, point_digest: str,
+               fingerprint: str) -> dict[str, Any] | None:
+        """The stored payload for a point, iff the source still matches."""
+        entry = self.entries.get(point_digest)
+        if entry is None or entry.get("fingerprint") != fingerprint:
+            self.misses += 1
+            return None
+        result = entry.get("result")
+        if not isinstance(result, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, point_digest: str, fingerprint: str,
+              result: Mapping[str, Any]) -> None:
+        """Record one freshly computed point payload."""
+        self.entries[point_digest] = {"fingerprint": fingerprint,
+                                      "result": dict(result)}
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist atomically (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        payload = {"runner_version": RUNNER_VERSION,
+                   "entries": self.entries}
+        atomic_write_text(self.path, json.dumps(payload, sort_keys=True))
+        self._dirty = False

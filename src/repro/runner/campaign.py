@@ -1,0 +1,179 @@
+"""Declarative campaign grids of independent scenario points.
+
+A *campaign* is a named, seeded collection of :class:`ScenarioPoint`s —
+one point per (scenario, parameter assignment).  Points are pure data:
+a scenario name resolved through :mod:`repro.runner.scenarios`, a
+canonicalised parameter tuple, and a per-point seed derived
+deterministically from the campaign seed via
+:class:`repro.sim.rng.RngRegistry`.  Because every point carries its
+own seed and every scenario draws only from the point's registry, the
+metrics of a point are a pure function of ``(scenario, params, seed)``
+and the source tree — which is exactly what the result cache hashes
+(:mod:`repro.runner.cache`) and why parallel execution is bit-identical
+to serial execution (:mod:`repro.runner.executor`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Campaign",
+    "ScenarioPoint",
+    "canonical_params",
+    "derive_point_seed",
+    "grid_params",
+]
+
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+def canonical_params(params: Mapping[str, Any]
+                     ) -> tuple[tuple[str, Any], ...]:
+    """Sort and validate a parameter mapping into a hashable tuple.
+
+    Values must be JSON scalars (str/int/float/bool/None) so the point
+    key — and therefore the cache key — has one canonical rendering.
+    """
+    items = []
+    for name in sorted(params):
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"parameter names must be non-empty "
+                             f"strings, got {name!r}")
+        value = params[name]
+        if value is not None and not isinstance(value, _SCALAR_TYPES):
+            raise ValueError(
+                f"parameter {name!r} must be a JSON scalar "
+                f"(str/int/float/bool/None), got {type(value).__name__}")
+        items.append((name, value))
+    return tuple(items)
+
+
+def _params_json(params: tuple[tuple[str, Any], ...]) -> str:
+    return json.dumps(dict(params), sort_keys=True)
+
+
+def derive_point_seed(campaign_seed: int, scenario: str,
+                      params: tuple[tuple[str, Any], ...]) -> int:
+    """The deterministic per-point seed.
+
+    Derived through :meth:`RngRegistry.fork` from the campaign seed and
+    the point's canonical identity, so it depends neither on the
+    position of the point inside the campaign nor on how many workers
+    execute it — the property that makes parallel runs bit-identical
+    to serial ones.
+    """
+    salt = f"point/{scenario}/{_params_json(params)}"
+    return RngRegistry(campaign_seed).fork(salt).seed
+
+
+@dataclass(frozen=True)
+class ScenarioPoint:
+    """One unit of campaign work: a scenario at one parameter assignment."""
+
+    scenario: str
+    params: tuple[tuple[str, Any], ...]
+    seed: int
+
+    def __post_init__(self) -> None:
+        if not self.scenario:
+            raise ValueError("scenario name must be non-empty")
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise ValueError(
+                f"point seed must be a non-negative int, got {self.seed!r}")
+
+    def params_dict(self) -> dict[str, Any]:
+        """The parameters as a plain mapping (scenario-function input)."""
+        return dict(self.params)
+
+    @property
+    def label(self) -> str:
+        """Stable human-readable identity, used in merged metric keys."""
+        rendered = ",".join(f"{name}={value}"
+                            for name, value in self.params)
+        return f"{self.scenario}[{rendered}]"
+
+    def key(self) -> str:
+        """Canonical JSON identity of the point (input to the digest)."""
+        return json.dumps({"scenario": self.scenario,
+                           "params": dict(self.params),
+                           "seed": self.seed}, sort_keys=True)
+
+    def digest(self) -> str:
+        """Content hash of the point's identity (cache key component)."""
+        return hashlib.sha256(self.key().encode("utf-8")).hexdigest()
+
+
+def grid_params(grid: Mapping[str, Sequence[Any]],
+                fixed: Mapping[str, Any] | None = None
+                ) -> list[dict[str, Any]]:
+    """Cartesian product of a parameter grid, in deterministic order.
+
+    Axes iterate in sorted-name order, values in the order given;
+    ``fixed`` entries are merged into every assignment.
+    """
+    if not grid:
+        raise ValueError("grid must have at least one axis")
+    names = sorted(grid)
+    for name in names:
+        if not grid[name]:
+            raise ValueError(f"grid axis {name!r} has no values")
+    assignments = []
+    for values in itertools.product(*(grid[name] for name in names)):
+        params = dict(fixed or {})
+        params.update(zip(names, values))
+        assignments.append(params)
+    return assignments
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A named, seeded set of scenario points to execute together."""
+
+    name: str
+    seed: int
+    points: tuple[ScenarioPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign name must be non-empty")
+        if not self.points:
+            raise ValueError(f"campaign {self.name!r} has no points")
+        seen: set[str] = set()
+        for point in self.points:
+            digest = point.digest()
+            if digest in seen:
+                raise ValueError(
+                    f"campaign {self.name!r} repeats point {point.label}")
+            seen.add(digest)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @classmethod
+    def build(cls, name: str, seed: int,
+              specs: Iterable[tuple[str, Mapping[str, Any]]]
+              ) -> "Campaign":
+        """Build from ``(scenario, params)`` pairs, deriving each seed."""
+        points = []
+        for scenario, raw in specs:
+            params = canonical_params(raw)
+            points.append(ScenarioPoint(
+                scenario, params,
+                derive_point_seed(seed, scenario, params)))
+        return cls(name, seed, tuple(points))
+
+    @classmethod
+    def from_grid(cls, name: str, seed: int, scenario: str,
+                  grid: Mapping[str, Sequence[Any]],
+                  fixed: Mapping[str, Any] | None = None) -> "Campaign":
+        """Build one scenario's full parameter grid as a campaign."""
+        return cls.build(name, seed,
+                         [(scenario, params)
+                          for params in grid_params(grid, fixed)])

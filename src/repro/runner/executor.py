@@ -1,0 +1,187 @@
+"""Campaign execution: fan points out across worker processes.
+
+:class:`CampaignRunner` executes a :class:`~repro.runner.campaign.Campaign`
+either serially in-process or across a pool of ``spawn``-start worker
+processes.  Three properties make the two modes interchangeable:
+
+- every point carries its own derived seed, so no point's randomness
+  depends on which worker runs it or what ran before it;
+- ``pool.map`` merges worker payloads back in campaign order, so the
+  merged result is independent of completion order;
+- workers never touch shared mutable state — the result cache is
+  consulted and written only by the coordinating process.
+
+Consequently a parallel run is bit-identical to a serial run of the
+same campaign, which the test-suite asserts.  :meth:`CampaignRunner.run`
+is the one annotated measurement boundary of the subsystem: the only
+place allowed to read the wall clock (``time.perf_counter``, excused
+for this file in ``[tool.urllc5g.lint.per-path]``), and only for the
+campaign-level elapsed time reported as ``wall_clock_s``.  Scenario
+workers are pure simulation and remain content-hashable: no worker
+result may ever depend on a clock read.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Any
+
+from repro.runner.cache import ResultCache, source_fingerprint
+from repro.runner.campaign import Campaign, ScenarioPoint
+from repro.runner.scenarios import run_point
+
+__all__ = ["CampaignResult", "CampaignRunner", "PointResult"]
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One executed (or cache-replayed) scenario point."""
+
+    point: ScenarioPoint
+    result: dict[str, Any]
+    from_cache: bool
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """The merged outcome of one campaign run."""
+
+    campaign: Campaign
+    point_results: tuple[PointResult, ...]
+    workers: int
+    cache_hits: int
+    cache_misses: int
+    wall_clock_s: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of points replayed from the result cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def metrics(self) -> dict[str, float]:
+        """Flat ``"<point label>/<metric>"`` map of scalar metrics.
+
+        Only int/float values are merged (sample lists and strings are
+        artifact material, not gateable metrics); key order follows
+        campaign order, so the rendering is deterministic.
+        """
+        merged: dict[str, float] = {}
+        for point_result in self.point_results:
+            label = point_result.point.label
+            for name in sorted(point_result.result):
+                value = point_result.result[name]
+                if isinstance(value, bool) \
+                        or not isinstance(value, (int, float)):
+                    continue
+                merged[f"{label}/{name}"] = float(value)
+        return merged
+
+
+def _execute_point(point: ScenarioPoint) -> dict[str, Any]:
+    """Worker-side entry: must stay a module-level importable."""
+    return run_point(point)
+
+
+class CampaignRunner:
+    """Executes campaigns through an optional pool and result cache.
+
+    ``workers=1`` runs serially in-process; higher counts fan points
+    out over ``spawn``-start processes (``fork`` would silently share
+    whatever RNG/simulator state the parent already holds — ``spawn``
+    makes every worker import the simulation fresh).  The pool is
+    created lazily and reused across :meth:`run` calls so several
+    campaigns (e.g. a whole benchmark session) share it; call
+    :meth:`close` — or use the runner as a context manager — when done.
+    """
+
+    def __init__(self, workers: int = 1,
+                 cache: ResultCache | None = None,
+                 fingerprint: str | None = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache = cache
+        self._fingerprint = fingerprint
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """The source fingerprint cached results are keyed against."""
+        if self._fingerprint is None:
+            self._fingerprint = source_fingerprint()
+        return self._fingerprint
+
+    def _acquire_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=get_context("spawn"))
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def run(self, campaign: Campaign) -> CampaignResult:
+        """Execute every point, merging results in campaign order."""
+        # Measurement boundary: elapsed-time span only, never results.
+        start_s = time.perf_counter()
+        cached: dict[str, dict[str, Any]] = {}
+        pending: list[ScenarioPoint] = []
+        if self.cache is not None:
+            for point in campaign.points:
+                payload = self.cache.lookup(point.digest(),
+                                            self.fingerprint)
+                if payload is None:
+                    pending.append(point)
+                else:
+                    cached[point.digest()] = payload
+        else:
+            pending = list(campaign.points)
+
+        computed: dict[str, dict[str, Any]] = {}
+        if pending:
+            if self.workers == 1 or len(pending) == 1:
+                payloads = [_execute_point(point) for point in pending]
+            else:
+                pool = self._acquire_pool()
+                chunksize = max(1, len(pending) // (4 * self.workers))
+                payloads = list(pool.map(_execute_point, pending,
+                                         chunksize=chunksize))
+            for point, payload in zip(pending, payloads):
+                computed[point.digest()] = payload
+                if self.cache is not None:
+                    self.cache.store(point.digest(), self.fingerprint,
+                                     payload)
+            if self.cache is not None:
+                self.cache.save()
+
+        point_results = tuple(
+            PointResult(point,
+                        cached.get(point.digest(),
+                                   computed.get(point.digest(), {})),
+                        from_cache=point.digest() in cached)
+            for point in campaign.points)
+        end_s = time.perf_counter()
+        return CampaignResult(
+            campaign=campaign,
+            point_results=point_results,
+            workers=self.workers,
+            cache_hits=len(cached),
+            cache_misses=len(pending),
+            wall_clock_s=end_s - start_s,
+        )

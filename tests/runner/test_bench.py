@@ -1,0 +1,132 @@
+"""Named campaigns, bench documents, and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.runner import (
+    CAMPAIGNS,
+    build_campaign,
+    check_against_baseline,
+    render_baseline,
+)
+
+
+def test_every_named_campaign_builds():
+    for name in CAMPAIGNS:
+        campaign = build_campaign(name)
+        assert campaign.name == name
+        assert len(campaign) >= 1
+
+
+def test_unknown_campaign_is_rejected():
+    with pytest.raises(ValueError, match="unknown campaign"):
+        build_campaign("nope")
+
+
+def test_sweep_campaign_reaches_runner_scale():
+    # The scale campaign backs the subsystem's acceptance bar:
+    # hundreds of independent points through one pool and cache.
+    assert len(build_campaign("sweep")) >= 200
+
+
+def test_smoke_campaign_stays_small():
+    assert len(build_campaign("smoke")) <= 20
+
+
+PAYLOAD = {
+    "campaign": "demo",
+    "wall_clock_s": 2.0,
+    "metrics": {"a/mean_us": 100.0, "a/reliability": 0.4},
+}
+
+
+def test_check_passes_within_tolerance():
+    baseline = render_baseline(PAYLOAD)
+    current = {**PAYLOAD,
+               "metrics": {"a/mean_us": 100.5, "a/reliability": 0.4}}
+    outcome = check_against_baseline(current, baseline)
+    assert outcome.ok
+    assert outcome.checked == 2
+    assert "PASS" in outcome.render()
+
+
+def test_check_flags_deviation_beyond_tolerance():
+    baseline = render_baseline(PAYLOAD)
+    current = {**PAYLOAD, "metrics": {"a/mean_us": 110.0,
+                                      "a/reliability": 0.4}}
+    outcome = check_against_baseline(current, baseline)
+    assert not outcome.ok
+    assert any("a/mean_us" in failure for failure in outcome.failures)
+
+
+def test_check_flags_missing_metric():
+    baseline = render_baseline(PAYLOAD)
+    current = {**PAYLOAD, "metrics": {"a/mean_us": 100.0}}
+    outcome = check_against_baseline(current, baseline)
+    assert not outcome.ok
+    assert any("missing" in failure for failure in outcome.failures)
+
+
+def test_check_respects_per_metric_tolerance():
+    baseline = render_baseline(PAYLOAD)
+    baseline["tolerances"] = {"a/mean_us": 0.5}
+    current = {**PAYLOAD, "metrics": {"a/mean_us": 140.0,
+                                      "a/reliability": 0.4}}
+    assert check_against_baseline(current, baseline).ok
+
+
+def test_check_enforces_wall_clock_budget():
+    baseline = render_baseline(PAYLOAD)
+    baseline["max_wall_clock_s"] = 1.0
+    outcome = check_against_baseline(PAYLOAD, baseline)
+    assert not outcome.ok
+    assert any("wall_clock_s" in failure for failure in outcome.failures)
+
+
+# ----------------------------------------------------------------------
+# CLI: urllc5g bench
+# ----------------------------------------------------------------------
+def test_bench_list(capsys):
+    assert main(["bench", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "smoke" in out and "sweep" in out
+
+
+def test_bench_requires_campaign_name(capsys):
+    assert main(["bench"]) == 2
+
+
+def test_bench_unknown_campaign(capsys):
+    assert main(["bench", "definitely-not-a-campaign"]) == 2
+
+
+def test_bench_check_exit_codes(tmp_path, capsys):
+    cache = str(tmp_path / "cache.json")
+    output = str(tmp_path / "BENCH_smoke.json")
+    baseline = tmp_path / "smoke.json"
+
+    # Record a baseline, then re-check against it: PASS, exit 0.
+    assert main(["bench", "smoke", "--cache", cache, "--output", output,
+                 "--write-baseline", str(baseline)]) == 0
+    assert main(["bench", "smoke", "--cache", cache, "--output", output,
+                 "--check", str(baseline)]) == 0
+    capsys.readouterr()
+
+    # The warm run replayed every point from the cache.
+    document = json.loads(open(output, encoding="utf-8").read())
+    assert document["cache"]["hit_rate"] == 1.0
+
+    # An injected metric regression fails the gate: exit 1.
+    tampered = json.loads(baseline.read_text(encoding="utf-8"))
+    key = sorted(tampered["metrics"])[0]
+    tampered["metrics"][key] = tampered["metrics"][key] * 10 + 1.0
+    baseline.write_text(json.dumps(tampered), encoding="utf-8")
+    assert main(["bench", "smoke", "--cache", cache, "--output", output,
+                 "--check", str(baseline)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+    # A missing baseline file is a usage error: exit 2.
+    assert main(["bench", "smoke", "--cache", cache, "--output", output,
+                 "--check", str(tmp_path / "absent.json")]) == 2

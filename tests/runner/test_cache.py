@@ -1,0 +1,94 @@
+"""Result cache: content-hash keying, fingerprinting, atomic writes."""
+
+import json
+
+import pytest
+
+from repro.runner import ResultCache, atomic_write_text, source_fingerprint
+from repro.runner.cache import RUNNER_VERSION
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    target = tmp_path / "nested" / "artifact.txt"
+    atomic_write_text(target, "hello")
+    assert target.read_text(encoding="utf-8") == "hello"
+    atomic_write_text(target, "replaced")
+    assert target.read_text(encoding="utf-8") == "replaced"
+    assert [p.name for p in target.parent.iterdir()] == ["artifact.txt"]
+
+
+def test_cache_roundtrip_and_hit_miss_accounting(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = ResultCache(path)
+    assert cache.lookup("digest-1", "fp") is None
+    cache.store("digest-1", "fp", {"mean_us": 1.5})
+    cache.save()
+
+    reloaded = ResultCache(path)
+    assert reloaded.lookup("digest-1", "fp") == {"mean_us": 1.5}
+    assert reloaded.lookup("digest-2", "fp") is None
+    assert (reloaded.hits, reloaded.misses) == (1, 1)
+
+
+def test_cache_misses_on_fingerprint_change(tmp_path):
+    cache = ResultCache(tmp_path / "cache.json")
+    cache.store("digest-1", "fp-old", {"v": 1})
+    assert cache.lookup("digest-1", "fp-new") is None
+    assert cache.lookup("digest-1", "fp-old") == {"v": 1}
+
+
+def test_cache_discards_other_versions_and_corrupt_files(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text(json.dumps({"runner_version": "not-" + RUNNER_VERSION,
+                                "entries": {"d": {"fingerprint": "f",
+                                                  "result": {"v": 1}}}}),
+                    encoding="utf-8")
+    assert ResultCache(path).entries == {}
+    path.write_text("{not json", encoding="utf-8")
+    assert ResultCache(path).entries == {}
+
+
+def test_cache_save_is_noop_when_clean(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = ResultCache(path)
+    cache.save()
+    assert not path.exists()
+
+
+@pytest.fixture
+def source_tree(tmp_path):
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "a.py").write_text("A = 1\n", encoding="utf-8")
+    (root / "sub").mkdir()
+    (root / "sub" / "b.py").write_text("B = 2\n", encoding="utf-8")
+    return root
+
+
+def test_source_fingerprint_stable_on_unchanged_tree(source_tree):
+    assert source_fingerprint([source_tree]) == \
+        source_fingerprint([source_tree])
+
+
+def test_source_fingerprint_tracks_content_and_renames(source_tree):
+    before = source_fingerprint([source_tree])
+    (source_tree / "a.py").write_text("A = 2\n", encoding="utf-8")
+    after_edit = source_fingerprint([source_tree])
+    assert after_edit != before
+    (source_tree / "a.py").rename(source_tree / "renamed.py")
+    assert source_fingerprint([source_tree]) != after_edit
+
+
+def test_default_fingerprint_ignores_devtools():
+    # The analyzer/linter cannot change simulation results, so editing
+    # them must not invalidate cached campaign points.
+    import repro.devtools as devtools
+    from pathlib import Path
+
+    fingerprint = source_fingerprint()
+    assert fingerprint == source_fingerprint()
+    devtools_root = Path(devtools.__file__).parent
+    covered = source_fingerprint(
+        [Path(devtools.__file__).parents[1]])
+    assert devtools_root.is_dir()
+    assert fingerprint != covered  # devtools files were excluded

@@ -1,0 +1,84 @@
+"""Campaign/point declaration: canonical identity and seed derivation."""
+
+import pytest
+
+from repro.runner import (
+    Campaign,
+    ScenarioPoint,
+    canonical_params,
+    derive_point_seed,
+    grid_params,
+)
+
+
+def test_canonical_params_sorts_names():
+    params = canonical_params({"zeta": 1, "alpha": 2.5, "mid": "x"})
+    assert [name for name, _ in params] == ["alpha", "mid", "zeta"]
+
+
+def test_canonical_params_rejects_non_scalars():
+    with pytest.raises(ValueError, match="JSON scalar"):
+        canonical_params({"bad": [1, 2]})
+    with pytest.raises(ValueError, match="non-empty"):
+        canonical_params({"": 1})
+
+
+def test_grid_params_full_product_in_deterministic_order():
+    assignments = grid_params({"b": [1, 2], "a": ["x", "y"]},
+                              fixed={"c": 0})
+    assert len(assignments) == 4
+    assert assignments[0] == {"a": "x", "b": 1, "c": 0}
+    # Axis 'a' (sorted first) is the slowest-varying dimension.
+    assert [p["a"] for p in assignments] == ["x", "x", "y", "y"]
+
+
+def test_grid_params_rejects_empty_axis():
+    with pytest.raises(ValueError, match="no values"):
+        grid_params({"a": []})
+    with pytest.raises(ValueError, match="at least one axis"):
+        grid_params({})
+
+
+def test_derive_point_seed_is_stable_and_distinct():
+    params_a = canonical_params({"x": 1})
+    params_b = canonical_params({"x": 2})
+    seed_a = derive_point_seed(7, "s", params_a)
+    assert seed_a == derive_point_seed(7, "s", params_a)
+    assert seed_a != derive_point_seed(7, "s", params_b)
+    assert seed_a != derive_point_seed(8, "s", params_a)
+    assert seed_a != derive_point_seed(7, "t", params_a)
+    assert seed_a >= 0
+
+
+def test_point_digest_ignores_param_order_but_not_values():
+    first = ScenarioPoint("s", canonical_params({"a": 1, "b": 2}), 3)
+    second = ScenarioPoint("s", canonical_params({"b": 2, "a": 1}), 3)
+    third = ScenarioPoint("s", canonical_params({"a": 1, "b": 3}), 3)
+    assert first.digest() == second.digest()
+    assert first.digest() != third.digest()
+    assert first.label == "s[a=1,b=2]"
+
+
+def test_campaign_build_derives_seeds_and_rejects_duplicates():
+    campaign = Campaign.build("demo", seed=5,
+                              specs=[("s", {"x": 1}), ("s", {"x": 2})])
+    assert len(campaign) == 2
+    assert campaign.points[0].seed == derive_point_seed(
+        5, "s", canonical_params({"x": 1}))
+    with pytest.raises(ValueError, match="repeats point"):
+        Campaign.build("demo", seed=5,
+                       specs=[("s", {"x": 1}), ("s", {"x": 1})])
+
+
+def test_campaign_requires_points_and_name():
+    with pytest.raises(ValueError, match="no points"):
+        Campaign("empty", 1, ())
+    with pytest.raises(ValueError, match="non-empty"):
+        Campaign.build("", 1, [("s", {"x": 1})])
+
+
+def test_from_grid_matches_grid_size():
+    campaign = Campaign.from_grid("g", 1, "s",
+                                  grid={"a": [1, 2, 3], "b": [4, 5]})
+    assert len(campaign) == 6
+    assert all(point.scenario == "s" for point in campaign.points)

@@ -1,0 +1,48 @@
+"""Scenario registry: determinism and payload shape per scenario."""
+
+import json
+
+import pytest
+
+from repro.runner import SCENARIOS, Campaign, run_point, scenario
+
+CHEAP_SPECS = {
+    "radio-sweep": {"bus": "usb3", "samples": 4_000, "repetitions": 15},
+    "ran-latency": {"access": "grant-free", "direction": "ul",
+                    "packets": 10, "horizon_ms": 60.0},
+    "sensitivity-latency": {"rh_setup_us": 145.0,
+                            "ue_processing_scale": 8.0,
+                            "gnb_processing_scale": 1.0,
+                            "packets": 10, "horizon_ms": 60.0,
+                            "sim_seed": 171, "arrivals_seed": 172},
+    "multi-ue": {"n_ues": 2, "packets_per_ue": 5, "horizon_ms": 60.0},
+    "design-feasibility": {"index": 0, "mu": 2, "max_period_ms": 1.0,
+                           "budget_ms": 0.5, "reliability": 0.99999},
+}
+
+
+def test_cheap_specs_cover_every_registered_scenario():
+    assert sorted(CHEAP_SPECS) == sorted(SCENARIOS)
+
+
+@pytest.mark.parametrize("name", sorted(CHEAP_SPECS))
+def test_scenario_is_deterministic_and_json_serialisable(name):
+    campaign = Campaign.build("probe", 17, [(name, CHEAP_SPECS[name])])
+    point = campaign.points[0]
+    first = run_point(point)
+    second = run_point(point)
+    assert first == second  # same point => bit-identical payload
+    json.dumps(first)  # cacheable as-is
+
+
+def test_scenario_decorator_rejects_collisions():
+    with pytest.raises(ValueError, match="already registered"):
+        scenario("radio-sweep")(lambda params, rngs: {})
+
+
+def test_ran_latency_rejects_bad_direction():
+    campaign = Campaign.build("bad", 1, [
+        ("ran-latency", {"access": "grant-free", "direction": "sideways",
+                         "packets": 1, "horizon_ms": 10.0})])
+    with pytest.raises(ValueError, match="direction"):
+        run_point(campaign.points[0])

@@ -9,7 +9,8 @@ import repro
 PACKAGES = ["repro", "repro.sim", "repro.phy", "repro.mac",
             "repro.stack", "repro.radio", "repro.net", "repro.traffic",
             "repro.baselines", "repro.analysis", "repro.core",
-            "repro.devtools", "repro.devtools.lintkit"]
+            "repro.devtools", "repro.devtools.lintkit",
+            "repro.runner"]
 
 
 @pytest.mark.parametrize("package_name", PACKAGES)
