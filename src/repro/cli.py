@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.report import render_table, render_worst_case_bars
@@ -239,10 +240,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
     cache = None if args.no_cache else ResultCache(args.cache)
     with CampaignRunner(workers=args.workers, cache=cache) as runner:
-        result = runner.run(campaign)
+        if args.profile:
+            from repro.devtools.profile import (
+                profile_call, write_profile_json)
+            result, report = profile_call(lambda: runner.run(campaign))
+        else:
+            result = runner.run(campaign)
     payload = bench_payload(result)
     output = args.output or f"BENCH_{campaign.name}.json"
     write_bench_json(output, payload)
+    if args.profile:
+        profile_path = Path(output).with_name(
+            f"PROFILE_{campaign.name}.json")
+        write_profile_json(profile_path, campaign.name, report)
+        hottest = next(iter(report.modules), "-")
+        print(f"profile: {report.total_time_s:.2f}s under cProfile, "
+              f"hottest module {hottest} -> {profile_path}")
     print(f"campaign {campaign.name}: {payload['points']} point(s) on "
           f"{payload['workers']} worker(s) in "
           f"{payload['wall_clock_s']:.2f}s wall-clock, cache hit-rate "
@@ -377,6 +390,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "exit 1 on regression, 2 if unreadable")
     bench.add_argument("--write-baseline", default=None, metavar="FILE",
                        help="record this run's metrics as a baseline")
+    bench.add_argument("--profile", action="store_true",
+                       help="run under cProfile and write "
+                            "PROFILE_<campaign>.json next to the bench "
+                            "document (see docs/PERFORMANCE.md)")
     bench.set_defaults(func=_cmd_bench)
     return parser
 

@@ -11,6 +11,7 @@ that matrix from the analytical model and also exposes the wider sweep
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.feasibility import URLLC_5G, Requirement, verdict_mark
 from repro.core.latency_model import (
@@ -143,7 +144,21 @@ def enumerate_common_configurations(
     and trailing UL slots.  §10's "we propose all possible
     configurations" made concrete — the exhaustive-search benchmark
     runs the feasibility check over this whole set.
+
+    The enumeration is a pure function of its (hashable) arguments and
+    every campaign point re-walks it, so the grammar walk is memoized;
+    callers get a fresh list over shared config objects (treated as
+    immutable everywhere, like the frozen patterns they wrap).
     """
+    return list(_enumerate_cached(mu, max_period_ms, mixed_splits))
+
+
+@lru_cache(maxsize=32)
+def _enumerate_cached(
+        mu: int,
+        max_period_ms: float,
+        mixed_splits: tuple[tuple[int, int, int], ...],
+) -> tuple[TddCommonConfig, ...]:
     from repro.mac.tdd import ALLOWED_PERIODS_MS, TddPattern
 
     numerology = Numerology(mu)
@@ -177,7 +192,7 @@ def enumerate_common_configurations(
                                          ul_slots=ul_slots)
                     configurations.append(TddCommonConfig(
                         numerology, [pattern]))
-    return configurations
+    return tuple(configurations)
 
 
 def exhaustive_search(mu: int = 2,

@@ -231,9 +231,11 @@ class GnbMacScheduler:
         ready = decision_time + prep_tc + radio_tc
         if ready > window.start:
             self.counters.dl_deadline_misses += 1
-            self.tracer.emit(self.sim.now, "gnb.mac", "dl_deadline_miss",
-                             window_start=window.start,
-                             late_by=ready - window.start)
+            if self.tracer.enabled:  # lazy fields: skip kwargs if disabled
+                self.tracer.emit(self.sim.now, "gnb.mac",
+                                 "dl_deadline_miss",
+                                 window_start=window.start,
+                                 late_by=ready - window.start)
         else:
             self._fill_dl_window(window, decision_time, prep_tc,
                                  radio_tc)
@@ -249,8 +251,9 @@ class GnbMacScheduler:
             # Every HARQ process awaits feedback: the window is lost
             # (throughput is bounded by processes per round trip).
             self.harq_pool.record_stall()
-            self.tracer.emit(self.sim.now, "gnb.mac", "harq_stall",
-                             window_start=window.start)
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, "gnb.mac", "harq_stall",
+                                 window_start=window.start)
             return
         remaining = self.window_capacity_bytes(window)
         allocated: list[Packet] = []
@@ -268,9 +271,10 @@ class GnbMacScheduler:
             if (self.pdcch is not None
                     and not self.pdcch.try_allocate(
                         window.start, self.dl_aggregation_level)):
-                self.tracer.emit(self.sim.now, "gnb.mac",
-                                 "pdcch_blocked", ue_id=ue_id,
-                                 window_start=window.start)
+                if self.tracer.enabled:
+                    self.tracer.emit(self.sim.now, "gnb.mac",
+                                     "pdcch_blocked", ue_id=ue_id,
+                                     window_start=window.start)
                 continue
             result = self._ues[ue_id].dl_queue.pull(
                 remaining, allow_segmentation=True)
@@ -288,9 +292,10 @@ class GnbMacScheduler:
             packet.charge(LatencySource.PROTOCOL,
                           window.end - decision_time - prep_tc - radio_tc)
             packet.stamp("gnb.mac.dl_allocated", decision_time)
-        self.tracer.emit(decision_time, "gnb.mac", "dl_allocation",
-                         window_start=window.start,
-                         packets=len(allocated), bytes=carried_bytes)
+        if self.tracer.enabled:
+            self.tracer.emit(decision_time, "gnb.mac", "dl_allocation",
+                             window_start=window.start,
+                             packets=len(allocated), bytes=carried_bytes)
         if allocated:
             if self.harq_pool is not None:
                 self.harq_pool.acquire()
@@ -315,8 +320,9 @@ class GnbMacScheduler:
         state = self._ues[ue_id]
         state.pending_srs.append(bsr_bytes)
         self.counters.srs_received += 1
-        self.tracer.emit(self.sim.now, "gnb.mac", "sr_received",
-                         ue_id=ue_id, bsr_bytes=bsr_bytes)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, "gnb.mac", "sr_received",
+                             ue_id=ue_id, bsr_bytes=bsr_bytes)
         # The scheduler only acts at its next instant (§2: scheduling
         # is performed once per slot).
         instant = self._scheduling.next_after(self.sim.now)
@@ -329,10 +335,11 @@ class GnbMacScheduler:
             grant = self._build_grant(ue_id, bsr_bytes)
             self.counters.grants_issued += 1
             self.counters.grant_bytes_allocated += grant.capacity_bytes
-            self.tracer.emit(self.sim.now, "gnb.mac", "grant_issued",
-                             ue_id=ue_id,
-                             window_start=grant.window.start,
-                             capacity=grant.capacity_bytes)
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, "gnb.mac", "grant_issued",
+                                 ue_id=ue_id,
+                                 window_start=grant.window.start,
+                                 capacity=grant.capacity_bytes)
             self.sim.schedule(grant.control_time, self.on_ul_grant, grant)
 
     def _build_grant(self, ue_id: int, bsr_bytes: int = 0) -> UlGrant:

@@ -13,6 +13,12 @@ class Direction(Enum):
     DL = "DL"
     UL = "UL"
 
+    # Identity hash instead of Enum's default hash-of-value: members are
+    # singletons with identity equality, and these keys are hashed in
+    # the per-symbol TDD loops.  Iteration order of dicts keyed on them
+    # is insertion order either way, so determinism is unaffected.
+    __hash__ = object.__hash__
+
     @property
     def opposite(self) -> "Direction":
         return Direction.UL if self is Direction.DL else Direction.DL
@@ -30,6 +36,8 @@ class SymbolRole(Enum):
     UL = "U"
     FLEXIBLE = "F"
 
+    __hash__ = object.__hash__  # identity hash; see Direction
+
     @classmethod
     def from_char(cls, char: str) -> "SymbolRole":
         """Parse the single-character form used by TS 38.213 tables."""
@@ -46,3 +54,5 @@ class AccessMode(Enum):
 
     GRANT_BASED = "grant-based"
     GRANT_FREE = "grant-free"
+
+    __hash__ = object.__hash__  # identity hash; see Direction

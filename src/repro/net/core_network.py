@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.sim.distributions import DelaySampler, from_mean_std
 from repro.sim.engine import Simulator
+from repro.sim.sampling import BufferedSampler
 
 __all__ = ["DEFAULT_UPF_DELAY_US", "Upf", "PingServer"]
 
@@ -48,7 +49,12 @@ class Upf:
         self.sim = sim
         self.tracer = tracer
         self.rng = rng
-        self.delay = delay or from_mean_std(*DEFAULT_UPF_DELAY_US)
+        # The UPF is the sole consumer of its registry stream ("upf" in
+        # RanSystem), so its per-packet draws may be served from
+        # pre-drawn blocks without changing the bit-stream (see
+        # docs/PERFORMANCE.md for the ownership rule).
+        self.delay: DelaySampler = BufferedSampler(
+            delay or from_mean_std(*DEFAULT_UPF_DELAY_US), rng)
         self.cpu = cpu
 
     def forward_uplink(self, packet: Packet,
@@ -67,8 +73,9 @@ class Upf:
         delay_tc = tc_from_us(self.delay.sample(self.rng))
         submitted = self.sim.now
         packet.stamp(f"upf.{event}", submitted)
-        self.tracer.emit(submitted, "upf", event,
-                         packet_id=packet.packet_id)
+        if self.tracer.enabled:  # lazy fields: skip kwargs when disabled
+            self.tracer.emit(submitted, "upf", event,
+                             packet_id=packet.packet_id)
 
         def done() -> None:
             packet.charge(LatencySource.PROCESSING,
@@ -104,8 +111,9 @@ class PingServer:
         """Generate the ping reply for a received request."""
         if request.kind is not PacketKind.PING_REQUEST:
             raise ValueError(f"cannot respond to {request.kind}")
-        self.tracer.emit(self.sim.now, "server", "request_received",
-                         packet_id=request.packet_id)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, "server", "request_received",
+                             packet_id=request.packet_id)
 
         def reply() -> None:
             extra = ({} if self._packet_ids is None
@@ -120,9 +128,10 @@ class PingServer:
                 **extra,
             )
             response.stamp("server.reply_created", self.sim.now)
-            self.tracer.emit(self.sim.now, "server", "reply_sent",
-                             packet_id=response.packet_id,
-                             request_id=request.packet_id)
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, "server", "reply_sent",
+                                 packet_id=response.packet_id,
+                                 request_id=request.packet_id)
             send_reply(response)
 
         self.sim.call_in(self.turnaround_tc, reply)

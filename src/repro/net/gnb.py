@@ -142,8 +142,9 @@ class Gnb:
         """DL user data enters the gNB stack (Fig 3 ⑧)."""
         self.counters.dl_packets_in += 1
         packet.stamp("gnb.dl.in", self.sim.now)
-        self.tracer.emit(self.sim.now, "gnb.dl", "in",
-                         packet_id=packet.packet_id)
+        if self.tracer.enabled:  # lazy fields: skip kwargs when disabled
+            self.tracer.emit(self.sim.now, "gnb.dl", "in",
+                             packet_id=packet.packet_id)
         self.down_pipeline.process(packet, self._enqueue_dl)
 
     def _enqueue_dl(self, packet: Packet) -> None:

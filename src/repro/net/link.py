@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.phy.channel import Channel, PerfectChannel, propagation_delay_tc
 from repro.sim.engine import Simulator
+from repro.sim.sampling import UniformBuffer
 from repro.sim.trace import Tracer
 from repro.stack.packets import LatencySource, Packet
 
@@ -50,6 +51,14 @@ class AirLink:
         self.propagation_tc = propagation_delay_tc(distance_m)
         self.max_harq = max_harq_retransmissions
         self.counters = LinkCounters()
+        # Channels that consume exactly one uniform per block
+        # (delivered_from_uniform) get their draws from a pre-filled
+        # block; the link owns its registry stream, so the buffered and
+        # scalar paths consume the identical bit-stream (see
+        # docs/PERFORMANCE.md).  Stateful channels keep the scalar path.
+        self._uniforms: UniformBuffer | None = None
+        if hasattr(self.channel, "delivered_from_uniform"):
+            self._uniforms = UniformBuffer(rng)
 
     def transmit(self, packets: list[Packet], completion_tc: int,
                  deliver: Callable[[list[Packet]], None],
@@ -62,15 +71,21 @@ class AirLink:
         exhausted their HARQ budget, in which case they are dropped.
         """
         self.counters.blocks_sent += 1
-        if self.channel.delivered(completion_tc, self.rng):
+        if self._uniforms is not None:
+            delivered = self.channel.delivered_from_uniform(
+                self._uniforms.next())
+        else:
+            delivered = self.channel.delivered(completion_tc, self.rng)
+        if delivered:
             for packet in packets:
                 packet.charge(LatencySource.RADIO, self.propagation_tc)
             self.sim.schedule(completion_tc + self.propagation_tc,
                               deliver, packets)
             return
         self.counters.blocks_failed += 1
-        self.tracer.emit(completion_tc, "link", "block_failed",
-                         packets=len(packets))
+        if self.tracer.enabled:  # lazy fields: skip kwargs when disabled
+            self.tracer.emit(completion_tc, "link", "block_failed",
+                             packets=len(packets))
         survivors: list[Packet] = []
         for packet in packets:
             if packet.harq_retransmissions >= self.max_harq:

@@ -136,8 +136,9 @@ class Ue:
     def send_uplink(self, packet: Packet) -> None:
         """APP hands a packet to the stack (Fig 3 ①)."""
         packet.stamp("ue.app.send", self.sim.now)
-        self.tracer.emit(self.sim.now, f"ue{self.ue_id}.app", "send",
-                         packet_id=packet.packet_id)
+        if self.tracer.enabled:  # lazy fields: skip kwargs when disabled
+            self.tracer.emit(self.sim.now, f"ue{self.ue_id}.app", "send",
+                             packet_id=packet.packet_id)
         self.down_pipeline.process(packet, self._ul_data_ready)
 
     def _ul_data_ready(self, packet: Packet) -> None:
@@ -180,19 +181,21 @@ class Ue:
             packet.charge(LatencySource.PROTOCOL,
                           window.end - now - prep_tc - radio_tc)
             packet.stamp("ue.mac.cg_planned", now)
-            self.tracer.emit(now, f"ue{self.ue_id}.mac", "cg_planned",
-                             packet_id=packet.packet_id,
-                             window_start=window.start,
-                             retransmission=is_retransmission)
+            if self.tracer.enabled:
+                self.tracer.emit(now, f"ue{self.ue_id}.mac", "cg_planned",
+                                 packet_id=packet.packet_id,
+                                 window_start=window.start,
+                                 retransmission=is_retransmission)
             return
         raise LookupError("no usable configured-grant window found")
 
     def _transmit_planned(self, window_start: int) -> None:
         plan = self._planned.pop(window_start)
         self.counters.ul_blocks_sent += 1
-        self.tracer.emit(self.sim.now, f"ue{self.ue_id}.mac", "cg_tx",
-                         window_start=window_start,
-                         packets=len(plan.packets))
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, f"ue{self.ue_id}.mac", "cg_tx",
+                             window_start=window_start,
+                             packets=len(plan.packets))
         self.on_ul_block(self.ue_id, plan.window, plan.packets)
 
     # ------------------------------------------------------------------
@@ -231,16 +234,18 @@ class Ue:
         # The request carries the buffer status (quantised through the
         # TS 38.321 BSR table) so the scheduler can size the grant.
         report = bsr.quantize(self.ul_queue.queued_bytes)
-        self.tracer.emit(self.sim.now, f"ue{self.ue_id}.mac", "sr_tx",
-                         entry=sr_entry, bsr_bytes=report)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, f"ue{self.ue_id}.mac", "sr_tx",
+                             entry=sr_entry, bsr_bytes=report)
         self.sim.schedule(sr_complete, self.on_sr, self.ue_id, report)
 
     def receive_grant(self, grant: UlGrant) -> None:
         """Grant decoded from DL control (Fig 3 ⑥)."""
         self._sr_outstanding = False
         self.counters.grants_received += 1
-        self.tracer.emit(self.sim.now, f"ue{self.ue_id}.mac", "grant_rx",
-                         window_start=grant.window.start)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, f"ue{self.ue_id}.mac",
+                             "grant_rx", window_start=grant.window.start)
         packets = self.ul_queue.pull_up_to(grant.capacity_bytes)
         if not packets:
             self.counters.wasted_grants += 1
@@ -253,9 +258,10 @@ class Ue:
             # Too slow to make the granted window: the allocation is
             # lost and the UE must request again (§4 interdependency).
             self.counters.grant_deadline_misses += 1
-            self.tracer.emit(now, f"ue{self.ue_id}.mac",
-                             "grant_deadline_miss",
-                             late_by=ready - grant.window.start)
+            if self.tracer.enabled:
+                self.tracer.emit(now, f"ue{self.ue_id}.mac",
+                                 "grant_deadline_miss",
+                                 late_by=ready - grant.window.start)
             for packet in packets:
                 self.ul_queue.enqueue(packet)
             self._maybe_send_sr()
@@ -305,8 +311,9 @@ class Ue:
         packet.mark_delivered(self.sim.now)
         packet.stamp("ue.app.delivered", self.sim.now)
         self.counters.packets_delivered += 1
-        self.tracer.emit(self.sim.now, f"ue{self.ue_id}.app", "delivered",
-                         packet_id=packet.packet_id)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, f"ue{self.ue_id}.app",
+                             "delivered", packet_id=packet.packet_id)
         self.on_delivered(packet)
 
     # ------------------------------------------------------------------

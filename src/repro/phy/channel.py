@@ -79,6 +79,19 @@ class IidErasureChannel:
     def delivered(self, now: int, rng: np.random.Generator) -> bool:
         return rng.random() >= self.bler
 
+    def delivered_from_uniform(self, u: float) -> bool:
+        """Fate from an externally drawn uniform.
+
+        Exposing this (rather than the generator-consuming
+        :meth:`delivered`) is what lets :class:`repro.net.link.AirLink`
+        serve the draw from a pre-filled uniform block: delivery here
+        consumes exactly one uniform per call, unconditionally, so a
+        buffered stream stays aligned with the scalar one.  The
+        state-dependent :class:`GilbertElliottChannel` deliberately does
+        not implement it.
+        """
+        return u >= self.bler
+
 
 @dataclass
 class GilbertElliottChannel:

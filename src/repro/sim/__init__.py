@@ -11,11 +11,15 @@ Public surface:
 - :class:`~repro.sim.rng.RngRegistry` — named, reproducible random streams.
 - :class:`~repro.sim.trace.Tracer` / :class:`~repro.sim.trace.TraceRecord`
   — structured event tracing used by the latency probes.
+- :class:`~repro.sim.sampling.BufferedSampler` /
+  :func:`~repro.sim.sampling.force_sequential` — block-buffered delay
+  sampling behind the determinism contract in ``docs/PERFORMANCE.md``.
 """
 
 from repro.sim.engine import Event, Simulator, SimulationError
 from repro.sim.resources import CpuResource
 from repro.sim.rng import RngRegistry
+from repro.sim.sampling import BufferedSampler, force_sequential
 from repro.sim.trace import TraceRecord, Tracer
 
 __all__ = [
@@ -24,6 +28,8 @@ __all__ = [
     "SimulationError",
     "CpuResource",
     "RngRegistry",
+    "BufferedSampler",
+    "force_sequential",
     "TraceRecord",
     "Tracer",
 ]

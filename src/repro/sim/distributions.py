@@ -38,6 +38,18 @@ class DelaySampler(Protocol):
         """Draw one delay (µs)."""
         ...
 
+    def sample_batch(self, rng: np.random.Generator,
+                     n: int) -> np.ndarray:
+        """Draw ``n`` delays (µs) as a float array.
+
+        Contract: the batch must consume the generator's bit-stream
+        exactly as ``n`` successive :meth:`sample` calls would, so that
+        ``sample_batch(rng, n)[i]`` equals the i-th sequential draw.
+        Samplers that cannot honour this (data-dependent draw counts)
+        fall back to a scalar loop, which satisfies it trivially.
+        """
+        ...
+
     @property
     def mean_us(self) -> float:
         """Expected delay (µs)."""
@@ -56,6 +68,9 @@ class Constant:
 
     def sample(self, rng: np.random.Generator) -> float:
         return self.value_us
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.value_us, dtype=float)
 
     @property
     def mean_us(self) -> float:
@@ -79,10 +94,16 @@ class LogNormal:
                              f"got mean={self.mean_us}, std={self.std_us}")
 
     def _log_params(self) -> tuple[float, float]:
-        variance_ratio = (self.std_us / self.mean_us) ** 2
-        sigma2 = math.log1p(variance_ratio)
-        mu = math.log(self.mean_us) - sigma2 / 2
-        return mu, math.sqrt(sigma2)
+        # Memoized: the instance is frozen, so (mu, sigma) never changes,
+        # and this is called once per packet transit on the hot path.
+        cached = getattr(self, "_log_params_cache", None)
+        if cached is None:
+            variance_ratio = (self.std_us / self.mean_us) ** 2
+            sigma2 = math.log1p(variance_ratio)
+            cached = (math.log(self.mean_us) - sigma2 / 2,
+                      math.sqrt(sigma2))
+            object.__setattr__(self, "_log_params_cache", cached)
+        return cached
 
     def sample(self, rng: np.random.Generator) -> float:
         if self.mean_us == 0:
@@ -91,6 +112,16 @@ class LogNormal:
             return self.mean_us
         mu, sigma = self._log_params()
         return float(rng.lognormal(mu, sigma))
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.mean_us == 0:
+            return np.zeros(n, dtype=float)
+        if self.std_us == 0:
+            return np.full(n, self.mean_us, dtype=float)
+        mu, sigma = self._log_params()
+        # Generator.lognormal(size=n) consumes the bit-stream exactly as
+        # n scalar calls (verified by tests/sim/test_sampling.py).
+        return rng.lognormal(mu, sigma, n)
 
 
 @dataclass(frozen=True)
@@ -107,6 +138,9 @@ class TruncatedNormal:
     def sample(self, rng: np.random.Generator) -> float:
         return max(0.0, float(rng.normal(self.mean_us, self.std_us)))
 
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.maximum(rng.normal(self.mean_us, self.std_us, n), 0.0)
+
 
 @dataclass(frozen=True)
 class Exponential:
@@ -122,6 +156,11 @@ class Exponential:
         if self.mean_us == 0:
             return 0.0
         return float(rng.exponential(self.mean_us))
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.mean_us == 0:
+            return np.zeros(n, dtype=float)
+        return rng.exponential(self.mean_us, n)
 
 
 @dataclass(frozen=True)
@@ -148,6 +187,13 @@ class Spiked:
         if self.spike_probability and rng.random() < self.spike_probability:
             delay += self.spike.sample(rng)
         return delay
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # The draw count per sample is data-dependent (the spike draw
+        # only happens when the uniform falls below the threshold), so a
+        # vectorized batch would consume a different bit-stream than n
+        # scalar calls.  Keep the scalar path to honour the contract.
+        return np.array([self.sample(rng) for _ in range(n)], dtype=float)
 
     @property
     def mean_us(self) -> float:

@@ -8,9 +8,17 @@ for this project:
    same tick run in scheduling order (FIFO), which keeps runs reproducible.
 2. **Cancellation.**  Events are lazily cancelled (tombstoned), the usual
    heap idiom, so timers such as scheduling-request retransmissions can be
-   abandoned cheaply.
+   abandoned cheaply.  The engine counts tombstones and compacts the heap
+   when cancelled entries outnumber live ones, so a workload that cancels
+   most of its timers keeps the queue bounded by its *live* event count.
 3. **No global state.**  A :class:`Simulator` instance owns its queue, so
    tests can run many independent simulations in one process.
+
+Hot-path layout: the heap stores ``(time, seq, event)`` triples rather
+than events.  ``seq`` is unique, so tuple comparison is settled by the
+first two integers in C and :class:`Event` instances are never compared
+during sifting — the per-event ordering cost is two C integer
+comparisons instead of a Python ``__lt__`` frame.
 """
 
 from __future__ import annotations
@@ -19,6 +27,11 @@ import heapq
 from typing import Any, Callable, Optional
 
 __all__ = ["SimulationError", "Event", "Simulator"]
+
+#: Queues smaller than this are never compacted: scanning them on pop is
+#: cheaper than the bookkeeping, and tests with a handful of timers keep
+#: exact heap contents.
+_COMPACTION_MIN_QUEUE = 64
 
 
 class SimulationError(RuntimeError):
@@ -45,27 +58,33 @@ def _as_tick(value: int | float, what: str) -> int:
 class Event:
     """A scheduled callback; returned by :meth:`Simulator.schedule`.
 
-    Instances order by ``(time, seq)`` so the heap never compares
-    callbacks.  ``seq`` is a monotone counter: ties at the same tick run
-    in the order they were scheduled.
+    Instances order by ``(time, seq)``.  ``seq`` is a monotone counter:
+    ties at the same tick run in the order they were scheduled.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(self, time: int, seq: int,
-                 callback: Callable[..., Any], args: tuple[Any, ...]):
+                 callback: Callable[..., Any], args: tuple[Any, ...],
+                 sim: "Simulator | None" = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running; idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_tombstone()
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -85,10 +104,11 @@ class Simulator:
 
     def __init__(self, start_time: int = 0):
         self._now: int = int(start_time)
-        self._queue: list[Event] = []
+        self._queue: list[tuple[int, int, Event]] = []
         self._seq: int = 0
         self._running = False
         self._processed: int = 0
+        self._tombstones: int = 0
 
     # ------------------------------------------------------------------
     # clock
@@ -105,7 +125,12 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return len(self._queue) - self._tombstones
+
+    def queue_len(self) -> int:
+        """Heap entries currently held, tombstones included — the
+        quantity the compaction policy bounds."""
+        return len(self._queue)
 
     # ------------------------------------------------------------------
     # scheduling
@@ -118,13 +143,15 @@ class Simulator:
         tick) but must not lie in the past, and must be an integral tick
         (non-integral floats raise instead of truncating).
         """
-        at = _as_tick(at, "schedule time")
+        if type(at) is not int:  # fast path: already an int tick
+            at = _as_tick(at, "schedule time")
         if at < self._now:
             raise SimulationError(
                 f"cannot schedule at {at}; current time is {self._now}")
-        event = Event(at, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(at, seq, callback, args, self)
+        heapq.heappush(self._queue, (at, seq, event))
         return event
 
     def call_in(self, delay: int, callback: Callable[..., Any],
@@ -134,21 +161,47 @@ class Simulator:
         Raises :class:`SimulationError` for a negative or non-integral
         delay rather than scheduling in the past or truncating.
         """
-        delay = _as_tick(delay, "relative delay")
+        if type(delay) is not int:  # fast path: already an int tick
+            delay = _as_tick(delay, "relative delay")
         if delay < 0:
             raise SimulationError(
                 f"cannot schedule {delay} ticks in the past; "
                 "relative delays must be >= 0")
-        return self.schedule(self._now + delay, callback, *args)
+        at = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(at, seq, callback, args, self)
+        heapq.heappush(self._queue, (at, seq, event))
+        return event
+
+    # ------------------------------------------------------------------
+    # tombstone accounting
+    # ------------------------------------------------------------------
+    def _note_tombstone(self) -> None:
+        """One queued event was cancelled; compact when the heap is
+        mostly dead weight."""
+        self._tombstones += 1
+        if (self._tombstones * 2 > len(self._queue)
+                and len(self._queue) >= _COMPACTION_MIN_QUEUE):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstoned entries and re-heapify the survivors."""
+        self._queue = [entry for entry in self._queue
+                       if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._tombstones = 0
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the single next live event.  Returns False if queue empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            event = heapq.heappop(queue)[2]
             if event.cancelled:
+                self._tombstones -= 1
                 continue
             self._now = event.time
             event.callback(*event.args)
@@ -172,21 +225,29 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         executed = 0
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue:
+            while queue:
                 if max_events is not None and executed >= max_events:
                     break
-                event = self._queue[0]
+                event = queue[0][2]
                 if event.cancelled:
-                    heapq.heappop(self._queue)
+                    pop(queue)
+                    self._tombstones -= 1
                     continue
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._queue)
+                pop(queue)
                 self._now = event.time
-                event.callback(*event.args)
+                args = event.args
+                if args:
+                    event.callback(*args)
+                else:  # no-args fast path (the common case)
+                    event.callback()
                 self._processed += 1
                 executed += 1
+                queue = self._queue  # compaction may have swapped it
             if until is not None and self._now < until:
                 self._now = int(until)
         finally:
@@ -202,4 +263,5 @@ class Simulator:
     # ------------------------------------------------------------------
     def timeline(self) -> list[int]:
         """Times of the live events currently queued (sorted)."""
-        return sorted(e.time for e in self._queue if not e.cancelled)
+        return sorted(entry[0] for entry in self._queue
+                      if not entry[2].cancelled)

@@ -1,0 +1,168 @@
+"""Buffered (block-drawn) sampling on top of :mod:`repro.sim.distributions`.
+
+A :class:`BufferedSampler` wraps a :class:`~repro.sim.distributions.
+DelaySampler` together with the numpy Generator that *owns* it and
+pre-draws blocks of samples via ``sample_batch``, serving them one at a
+time.  This trades ~1024 round-trips through numpy's scalar API for one
+vectorized call — the dominant per-packet cost in the DES inner loop.
+
+Determinism contract
+--------------------
+Buffering is bit-identical to scalar sampling **iff**:
+
+1. ``sample_batch(rng, n)`` consumes the generator's bit-stream exactly
+   as ``n`` scalar ``sample`` calls would (true for the numpy-backed
+   samplers here; ``Spiked`` falls back to a scalar loop), and
+2. the wrapped Generator has *exactly one* consumer — the buffered
+   sampler.  If any other code draws from the same Generator between
+   two ``sample()`` calls, the pre-drawn block no longer corresponds to
+   the values a scalar path would have produced, and results change.
+
+Point 2 is why only exclusive streams (e.g. the ``upf`` and ``link``
+registry streams) are buffered in :mod:`repro.net`; samplers sharing a
+per-component generator keep the scalar path.  :class:`BufferedSampler`
+enforces the ownership rule mechanically: ``sample`` must be called with
+the owning Generator (identity check) so a caller cannot silently feed
+it a different stream.
+
+For golden-trace tests, :func:`force_sequential` disables block drawing
+process-wide so the same wiring can be run both ways and compared.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from .distributions import DelaySampler
+
+__all__ = [
+    "DEFAULT_BLOCK",
+    "BufferedSampler",
+    "UniformBuffer",
+    "force_sequential",
+    "buffering_enabled",
+]
+
+#: Samples pre-drawn per block.  Large enough to amortise the numpy call
+#: overhead, small enough that a short campaign does not waste draws
+#: (unused tail samples are never consumed from the Generator — they are
+#: drawn, so the stream position advances identically either way).
+DEFAULT_BLOCK = 1024
+
+_BUFFERING_ENABLED = True
+
+
+def buffering_enabled() -> bool:
+    """Whether buffered samplers currently pre-draw blocks."""
+    return _BUFFERING_ENABLED
+
+
+@contextmanager
+def force_sequential() -> Iterator[None]:
+    """Disable block pre-drawing for the duration of the context.
+
+    Inside the context every :class:`BufferedSampler`/:class:`
+    UniformBuffer` call delegates to the scalar path, which is how the
+    golden-trace tests prove buffered runs are bit-identical: run the
+    same scenario with and without this context and compare digests.
+    Affects only samplers *constructed or refilled* inside the context;
+    use it around whole runs, not mid-run.
+    """
+    global _BUFFERING_ENABLED
+    previous = _BUFFERING_ENABLED
+    _BUFFERING_ENABLED = False
+    try:
+        yield
+    finally:
+        _BUFFERING_ENABLED = previous
+
+
+class BufferedSampler:
+    """Serve scalar samples from pre-drawn blocks of a DelaySampler.
+
+    The wrapper takes ownership of ``rng``: it is an error (raised, not
+    silent) to call :meth:`sample` with any other Generator, because the
+    pre-drawn block encodes this generator's stream position.
+    """
+
+    __slots__ = ("_sampler", "_rng", "_block", "_buf", "_pos")
+
+    def __init__(self, sampler: DelaySampler, rng: np.random.Generator,
+                 block: int = DEFAULT_BLOCK):
+        if block < 1:
+            raise ValueError(f"block size must be >= 1, got {block}")
+        self._sampler = sampler
+        self._rng = rng
+        self._block = block
+        self._buf: np.ndarray | None = None
+        self._pos = 0
+
+    @property
+    def mean_us(self) -> float:
+        return self._sampler.mean_us
+
+    @property
+    def sampler(self) -> DelaySampler:
+        """The wrapped (unbuffered) sampler."""
+        return self._sampler
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Next sample; ``rng`` must be the owning Generator."""
+        if rng is not self._rng:
+            raise ValueError(
+                "BufferedSampler owns its Generator; sample() was called "
+                "with a different one.  Buffering is only deterministic "
+                "for a single-consumer stream — use the scalar sampler "
+                "for shared generators.")
+        buf = self._buf
+        if buf is None or self._pos >= len(buf):
+            if not _BUFFERING_ENABLED:
+                return float(self._sampler.sample(self._rng))
+            buf = self._sampler.sample_batch(self._rng, self._block)
+            self._buf = buf
+            self._pos = 0
+        value = buf[self._pos]
+        self._pos += 1
+        return float(value)
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Batch draw, consuming any buffered samples first."""
+        return np.array([self.sample(rng) for _ in range(n)], dtype=float)
+
+
+class UniformBuffer:
+    """Pre-drawn uniform [0, 1) variates from an owned Generator.
+
+    The channel-loss path draws one uniform per transmission
+    (``rng.random()``); this buffers them the same way
+    :class:`BufferedSampler` buffers delay draws, with the same
+    exclusive-ownership requirement.
+    """
+
+    __slots__ = ("_rng", "_block", "_buf", "_pos")
+
+    def __init__(self, rng: np.random.Generator, block: int = DEFAULT_BLOCK):
+        if block < 1:
+            raise ValueError(f"block size must be >= 1, got {block}")
+        self._rng = rng
+        self._block = block
+        self._buf: np.ndarray | None = None
+        self._pos = 0
+
+    def owns(self, rng: np.random.Generator) -> bool:
+        return rng is self._rng
+
+    def next(self) -> float:
+        buf = self._buf
+        if buf is None or self._pos >= len(buf):
+            if not _BUFFERING_ENABLED:
+                return float(self._rng.random())
+            buf = self._rng.random(self._block)
+            self._buf = buf
+            self._pos = 0
+        value = buf[self._pos]
+        self._pos += 1
+        return float(value)

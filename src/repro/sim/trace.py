@@ -58,11 +58,18 @@ class Tracer:
     """Collects :class:`TraceRecord` objects emitted during a run.
 
     Tracing can be disabled wholesale (``enabled=False``) to keep long
-    benchmark runs allocation-free, or narrowed with a predicate.
+    benchmark runs allocation-free, or narrowed with a predicate over
+    ``(time, category, name)``.  The predicate deliberately does not see
+    the fields payload: it runs *before* a :class:`TraceRecord` (and its
+    fields dict) is constructed, so a filtered-out emit allocates
+    nothing.  Hot call sites extend the same idea with the lazy-fields
+    convention — guard the whole ``emit(...)`` call (keyword-argument
+    construction included) behind ``if tracer.enabled:``.
     """
 
     def __init__(self, enabled: bool = True,
-                 predicate: Optional[Callable[[TraceRecord], bool]] = None):
+                 predicate: Optional[Callable[[int, str, str],
+                                              bool]] = None):
         self.enabled = enabled
         self._predicate = predicate
         self._records: list[TraceRecord] = []
@@ -71,12 +78,14 @@ class Tracer:
     # ------------------------------------------------------------------
     def emit(self, time: int, category: str, name: str,
              **fields: Any) -> None:
-        """Record an event (no-op when disabled)."""
+        """Record an event (allocation-free no-op when disabled or
+        rejected by the predicate)."""
         if not self.enabled:
             return
-        record = TraceRecord(int(time), category, name, fields)
-        if self._predicate is not None and not self._predicate(record):
+        if (self._predicate is not None
+                and not self._predicate(time, category, name)):
             return
+        record = TraceRecord(int(time), category, name, fields)
         self._records.append(record)
         for subscriber in self._subscribers:
             subscriber(record)

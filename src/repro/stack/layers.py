@@ -59,8 +59,9 @@ class ProcessingLayer:
         delay_tc = tc_from_us(delay_us)
         self.samples_us.append(delay_us)
         submitted = self.sim.now
-        self.tracer.emit(submitted, self.category, "enter",
-                         packet_id=packet.packet_id, layer=self.name)
+        if self.tracer.enabled:  # lazy fields: skip kwargs when disabled
+            self.tracer.emit(submitted, self.category, "enter",
+                             packet_id=packet.packet_id, layer=self.name)
         packet.stamp(f"{self.category}.enter", submitted)
 
         def finish() -> None:
@@ -69,9 +70,10 @@ class ProcessingLayer:
             packet.stamp(f"{self.category}.exit", self.sim.now)
             if self.adds_header:
                 packet.add_header(self.name)
-            self.tracer.emit(self.sim.now, self.category, "exit",
-                             packet_id=packet.packet_id, layer=self.name,
-                             delay_us=delay_us)
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, self.category, "exit",
+                                 packet_id=packet.packet_id, layer=self.name,
+                                 delay_us=delay_us)
             on_done(packet)
 
         if self.cpu is not None:

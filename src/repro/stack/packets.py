@@ -36,6 +36,11 @@ class PacketKind(Enum):
     PING_REPLY = "ping-reply"
     DATA = "data"
 
+    # Identity hash (members are singletons with identity equality);
+    # avoids hashing the value string on every dict lookup in the
+    # per-packet bookkeeping.  See repro.mac.types.Direction.
+    __hash__ = object.__hash__
+
 
 class LatencySource(Enum):
     """The paper's three latency-source categories (§4)."""
@@ -43,6 +48,8 @@ class LatencySource(Enum):
     PROCESSING = "processing"
     PROTOCOL = "protocol"
     RADIO = "radio"
+
+    __hash__ = object.__hash__  # identity hash; see PacketKind
 
 
 #: Header overhead added by each layer (bytes).

@@ -82,8 +82,10 @@ class RlcQueue:
             return False
         packet.stamp(f"{self.category}.enqueue", self.sim.now)
         self._queue.append((self.sim.now, packet))
-        self.tracer.emit(self.sim.now, self.category, "enqueue",
-                         packet_id=packet.packet_id, depth=len(self._queue))
+        if self.tracer.enabled:  # lazy fields: skip kwargs when disabled
+            self.tracer.emit(self.sim.now, self.category, "enqueue",
+                             packet_id=packet.packet_id,
+                             depth=len(self._queue))
         return True
 
     def _record_wait(self, enqueued_tc: int, packet: Packet) -> None:
@@ -91,9 +93,10 @@ class RlcQueue:
         packet.charge(LatencySource.PROTOCOL, wait)
         packet.stamp(f"{self.category}.dequeue", self.sim.now)
         self.wait_samples_us.append(us_from_tc(wait))
-        self.tracer.emit(self.sim.now, self.category, "dequeue",
-                         packet_id=packet.packet_id,
-                         wait_us=us_from_tc(wait))
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, self.category, "dequeue",
+                             packet_id=packet.packet_id,
+                             wait_us=us_from_tc(wait))
 
     def dequeue(self) -> Packet | None:
         """Pop the oldest packet whole, recording its waiting time."""
@@ -132,10 +135,11 @@ class RlcQueue:
             if allow_segmentation and remaining >= MIN_SEGMENT_BYTES:
                 self._head_sent_bytes += remaining
                 consumed += remaining
-                self.tracer.emit(self.sim.now, self.category, "segment",
-                                 packet_id=packet.packet_id,
-                                 sent=self._head_sent_bytes,
-                                 of=packet.wire_bytes)
+                if self.tracer.enabled:
+                    self.tracer.emit(self.sim.now, self.category, "segment",
+                                     packet_id=packet.packet_id,
+                                     sent=self._head_sent_bytes,
+                                     of=packet.wire_bytes)
                 remaining = 0
             break
         return PullResult(completed, consumed)

@@ -1,0 +1,84 @@
+"""The cProfile harness: aggregation, document shape, CLI flag."""
+
+import json
+
+from repro.cli import main
+from repro.devtools.profile import (
+    ProfileReport,
+    _module_of,
+    profile_call,
+    write_profile_json,
+)
+
+
+def _busy_work():
+    from repro.sim.engine import Simulator
+    sim = Simulator()
+    for t in range(500):
+        sim.schedule(t, _nothing)
+    return sim.run()
+
+
+def _nothing():
+    return None
+
+
+def test_profile_call_returns_result_and_report():
+    result, report = profile_call(_busy_work)
+    assert result == 500
+    assert isinstance(report, ProfileReport)
+    assert report.total_time_s > 0
+
+
+def test_module_mapping():
+    assert _module_of("/x/src/repro/sim/engine.py") == "repro.sim.engine"
+    assert _module_of("/x/src/repro/sim/__init__.py") == "repro.sim"
+    assert _module_of("~") == "<builtin>"
+    assert _module_of("<string>") == "<builtin>"
+    assert _module_of("/usr/lib/python3/json/decoder.py") == "<other>"
+
+
+def test_per_module_breakdown_is_additive_and_sorted():
+    _, report = profile_call(_busy_work)
+    modules = report.modules
+    assert "repro.sim.engine" in modules
+    engine = modules["repro.sim.engine"]
+    # schedule() + run() + step-internal pushes: hundreds of calls.
+    assert engine["calls"] >= 500
+    assert engine["tottime_s"] > 0
+    # tottime is additive across modules.
+    total = sum(entry["tottime_s"] for entry in modules.values())
+    assert abs(total - report.total_time_s) < 1e-9
+    # Sorted by descending own-time.
+    tottimes = [entry["tottime_s"] for entry in modules.values()]
+    assert tottimes == sorted(tottimes, reverse=True)
+
+
+def test_payload_and_json_document(tmp_path):
+    _, report = profile_call(_busy_work)
+    path = write_profile_json(tmp_path / "PROFILE_x.json", "x", report)
+    document = json.loads(path.read_text())
+    assert document["schema"] == "urllc5g-profile/1"
+    assert document["campaign"] == "x"
+    assert document["modules"] == json.loads(
+        json.dumps(report.modules))  # round-trippable
+    top = document["top_functions"]
+    assert top and len(top) <= 25
+    assert {"module", "function", "calls", "tottime_s"} <= set(top[0])
+    # Top functions are ranked by own time.
+    assert [row["tottime_s"] for row in top] == sorted(
+        (row["tottime_s"] for row in top), reverse=True)
+
+
+def test_bench_profile_flag_writes_document(tmp_path, capsys):
+    output = tmp_path / "BENCH_smoke.json"
+    code = main(["bench", "smoke", "--no-cache",
+                 "--output", str(output), "--profile"])
+    assert code == 0
+    profile_path = tmp_path / "PROFILE_smoke.json"
+    assert profile_path.exists()
+    document = json.loads(profile_path.read_text())
+    assert document["campaign"] == "smoke"
+    assert any(module.startswith("repro.")
+               for module in document["modules"])
+    assert "profile:" in capsys.readouterr().out

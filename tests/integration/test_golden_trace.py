@@ -1,0 +1,77 @@
+"""Golden traces: buffered sampling is bit-identical to sequential.
+
+The buffered-sampler determinism contract (docs/PERFORMANCE.md) claims
+that pre-drawing blocks never changes a simulation: only exclusive
+single-consumer streams are buffered, and a vectorized batch consumes
+the generator exactly as scalar draws would.  These tests prove it the
+strong way — run the same workload with buffering enabled (the default)
+and with :func:`repro.sim.sampling.force_sequential`, and require the
+full result payload / `Tracer.digest` to be identical, for every
+registered scenario and for traced DES runs with every channel model.
+"""
+
+import pytest
+
+from repro.mac.catalog import testbed_dddu
+from repro.mac.types import AccessMode
+from repro.net.session import RanConfig, RanSystem
+from repro.phy.channel import GilbertElliottChannel, IidErasureChannel
+from repro.phy.timebase import tc_from_ms
+from repro.runner import SCENARIOS, Campaign, run_point
+from repro.sim.rng import RngRegistry
+from repro.sim.sampling import force_sequential
+from repro.traffic.generators import uniform_in_horizon
+
+# One representative (cheap) parameter set per registered scenario;
+# test_scenario_specs_cover_every_registered_scenario pins completeness.
+SCENARIO_SPECS = {
+    "radio-sweep": {"bus": "usb3", "samples": 4_000, "repetitions": 15},
+    "ran-latency": {"access": "grant-based", "direction": "ul",
+                    "packets": 12, "horizon_ms": 80.0},
+    "sensitivity-latency": {"rh_setup_us": 145.0,
+                            "ue_processing_scale": 8.0,
+                            "gnb_processing_scale": 1.0,
+                            "packets": 10, "horizon_ms": 60.0,
+                            "sim_seed": 171, "arrivals_seed": 172},
+    "multi-ue": {"n_ues": 2, "packets_per_ue": 6, "horizon_ms": 60.0},
+    "design-feasibility": {"index": 0, "mu": 2, "max_period_ms": 1.0,
+                           "budget_ms": 0.5, "reliability": 0.99999},
+}
+
+
+def test_scenario_specs_cover_every_registered_scenario():
+    assert sorted(SCENARIO_SPECS) == sorted(SCENARIOS)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_SPECS))
+def test_buffered_equals_sequential_for_registered_scenario(name):
+    campaign = Campaign.build("golden", 29, [(name, SCENARIO_SPECS[name])])
+    point = campaign.points[0]
+    buffered = run_point(point)
+    with force_sequential():
+        sequential = run_point(point)
+    assert buffered == sequential  # bit-identical payload
+
+
+def _traced_digest(channel):
+    system = RanSystem(testbed_dddu(), RanConfig(
+        seed=7, trace=True, access=AccessMode.GRANT_BASED,
+        channel=channel))
+    arrivals = uniform_in_horizon(25, tc_from_ms(80.0),
+                                  RngRegistry(11).stream("arrivals"))
+    system.run_uplink(list(arrivals))
+    return system.tracer.digest()
+
+
+@pytest.mark.parametrize("make_channel", [
+    lambda: None,  # PerfectChannel
+    lambda: IidErasureChannel(bler=0.3),  # exercises HARQ + buffering
+    lambda: GilbertElliottChannel(mean_good_tc=200_000,
+                                  mean_bad_tc=100_000,
+                                  bler_good=0.05),  # stays scalar
+], ids=["perfect", "iid-erasure", "gilbert-elliott"])
+def test_traced_des_digest_unchanged_by_buffering(make_channel):
+    buffered = _traced_digest(make_channel())
+    with force_sequential():
+        sequential = _traced_digest(make_channel())
+    assert buffered == sequential

@@ -1,0 +1,97 @@
+"""Microbenchmarks for the DES hot paths (pytest-benchmark).
+
+Run locally with ``pytest tests/perf --benchmark-only`` (plugin
+installed) to get timing tables; in CI the non-blocking perf job uploads
+the JSON.  Without the plugin each case runs once as a correctness
+smoke (see conftest.py), so the file never breaks the tier-1 job.
+
+Every case asserts its observable outcome too — a benchmark that stops
+computing the right thing is worse than a slow one.
+"""
+
+import numpy as np
+
+from repro.sim.distributions import LogNormal
+from repro.sim.engine import Simulator
+from repro.sim.sampling import BufferedSampler
+from repro.sim.trace import Tracer
+
+N_EVENTS = 5_000
+N_SAMPLES = 5_000
+N_EMITS = 5_000
+
+
+def test_simulator_schedule_and_run(benchmark):
+    def schedule_and_drain():
+        sim = Simulator()
+        for t in range(N_EVENTS):
+            sim.schedule(t, _noop)
+        return sim.run()
+
+    assert benchmark(schedule_and_drain) == N_EVENTS
+
+
+def _noop():
+    return None
+
+
+def test_simulator_call_in_chain(benchmark):
+    def chained():
+        sim = Simulator()
+        remaining = [N_EVENTS]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0]:
+                sim.call_in(3, tick)
+
+        sim.call_in(3, tick)
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(chained) == N_EVENTS
+
+
+def test_scalar_sampling(benchmark):
+    sampler = LogNormal(55.21, 16.31)
+
+    def scalar():
+        rng = np.random.default_rng(2)
+        return [sampler.sample(rng) for _ in range(N_SAMPLES)]
+
+    values = benchmark(scalar)
+    assert len(values) == N_SAMPLES and min(values) > 0
+
+
+def test_buffered_sampling(benchmark):
+    sampler = LogNormal(55.21, 16.31)
+
+    def buffered():
+        rng = np.random.default_rng(2)
+        wrapped = BufferedSampler(sampler, rng)
+        return [wrapped.sample(rng) for _ in range(N_SAMPLES)]
+
+    values = benchmark(buffered)
+    assert len(values) == N_SAMPLES and min(values) > 0
+
+
+def test_tracer_emit_enabled(benchmark):
+    def emit_all():
+        tracer = Tracer(enabled=True)
+        for t in range(N_EMITS):
+            tracer.emit(t, "bench.cat", "event", packet_id=t)
+        return len(tracer)
+
+    assert benchmark(emit_all) == N_EMITS
+
+
+def test_tracer_emit_disabled(benchmark):
+    def emit_none():
+        tracer = Tracer(enabled=False)
+        for t in range(N_EMITS):
+            # The lazy-fields convention guards call sites like this.
+            if tracer.enabled:
+                tracer.emit(t, "bench.cat", "event", packet_id=t)
+        return len(tracer)
+
+    assert benchmark(emit_none) == 0

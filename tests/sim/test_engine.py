@@ -140,3 +140,43 @@ def test_callback_args_are_passed():
     sim.schedule(1, lambda a, b: seen.append((a, b)), 1, "x")
     sim.run()
     assert seen == [(1, "x")]
+
+
+def test_mass_cancellation_compacts_heap_and_preserves_order():
+    # 10k scheduled-then-cancelled timers must not pile up as
+    # tombstones: the queue stays bounded by the live event count (plus
+    # the under-half tombstone allowance), and the survivors still fire
+    # in (time, seq) order.
+    sim = Simulator()
+    fired = []
+    survivors = [sim.schedule(10_000 + t, fired.append, 10_000 + t)
+                 for t in range(100)]
+    # Interleave two survivors at the same tick to pin FIFO tie-break.
+    sim.schedule(10_000, lambda: fired.append("tie-a"))
+    sim.schedule(10_000, lambda: fired.append("tie-b"))
+    doomed = [sim.schedule(20_000 + t, fired.append, "never")
+              for t in range(10_000)]
+    for event in doomed:
+        event.cancel()
+    # Compaction keeps heap entries below live + half slack, far under
+    # the 10k cancelled events.
+    assert sim.pending() == 102
+    assert sim.queue_len() <= 2 * sim.pending() + 1
+    sim.run()
+    assert fired[0] == 10_000  # seq order: first-scheduled survivor
+    assert fired[1] == "tie-a" and fired[2] == "tie-b"
+    assert fired[3:] == [10_001 + t for t in range(99)]
+    assert "never" not in fired
+    assert survivors[0].time == 10_000
+
+
+def test_cancel_before_compaction_threshold_keeps_entries():
+    # Small queues are never compacted (cheaper to skip on pop).
+    sim = Simulator()
+    events = [sim.schedule(i + 1, lambda: None) for i in range(10)]
+    for event in events[:9]:
+        event.cancel()
+    assert sim.pending() == 1
+    assert sim.queue_len() == 10  # tombstones still present
+    sim.run()
+    assert sim.pending() == 0

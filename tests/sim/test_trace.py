@@ -26,10 +26,22 @@ def test_disabled_tracer_records_nothing():
 
 
 def test_predicate_filters_at_emission():
-    tracer = Tracer(predicate=lambda r: r.category == "keep")
+    tracer = Tracer(predicate=lambda time, category, name: category == "keep")
     tracer.emit(1, "keep", "x")
     tracer.emit(2, "drop", "x")
     assert [r.category for r in tracer] == ["keep"]
+
+
+def test_predicate_runs_before_record_construction():
+    # The predicate sees (time, category, name) — not a TraceRecord —
+    # so rejected emits never build the record or its fields dict.
+    seen = []
+    tracer = Tracer(predicate=lambda time, category, name: (
+        seen.append((time, category, name)) or name == "x"))
+    tracer.emit(7, "a", "x", payload=1)
+    tracer.emit(8, "a", "y", payload=2)
+    assert seen == [(7, "a", "x"), (8, "a", "y")]
+    assert [r.name for r in tracer] == ["x"]
 
 
 def test_first_and_last():
