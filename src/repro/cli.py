@@ -222,9 +222,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     # Imported lazily so analysis commands stay import-light.
     from repro.runner import (
-        CAMPAIGNS, CampaignRunner, ResultCache, bench_payload,
-        build_campaign, check_against_baseline, load_baseline,
-        render_baseline, write_bench_json)
+        CAMPAIGNS, CampaignJournal, CampaignRunner, ResultCache,
+        bench_payload, build_campaign, check_against_baseline,
+        load_baseline, render_baseline, write_bench_json)
     if args.list:
         for name in sorted(CAMPAIGNS):
             print(f"{name}: {len(build_campaign(name))} point(s)")
@@ -233,19 +233,35 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("error: campaign name required (or --list)",
               file=sys.stderr)
         return 2
+    if args.resume and args.no_journal:
+        print("error: --resume requires a journal (drop --no-journal)",
+              file=sys.stderr)
+        return 2
     try:
         campaign = build_campaign(args.campaign)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     cache = None if args.no_cache else ResultCache(args.cache)
-    with CampaignRunner(workers=args.workers, cache=cache) as runner:
+    journal = None
+    if not args.no_journal:
+        journal_path = (args.journal
+                        or f".urllc5g-{campaign.name}.journal.jsonl")
+        journal = CampaignJournal(journal_path)
+    with CampaignRunner(workers=args.workers, cache=cache,
+                        timeout_s=args.timeout_s,
+                        max_retries=args.retries) as runner:
         if args.profile:
             from repro.devtools.profile import (
                 profile_call, write_profile_json)
-            result, report = profile_call(lambda: runner.run(campaign))
+            result, report = profile_call(
+                lambda: runner.run(campaign, journal=journal,
+                                   resume=args.resume))
         else:
-            result = runner.run(campaign)
+            result = runner.run(campaign, journal=journal,
+                                resume=args.resume)
+    if journal is not None:
+        journal.close()
     payload = bench_payload(result)
     output = args.output or f"BENCH_{campaign.name}.json"
     write_bench_json(output, payload)
@@ -260,11 +276,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"{payload['workers']} worker(s) in "
           f"{payload['wall_clock_s']:.2f}s wall-clock, cache hit-rate "
           f"{payload['cache']['hit_rate']:.1%} -> {output}")
+    if payload["journal_replays"] or payload["retries"]:
+        print(f"resilience: {payload['journal_replays']} point(s) "
+              f"replayed from the journal, {payload['retries']} "
+              "retr(y/ies)")
+    for warning in payload["warnings"]:
+        print(f"warning: {warning}", file=sys.stderr)
+    for failure in payload["failed_points"]:
+        print(f"FAILED: {failure['label']} after "
+              f"{failure['attempts']} attempt(s): {failure['error']}",
+              file=sys.stderr)
+    failed = bool(payload["failed_points"])
     if args.write_baseline:
         write_bench_json(args.write_baseline, render_baseline(payload))
         print(f"wrote baseline {args.write_baseline} "
               f"({len(payload['metrics'])} metric(s))")
-        return 0
+        return 1 if failed else 0
     if args.check:
         try:
             baseline = load_baseline(args.check)
@@ -274,8 +301,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 2
         outcome = check_against_baseline(payload, baseline)
         print(outcome.render())
-        return 0 if outcome.ok else 1
-    return 0
+        return 0 if outcome.ok and not failed else 1
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -394,6 +421,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run under cProfile and write "
                             "PROFILE_<campaign>.json next to the bench "
                             "document (see docs/PERFORMANCE.md)")
+    bench.add_argument("--timeout-s", type=float, default=None,
+                       metavar="S",
+                       help="parallel liveness timeout: if no point "
+                            "completes within S seconds the workers "
+                            "are killed and their points requeued")
+    bench.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="extra attempts a failing point gets "
+                            "before it is recorded as failed "
+                            "(default: 2)")
+    bench.add_argument("--journal", default=None, metavar="FILE",
+                       help="campaign journal path (default: "
+                            ".urllc5g-<campaign>.journal.jsonl)")
+    bench.add_argument("--no-journal", action="store_true",
+                       help="disable per-point checkpointing")
+    bench.add_argument("--resume", action="store_true",
+                       help="replay completed points from the journal "
+                            "of an interrupted run (docs/ROBUSTNESS.md)")
     bench.set_defaults(func=_cmd_bench)
     return parser
 

@@ -24,6 +24,7 @@ __all__ = [
     "NoFloatTickEqualityRule",
     "UnorderedIterationBeforeScheduleRule",
     "PublicApiExportsRule",
+    "FaultStreamsNamedRule",
 ]
 
 #: Time units carried as name suffixes across the codebase.  ``tc`` is
@@ -515,3 +516,92 @@ class PublicApiExportsRule(Rule):
             module, module.tree,
             f"public {kind} does not declare __all__; list its "
             "intended exports explicitly")
+
+
+@register
+class FaultStreamsNamedRule(Rule):
+    """Fault injectors draw only from registered ``fault.*`` streams.
+
+    The fault-injection determinism contract (docs/ROBUSTNESS.md) rests
+    on every injector owning a named :class:`repro.sim.rng.RngRegistry`
+    stream with a literal ``fault.`` prefix: adding or removing a fault
+    plan must never perturb the draws of fault-free components, and a
+    trace digest must identify which stream produced which fault.  A
+    ``.stream(...)`` call in fault code whose name is not statically
+    ``fault.*`` — or any direct ``numpy.random`` use — breaks that
+    contract silently.  Applies only to fault modules (a ``faults``
+    package directory, or ``fault``/``faults`` in the file stem).
+    """
+
+    rule_id = "fault-streams-named"
+    severity = Severity.ERROR
+    description = ("fault-injection code must draw from registry "
+                   "streams named 'fault.*', never ad-hoc generators")
+
+    _FAULT_TOKENS = frozenset({"fault", "faults"})
+
+    def _applies(self, module: ModuleUnderLint) -> bool:
+        import re
+        from pathlib import Path
+        path = Path(module.path)
+        if "faults" in path.parts[:-1]:
+            return True
+        tokens = re.split(r"[^a-z0-9]+", path.stem.lower())
+        return bool(self._FAULT_TOKENS & set(tokens))
+
+    @staticmethod
+    def _is_fault_stream_name(arg: ast.expr) -> bool:
+        if isinstance(arg, ast.Constant):
+            return (isinstance(arg.value, str)
+                    and arg.value.startswith("fault."))
+        if isinstance(arg, ast.JoinedStr) and arg.values:
+            first = arg.values[0]
+            return (isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)
+                    and first.value.startswith("fault."))
+        return False
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Violation]:
+        if not self._applies(module):
+            return
+        imports = _ImportTracker()
+        imports.visit(module.tree)
+        numpy_aliases = {alias for alias, mod in
+                         imports.module_aliases.items() if mod == "numpy"}
+        npr_aliases = {alias for alias, mod in
+                       imports.module_aliases.items()
+                       if mod == "numpy.random"}
+        npr_aliases |= {alias for alias, target in
+                        imports.member_imports.items()
+                        if target == "numpy.random"}
+        npr_members = {alias for alias, target in
+                       imports.member_imports.items()
+                       if target.startswith("numpy.random.")}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "stream":
+                if (not node.args
+                        or not self._is_fault_stream_name(node.args[0])):
+                    yield self.violation(
+                        module, node,
+                        "fault injectors must draw from a registry "
+                        "stream whose name literally starts with "
+                        "'fault.' (fault.<kind>.<index>)")
+                continue
+            dotted = _dotted(func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            from_np_random = (
+                (len(parts) >= 3 and parts[0] in numpy_aliases
+                 and parts[1] == "random")
+                or (len(parts) >= 2 and parts[0] in npr_aliases)
+                or (len(parts) == 1 and parts[0] in npr_members))
+            if from_np_random:
+                yield self.violation(
+                    module, node,
+                    f"direct numpy.random use ({dotted}) in fault code "
+                    "bypasses the seed-stream registry; draw from a "
+                    "named 'fault.*' stream instead")

@@ -1,0 +1,29 @@
+"""Deterministic, seed-driven fault injection.
+
+The paper asks whether 99.999 % reliability survives adversity — HARQ
+retransmission bursts, OS-induced radio-bus stalls (Fig 5), processing
+tails (Table 2), core outages.  This package turns those adversities
+into data: a declarative :class:`FaultPlan` compiled by
+:class:`FaultHarness` into injectors hooked through every layer of the
+simulated stack, with all randomness drawn from dedicated ``fault.*``
+registry streams so faulted runs stay exactly reproducible (same seed ⇒
+same faults, serial ≡ parallel) and fault-free runs stay bit-identical
+to a run with no plan installed.  See docs/ROBUSTNESS.md.
+"""
+
+from repro.faults.injectors import (
+    FaultCounters,
+    FaultHarness,
+    StalledRadioHead,
+)
+from repro.faults.plan import PRESET_PLANS, FaultKind, FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "PRESET_PLANS",
+    "FaultCounters",
+    "FaultHarness",
+    "StalledRadioHead",
+]

@@ -1,0 +1,201 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultSpec` entries,
+each describing one adversarial condition and the time window during
+which it is armed.  Plans are data, not code: they serialise to a
+canonical JSON string (so they can travel as a scenario parameter and
+take part in campaign point digests) and scale uniformly with a single
+``intensity`` knob, which is how the ``chaos-latency`` campaign sweeps
+reliability-vs-fault-intensity curves against the paper's 99.999 %
+target.
+
+The schedule says *when* a fault may fire; whether it actually fires on
+a given opportunity is decided by the compiled injectors in
+:mod:`repro.faults.injectors`, drawing from dedicated ``fault.*``
+registry streams so that fault-free components see the exact same
+random draws with or without a plan installed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Any, Mapping
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "PRESET_PLANS"]
+
+
+class FaultKind(str, Enum):
+    """The fault families the injectors know how to compile.
+
+    Each kind targets the layer the paper blames for a tail mode:
+    HARQ NACK bursts and DTX at the MAC, RLC loss storms in the stack,
+    radio-head bus stalls (Fig 5's USB jitter spikes), gNB
+    processing-overload dilation of the Table 2 layer times, and
+    UPF/core outages.
+    """
+
+    HARQ_NACK = "harq-nack"
+    HARQ_DTX = "harq-dtx"
+    RLC_LOSS = "rlc-loss"
+    RADIO_STALL = "radio-stall"
+    GNB_OVERLOAD = "gnb-overload"
+    UPF_OUTAGE = "upf-outage"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault window.
+
+    ``probability`` is the per-opportunity firing probability while the
+    window ``[start_ms, stop_ms)`` is open.  ``factor`` (processing
+    dilation, ``gnb-overload`` only) and ``stall_us`` (added bus
+    latency, ``radio-stall`` only) size the fault when it fires.
+    ``target`` narrows ``rlc-loss`` / ``gnb-overload`` to trace
+    categories matching the prefix on dot boundaries (empty = all).
+    """
+
+    kind: FaultKind
+    start_ms: float = 0.0
+    stop_ms: float = 1_000.0
+    probability: float = 1.0
+    factor: float = 1.0
+    stall_us: float = 0.0
+    target: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", FaultKind(self.kind))
+        if self.start_ms < 0:
+            raise ValueError(f"start_ms must be >= 0, got {self.start_ms}")
+        if self.stop_ms <= self.start_ms:
+            raise ValueError(
+                f"stop_ms ({self.stop_ms}) must be > start_ms "
+                f"({self.start_ms})")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be within [0, 1], got {self.probability}")
+        if self.factor < 1.0:
+            raise ValueError(
+                f"factor dilates processing and must be >= 1, "
+                f"got {self.factor}")
+        if self.stall_us < 0:
+            raise ValueError(f"stall_us must be >= 0, got {self.stall_us}")
+
+    def scaled(self, intensity: float) -> "FaultSpec":
+        """This spec with probability and dilation scaled by ``intensity``.
+
+        Intensity 0 disarms the fault entirely (probability 0, dilation
+        1.0 — bit-identical to no fault); intensity 1 is the spec as
+        written; probabilities clamp at 1.0 beyond that while the
+        dilation factor keeps growing linearly.
+        """
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0, got {intensity}")
+        return replace(
+            self,
+            probability=min(1.0, self.probability * intensity),
+            factor=max(1.0, 1.0 + (self.factor - 1.0) * intensity))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping with every field spelled out."""
+        return {
+            "kind": self.kind.value,
+            "start_ms": self.start_ms,
+            "stop_ms": self.stop_ms,
+            "probability": self.probability,
+            "factor": self.factor,
+            "stall_us": self.stall_us,
+            "target": self.target,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultSpec":
+        """Inverse of :meth:`to_dict`; rejects unknown fields."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"fault spec must be an object, got {payload!r}")
+        known = {
+            "kind", "start_ms", "stop_ms", "probability", "factor",
+            "stall_us", "target",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown fault-spec fields: {sorted(unknown)}")
+        if "kind" not in payload:
+            raise ValueError("fault spec is missing 'kind'")
+        return cls(**dict(payload))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable schedule of :class:`FaultSpec` windows.
+
+    Spec order matters: when several HARQ windows overlap, the first
+    spec that fires decides the block's fate.  An empty plan is falsy
+    and installs no injectors at all.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def scaled(self, intensity: float) -> "FaultPlan":
+        """The plan with every spec scaled (see :meth:`FaultSpec.scaled`)."""
+        return FaultPlan(tuple(spec.scaled(intensity)
+                               for spec in self.specs))
+
+    def to_json(self) -> str:
+        """Canonical (sorted-keys, compact) JSON — digest-stable."""
+        return json.dumps([spec.to_dict() for spec in self.specs],
+                          sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan serialised by :meth:`to_json`."""
+        payload = json.loads(text)
+        if not isinstance(payload, list):
+            raise ValueError(
+                f"fault plan JSON must be a list of specs, got {payload!r}")
+        return cls(tuple(FaultSpec.from_dict(entry) for entry in payload))
+
+    @classmethod
+    def resolve(cls, value: str) -> "FaultPlan":
+        """Turn a scenario parameter into a plan.
+
+        Accepts either inline JSON (leading ``[``) or the name of a
+        preset from :data:`PRESET_PLANS`.
+        """
+        text = value.strip()
+        if text.startswith("["):
+            return cls.from_json(text)
+        try:
+            return PRESET_PLANS[text]
+        except KeyError:
+            raise ValueError(
+                f"unknown fault plan {value!r}; presets: "
+                f"{sorted(PRESET_PLANS)} (or pass inline JSON)") from None
+
+
+#: Named plans usable as the ``faults`` scenario parameter.  The
+#: ``standard`` preset staggers one window per fault kind across a
+#: 600 ms horizon so a single chaos run exercises every injector.
+PRESET_PLANS: dict[str, FaultPlan] = {
+    "standard": FaultPlan((
+        FaultSpec(FaultKind.HARQ_NACK, start_ms=50.0, stop_ms=150.0,
+                  probability=0.3),
+        FaultSpec(FaultKind.HARQ_DTX, start_ms=150.0, stop_ms=250.0,
+                  probability=0.15),
+        FaultSpec(FaultKind.RLC_LOSS, start_ms=0.0, stop_ms=300.0,
+                  probability=0.05, target="gnb"),
+        FaultSpec(FaultKind.RADIO_STALL, start_ms=250.0, stop_ms=400.0,
+                  probability=0.2, stall_us=120.0),
+        FaultSpec(FaultKind.GNB_OVERLOAD, start_ms=400.0, stop_ms=500.0,
+                  factor=4.0),
+        FaultSpec(FaultKind.UPF_OUTAGE, start_ms=500.0, stop_ms=520.0,
+                  probability=1.0),
+    )),
+}

@@ -65,13 +65,20 @@ class HarqFeedbackModel:
         feedback_for: "dl" (feedback on UL timeline) or "ul"
             (feedback on DL timeline — for configured-grant UL the
             gNB's feedback is a DL control message).
+        dtx_penalty_symbols: extra wait beyond the nominal feedback
+            instant before the transmitter declares DTX (feedback never
+            arrived — e.g. the PUCCH itself was lost) and proceeds as if
+            NACKed.
     """
 
     def __init__(self, scheme: DuplexingScheme, k1_symbols: int = 10,
                  decode_symbols: int = 2,
-                 feedback_for: str = "dl"):
+                 feedback_for: str = "dl",
+                 dtx_penalty_symbols: int = SYMBOLS_PER_SLOT):
         if k1_symbols < 0 or decode_symbols < 0:
             raise ValueError("symbol counts must be >= 0")
+        if dtx_penalty_symbols < 0:
+            raise ValueError("dtx_penalty_symbols must be >= 0")
         if feedback_for not in ("dl", "ul"):
             raise ValueError(f"feedback_for must be 'dl' or 'ul', "
                              f"got {feedback_for!r}")
@@ -81,6 +88,7 @@ class HarqFeedbackModel:
         self.k1_tc = k1_symbols * symbol_tc
         self.decode_tc = decode_symbols * symbol_tc
         self.pucch_tc = symbol_tc  # one-symbol short PUCCH
+        self.dtx_penalty_tc = dtx_penalty_symbols * symbol_tc
         self._occasions: OpportunityTimeline = (
             scheme.ul_timeline() if feedback_for == "dl"
             else scheme.dl_timeline())
@@ -98,6 +106,15 @@ class HarqFeedbackModel:
         """Shorthand: just the feedback arrival tick."""
         return self.timing(completion_tc).feedback_tc
 
+    def dtx_detection_time(self, completion_tc: int) -> int:
+        """When the transmitter gives up waiting for lost feedback.
+
+        Expected feedback instant plus the DTX penalty: the transmitter
+        only treats silence as a NACK after the feedback opportunity has
+        demonstrably passed, which is what makes injected DTX strictly
+        worse than an ordinary NACK."""
+        return self.feedback_time(completion_tc) + self.dtx_penalty_tc
+
 
 class HarqProcessPool:
     """Bounded pool of HARQ processes awaiting feedback."""
@@ -111,6 +128,7 @@ class HarqProcessPool:
         self._in_flight = 0
         self.stalls = 0
         self.peak_in_flight = 0
+        self.dtx_events = 0
 
     @property
     def in_flight(self) -> int:
@@ -136,3 +154,9 @@ class HarqProcessPool:
         """A transmission opportunity passed unused for lack of a
         process (throughput bounded by processes/RTT)."""
         self.stalls += 1
+
+    def record_dtx(self) -> None:
+        """Feedback for an in-flight block never arrived; the process is
+        held until the DTX detection timeout instead of the nominal
+        feedback instant."""
+        self.dtx_events += 1

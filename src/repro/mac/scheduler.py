@@ -104,7 +104,8 @@ class GnbMacScheduler:
                  harq_pool: "HarqProcessPool | None" = None,
                  pdcch: "PdcchModel | None" = None,
                  dl_aggregation_level: int = 8,
-                 ul_aggregation_level: int = 8):
+                 ul_aggregation_level: int = 8,
+                 rlc_fault_gate: Callable[..., bool] | None = None):
         self.sim = sim
         self.tracer = tracer
         self.scheme = scheme
@@ -122,6 +123,9 @@ class GnbMacScheduler:
         self.pdcch = pdcch
         self.dl_aggregation_level = dl_aggregation_level
         self.ul_aggregation_level = ul_aggregation_level
+        # Fault-injection hook (repro.faults), handed to every per-UE
+        # DL RLC queue so loss storms can target them by category.
+        self.rlc_fault_gate = rlc_fault_gate
 
         self.counters = SchedulerCounters()
         self._ues: dict[int, _UeState] = {}
@@ -151,7 +155,8 @@ class GnbMacScheduler:
             raise ValueError(f"UE {ue_id} already registered")
         if not 0.0 < cg_share <= 1.0:
             raise ValueError(f"cg_share must be in (0, 1], got {cg_share}")
-        queue = RlcQueue(self.sim, self.tracer, f"gnb.rlcq.ue{ue_id}")
+        queue = RlcQueue(self.sim, self.tracer, f"gnb.rlcq.ue{ue_id}",
+                         fault_gate=self.rlc_fault_gate)
         self._ues[ue_id] = _UeState(ue_id, grant_free, cg_share, queue,
                                     priority)
         self._rr_order.append(ue_id)

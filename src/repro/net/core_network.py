@@ -45,10 +45,14 @@ class Upf:
     def __init__(self, sim: Simulator, tracer: Tracer,
                  rng: np.random.Generator,
                  delay: DelaySampler | None = None,
-                 cpu: "CpuResource | None" = None):
+                 cpu: "CpuResource | None" = None,
+                 outage: Callable[[], int] | None = None):
         self.sim = sim
         self.tracer = tracer
         self.rng = rng
+        # Fault-injection hook (repro.faults): extra hold in Tc for a
+        # packet entering the UPF during a core outage window.
+        self.outage = outage
         # The UPF is the sole consumer of its registry stream ("upf" in
         # RanSystem), so its per-packet draws may be served from
         # pre-drawn blocks without changing the bit-stream (see
@@ -71,6 +75,8 @@ class Upf:
     def _process(self, packet: Packet, event: str,
                  deliver: Callable[[Packet], None]) -> None:
         delay_tc = tc_from_us(self.delay.sample(self.rng))
+        if self.outage is not None:
+            delay_tc += self.outage()
         submitted = self.sim.now
         packet.stamp(f"upf.{event}", submitted)
         if self.tracer.enabled:  # lazy fields: skip kwargs when disabled

@@ -64,7 +64,9 @@ class Gnb:
                  on_ul_grant: Callable[[UlGrant], None] | None = None,
                  harq_pool: "HarqProcessPool | None" = None,
                  pdcch: "PdcchModel | None" = None,
-                 aggregation_level: int = 8):
+                 aggregation_level: int = 8,
+                 processing_dilation: Callable[[str], float] | None = None,
+                 rlc_fault_gate: Callable[..., bool] | None = None):
         self.sim = sim
         self.tracer = tracer
         self.scheme = scheme
@@ -81,12 +83,13 @@ class Gnb:
             ProcessingLayer(sim, tracer, name, f"gnb.{name.lower()}",
                             delays[name], rng,
                             adds_header=name in ("SDAP", "PDCP", "RLC"),
-                            cpu=cpu)
+                            cpu=cpu, dilation=processing_dilation)
             for name in _DOWN_LAYERS
         ])
         self.up_pipeline = LayerPipeline([
             ProcessingLayer(sim, tracer, name, f"gnb.up.{name.lower()}",
-                            delays[name], rng, cpu=cpu)
+                            delays[name], rng, cpu=cpu,
+                            dilation=processing_dilation)
             for name in _UP_LAYERS
         ])
 
@@ -110,6 +113,7 @@ class Gnb:
             pdcch=pdcch,
             dl_aggregation_level=aggregation_level,
             ul_aggregation_level=aggregation_level,
+            rlc_fault_gate=rlc_fault_gate,
         )
 
     def _default_margin_tc(self) -> int:

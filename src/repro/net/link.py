@@ -43,7 +43,8 @@ class AirLink:
                  rng: np.random.Generator,
                  channel: Channel | None = None,
                  distance_m: float = 100.0,
-                 max_harq_retransmissions: int = 4):
+                 max_harq_retransmissions: int = 4,
+                 fault_gate: Callable[[int], str | None] | None = None):
         self.sim = sim
         self.tracer = tracer
         self.rng = rng
@@ -51,6 +52,13 @@ class AirLink:
         self.propagation_tc = propagation_delay_tc(distance_m)
         self.max_harq = max_harq_retransmissions
         self.counters = LinkCounters()
+        # Fault-injection hook (repro.faults): consulted per block and
+        # may force a "nack" or "dtx" fate before the channel draws.
+        self.fault_gate = fault_gate
+        #: Fate the gate forced for the most recent transmit() call —
+        #: "nack", "dtx", or None.  The session's NACK handlers read it
+        #: synchronously to pick the matching feedback timing.
+        self.last_fault_fate: str | None = None
         # Channels that consume exactly one uniform per block
         # (delivered_from_uniform) get their draws from a pre-filled
         # block; the link owns its registry stream, so the buffered and
@@ -71,7 +79,14 @@ class AirLink:
         exhausted their HARQ budget, in which case they are dropped.
         """
         self.counters.blocks_sent += 1
-        if self._uniforms is not None:
+        # A forced fault fate replaces the channel draw entirely (the
+        # block is lost regardless of channel state, so consuming a
+        # channel uniform for it would be wasted entropy).
+        self.last_fault_fate = (None if self.fault_gate is None
+                                else self.fault_gate(completion_tc))
+        if self.last_fault_fate is not None:
+            delivered = False
+        elif self._uniforms is not None:
             delivered = self.channel.delivered_from_uniform(
                 self._uniforms.next())
         else:

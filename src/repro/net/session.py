@@ -15,6 +15,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from repro.faults.injectors import FaultHarness, StalledRadioHead
+from repro.faults.plan import FaultPlan
 from repro.mac.harq import HarqFeedbackModel, HarqProcessPool
 from repro.mac.opportunities import Window
 from repro.mac.pdcch import PdcchModel
@@ -77,6 +79,10 @@ class RanConfig:
     pdcch_cces: int | None = None
     #: DCI aggregation level (URLLC uses 8-16 for control reliability).
     aggregation_level: int = 8
+    #: Deterministic fault schedule (repro.faults); None or an empty
+    #: plan leaves every layer untouched — bit-identical to the
+    #: fault-free build.  See docs/ROBUSTNESS.md.
+    fault_plan: FaultPlan | None = None
 
 
 @dataclass
@@ -114,10 +120,36 @@ class RanSystem:
         # simulations run earlier in the same process.
         self._packet_ids = itertools.count(1)
 
-        self.link = AirLink(self.sim, self.tracer,
-                            self.rngs.stream("link"),
-                            channel=self.config.channel)
-        self.upf = Upf(self.sim, self.tracer, self.rngs.stream("upf"))
+        # Compile the fault plan (if any) before wiring components so
+        # every layer can be handed its injector hook.  All fault draws
+        # come from dedicated "fault.*" streams; with no plan every hook
+        # below is None and the wiring is exactly the fault-free one.
+        self.faults: FaultHarness | None = None
+        if self.config.fault_plan:
+            self.faults = FaultHarness(self.sim, self.tracer, self.rngs,
+                                       self.config.fault_plan)
+        gnb_radio_head = self.config.gnb_radio_head
+        ue_radio_head = self.config.ue_radio_head
+        if self.faults is not None and self.faults.stalls_radio:
+            if gnb_radio_head is not None:
+                gnb_radio_head = StalledRadioHead(gnb_radio_head,
+                                                  self.faults)
+            if ue_radio_head is not None:
+                ue_radio_head = StalledRadioHead(ue_radio_head,
+                                                 self.faults)
+        self._gnb_radio_head = gnb_radio_head
+        self._ue_radio_head = ue_radio_head
+
+        self.link = AirLink(
+            self.sim, self.tracer,
+            self.rngs.stream("link"),
+            channel=self.config.channel,
+            fault_gate=(self.faults.link_fate
+                        if self.faults is not None else None))
+        self.upf = Upf(
+            self.sim, self.tracer, self.rngs.stream("upf"),
+            outage=(self.faults.upf_hold_tc
+                    if self.faults is not None else None))
         self.server = PingServer(self.sim, self.tracer,
                                  packet_ids=self._packet_ids)
 
@@ -142,7 +174,7 @@ class RanSystem:
         self.gnb = Gnb(
             self.sim, self.tracer, scheme, self.carrier,
             self.rngs.stream("gnb"),
-            radio_head=self.config.gnb_radio_head,
+            radio_head=self._gnb_radio_head,
             cpu=self.gnb_cpu,
             layer_delays=calibration.gnb_layer_delays(
                 self.config.gnb_processing_scale),
@@ -156,6 +188,10 @@ class RanSystem:
             harq_pool=self.harq_pool,
             pdcch=self.pdcch,
             aggregation_level=self.config.aggregation_level,
+            processing_dilation=(self.faults.processing_dilation
+                                 if self.faults is not None else None),
+            rlc_fault_gate=(self.faults.rlc_drop
+                            if self.faults is not None else None),
         )
         self.ues: dict[int, Ue] = {}
         for ue_id in range(1, self.config.n_ues + 1):
@@ -194,8 +230,8 @@ class RanSystem:
         self.gnb.register_ue(ue_id, grant_free, cg_share,
                              priority=priority)
         radio_submission = None
-        if self.config.ue_radio_head is not None:
-            radio_submission = self.config.ue_radio_head.tx_latency_us
+        if self._ue_radio_head is not None:
+            radio_submission = self._ue_radio_head.tx_latency_us
         ue = Ue(
             self.sim, self.tracer, ue_id, self.scheme, self.carrier,
             self.rngs.stream(f"ue{ue_id}"),
@@ -211,6 +247,8 @@ class RanSystem:
             on_ul_block=self._ul_over_air,
             on_sr=self._sr_over_air,
             on_delivered=self._dl_at_ue_app,
+            rlc_fault_gate=(self.faults.rlc_drop
+                            if self.faults is not None else None),
         )
         self.ues[ue_id] = ue
 
@@ -219,14 +257,17 @@ class RanSystem:
     # ------------------------------------------------------------------
     def _dl_over_air(self, window: Window, packets: list[Packet]) -> None:
         completion = self.sim.now
+        release_event = None
         if self.harq_pool is not None and self._dl_feedback is not None:
             # The process frees once the ACK/NACK makes it back over
             # the UL timeline (k1 + PUCCH occasion + decode).
             release_at = self._dl_feedback.feedback_time(completion)
-            self.sim.schedule(release_at, self.harq_pool.release)
+            release_event = self.sim.schedule(release_at,
+                                              self.harq_pool.release)
         by_ue: dict[int, list[Packet]] = {}
         for packet in packets:
             by_ue.setdefault(packet.ue_id, []).append(packet)
+        saw_dtx = False
         for ue_id, block in by_ue.items():
             self.link.transmit(
                 block, completion,
@@ -234,13 +275,26 @@ class RanSystem:
                 retransmit=lambda pkts, c=completion:
                     self._dl_nack(pkts, c),
             )
+            saw_dtx = saw_dtx or self.link.last_fault_fate == "dtx"
+        if saw_dtx and release_event is not None:
+            # Injected DTX: the feedback never arrives, so the process
+            # is only freed at the DTX detection timeout.
+            release_event.cancel()
+            self.sim.schedule(
+                self._dl_feedback.dtx_detection_time(completion),
+                self.harq_pool.release)
+            self.harq_pool.record_dtx()
 
     def _dl_nack(self, packets: list[Packet], completion: int) -> None:
-        """A DL block failed: retransmission waits for the NACK."""
+        """A DL block failed: retransmission waits for the NACK (or,
+        for an injected DTX, for the detection timeout)."""
         if self._dl_feedback is None:
             self.gnb.scheduler.requeue_dl(packets)
             return
-        feedback_at = self._dl_feedback.feedback_time(completion)
+        if self.link.last_fault_fate == "dtx":
+            feedback_at = self._dl_feedback.dtx_detection_time(completion)
+        else:
+            feedback_at = self._dl_feedback.feedback_time(completion)
         for packet in packets:
             # Awaiting feedback is protocol-imposed waiting.
             packet.charge(LatencySource.PROTOCOL,
@@ -268,7 +322,10 @@ class RanSystem:
         if self._ul_feedback is None:
             self.ues[ue_id].retransmit_uplink(packets)
             return
-        feedback_at = self._ul_feedback.feedback_time(completion)
+        if self.link.last_fault_fate == "dtx":
+            feedback_at = self._ul_feedback.dtx_detection_time(completion)
+        else:
+            feedback_at = self._ul_feedback.feedback_time(completion)
         for packet in packets:
             packet.charge(LatencySource.PROTOCOL,
                           feedback_at - completion)

@@ -82,7 +82,8 @@ class Ue:
                  on_ul_block: Callable[[int, Window, list[Packet]],
                                        None] | None = None,
                  on_sr: Callable[[int, int], None] | None = None,
-                 on_delivered: Callable[[Packet], None] | None = None):
+                 on_delivered: Callable[[Packet], None] | None = None,
+                 rlc_fault_gate: Callable[..., bool] | None = None):
         self.sim = sim
         self.tracer = tracer
         self.ue_id = ue_id
@@ -126,7 +127,8 @@ class Ue:
         self.on_sr = on_sr or (lambda ue, bsr: None)
         self.on_delivered = on_delivered or (lambda p: None)
 
-        self.ul_queue = RlcQueue(sim, tracer, f"{category}.rlcq")
+        self.ul_queue = RlcQueue(sim, tracer, f"{category}.rlcq",
+                                 fault_gate=rlc_fault_gate)
         self._sr_outstanding = False
         self._planned: dict[int, _PlannedWindow] = {}
 

@@ -37,11 +37,13 @@ from repro.runner.executor import (
     CampaignRunner,
     PointResult,
 )
+from repro.runner.journal import CampaignJournal
 from repro.runner.scenarios import SCENARIOS, run_point, scenario
 
 __all__ = [
     "CAMPAIGNS",
     "Campaign",
+    "CampaignJournal",
     "CampaignResult",
     "CampaignRunner",
     "CheckOutcome",

@@ -154,6 +154,25 @@ def _sweep() -> Campaign:
     return Campaign.build("sweep", seed=9000, specs=specs)
 
 
+def _chaos() -> Campaign:
+    """Reliability vs fault intensity under the standard fault plan.
+
+    Sweeps the ``standard`` preset's intensity from 0 (faults disabled —
+    must match the fault-free simulator bit-for-bit) up to full strength
+    in both directions, reporting reliability against the paper's
+    99.999 % target.  Doubles as the CI chaos gate: the campaign is
+    deterministic, so its fault counts are baseline-gated like every
+    other metric.
+    """
+    return Campaign.from_grid(
+        "chaos-latency", seed=4242, scenario="chaos-latency",
+        grid={"direction": ["dl", "ul"],
+              "intensity": [0.0, 0.25, 0.5, 1.0]},
+        fixed={"access": "grant-free", "packets": 120,
+               "horizon_ms": 600.0, "faults": "standard",
+               "channel": "iid", "bler": 0.01})
+
+
 #: Campaign name -> builder; ``urllc5g bench --list`` renders this.
 CAMPAIGNS: dict[str, Callable[[], Campaign]] = {
     "smoke": _smoke,
@@ -163,6 +182,7 @@ CAMPAIGNS: dict[str, Callable[[], Campaign]] = {
     "multi-ue": _multi_ue,
     "search": _search,
     "sweep": _sweep,
+    "chaos-latency": _chaos,
 }
 
 
@@ -191,6 +211,14 @@ def bench_payload(result: CampaignResult) -> dict[str, Any]:
             "hit_rate": result.cache_hit_rate,
         },
         "wall_clock_s": result.wall_clock_s,
+        "journal_replays": result.journal_replays,
+        "retries": result.retries,
+        "failed_points": [
+            {"label": entry.point.label, "attempts": entry.attempts,
+             "error": entry.error}
+            for entry in result.failures
+        ],
+        "warnings": list(result.warnings),
         "metrics": result.metrics(),
     }
 

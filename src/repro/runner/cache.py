@@ -107,20 +107,58 @@ class ResultCache:
         self.entries: dict[str, dict[str, Any]] = {}
         self.hits = 0
         self.misses = 0
+        #: Human-readable notes about anomalies met while loading (a
+        #: quarantined corrupt file, ...), surfaced in bench documents.
+        self.warnings: list[str] = []
         self._dirty = False
         self._load()
 
     def _load(self) -> None:
         try:
-            payload = json.loads(self.path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            raw = self.path.read_bytes()
+        except OSError:
+            return  # no cache yet: the normal first-run case
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("cache payload is not a JSON object")
+            if payload.get("runner_version") != RUNNER_VERSION:
+                # A valid file from another runner version is stale, not
+                # corrupt: silently start fresh (it will be overwritten).
+                return
+            entries = payload.get("entries")
+            if not isinstance(entries, dict):
+                raise ValueError("cache 'entries' is not an object")
+            for digest, entry in entries.items():
+                if (not isinstance(digest, str)
+                        or not isinstance(entry, dict)
+                        or not isinstance(entry.get("fingerprint"), str)
+                        or not isinstance(entry.get("result"), dict)):
+                    raise ValueError(
+                        f"malformed cache entry for {digest!r}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._quarantine(raw, exc)
             return
-        if not isinstance(payload, dict) \
-                or payload.get("runner_version") != RUNNER_VERSION:
-            return
-        entries = payload.get("entries")
-        if isinstance(entries, dict):
-            self.entries = entries
+        self.entries = entries
+
+    def _quarantine(self, raw: bytes, exc: Exception) -> None:
+        """Move a corrupt/truncated cache file aside and start fresh.
+
+        The file is renamed to ``<path>.corrupt-<digest>`` (content
+        hash, so repeated runs against the same corpse do not pile up
+        copies) rather than deleted: the evidence stays inspectable and
+        the next save writes a clean file in its place.
+        """
+        content_digest = hashlib.sha256(raw).hexdigest()[:12]
+        quarantine = self.path.with_name(
+            f"{self.path.name}.corrupt-{content_digest}")
+        try:
+            os.replace(self.path, quarantine)
+        except OSError:
+            quarantine = self.path  # rename failed: leave it in place
+        self.warnings.append(
+            f"result cache {self.path} was corrupt ({exc}); quarantined "
+            f"to {quarantine.name} and starting fresh")
 
     def lookup(self, point_digest: str,
                fingerprint: str) -> dict[str, Any] | None:

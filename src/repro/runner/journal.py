@@ -1,0 +1,144 @@
+"""Append-only campaign journal: checkpoint/resume for bench runs.
+
+A campaign that dies mid-run (OOM-killed worker host, Ctrl-C, power
+loss) should not have to recompute the points it already finished.  The
+journal is a JSONL file: a header line identifying the campaign (name,
+seed, source fingerprint, runner version) followed by one line per
+completed point, flushed as soon as the point's payload is known.
+
+On ``--resume`` the runner replays matching journal entries instead of
+recomputing them.  Because every point payload is a pure function of
+(point identity, seed, source tree), a replayed result is bit-identical
+to a recomputed one — a killed-and-resumed campaign merges to exactly
+the document an uninterrupted run produces (the acceptance criterion of
+docs/ROBUSTNESS.md).  A header that does not match the campaign being
+run — different campaign, seed, fingerprint or format — makes the whole
+journal non-replayable; a corrupt or truncated *tail* (the typical
+crash artifact) only discards entries from the first bad line onward.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping, TextIO
+
+from repro.runner.cache import RUNNER_VERSION, atomic_write_text
+
+if TYPE_CHECKING:
+    from repro.runner.campaign import Campaign
+
+__all__ = ["CampaignJournal"]
+
+
+class CampaignJournal:
+    """Crash-safe record of completed points for one campaign run."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        #: Anomalies met while reading a prior journal (mismatched
+        #: header, truncated tail...), surfaced in bench documents.
+        self.warnings: list[str] = []
+        self._handle: TextIO | None = None
+
+    # ------------------------------------------------------------------
+    def start(self, campaign: "Campaign", fingerprint: str,
+              resume: bool = False) -> dict[str, tuple[dict[str, Any],
+                                                       int]]:
+        """Open the journal for this run; returns replayable results.
+
+        With ``resume`` the existing file is read first and every entry
+        matching the campaign comes back as ``digest -> (result,
+        attempts)``.  The file is then rewritten (atomically) as a clean
+        header plus the surviving entries — healing any truncated tail —
+        and left open for appending.  Without ``resume`` the file is
+        simply truncated to a fresh header.
+        """
+        self.close()
+        replayed: dict[str, tuple[dict[str, Any], int]] = {}
+        if resume:
+            replayed = self._load(campaign, fingerprint)
+        header = {
+            "journal_version": RUNNER_VERSION,
+            "campaign": campaign.name,
+            "seed": campaign.seed,
+            "fingerprint": fingerprint,
+            "points": len(campaign.points),
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        for digest, (result, attempts) in replayed.items():
+            lines.append(self._entry_line(digest, result, attempts))
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
+        self._handle = open(self.path, "a", encoding="utf-8")
+        return replayed
+
+    def record(self, digest: str, result: Mapping[str, Any],
+               attempts: int = 1) -> None:
+        """Checkpoint one completed point (written and flushed now)."""
+        if self._handle is None:
+            raise RuntimeError("journal not started; call start() first")
+        self._handle.write(self._entry_line(digest, result, attempts)
+                           + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _entry_line(digest: str, result: Mapping[str, Any],
+                    attempts: int) -> str:
+        return json.dumps({"digest": digest, "result": dict(result),
+                           "attempts": attempts}, sort_keys=True)
+
+    @staticmethod
+    def _parse(line: str) -> Any:
+        try:
+            return json.loads(line)
+        except ValueError:
+            return None
+
+    def _load(self, campaign: "Campaign",
+              fingerprint: str) -> dict[str, tuple[dict[str, Any], int]]:
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return {}
+        if not lines:
+            return {}
+        header = self._parse(lines[0])
+        if (not isinstance(header, dict)
+                or header.get("journal_version") != RUNNER_VERSION
+                or header.get("campaign") != campaign.name
+                or header.get("seed") != campaign.seed
+                or header.get("fingerprint") != fingerprint):
+            self.warnings.append(
+                f"journal {self.path} belongs to a different campaign, "
+                "seed, source tree or format; ignoring it")
+            return {}
+        digests = {point.digest() for point in campaign.points}
+        replayed: dict[str, tuple[dict[str, Any], int]] = {}
+        for number, line in enumerate(lines[1:], start=2):
+            entry = self._parse(line)
+            if (not isinstance(entry, dict)
+                    or not isinstance(entry.get("digest"), str)
+                    or not isinstance(entry.get("result"), dict)):
+                self.warnings.append(
+                    f"journal {self.path} line {number} is corrupt or "
+                    "truncated; discarding it and any later entries")
+                break
+            if entry["digest"] in digests:
+                attempts = entry.get("attempts")
+                replayed[entry["digest"]] = (
+                    entry["result"],
+                    attempts if isinstance(attempts, int) else 1)
+        return replayed

@@ -16,6 +16,8 @@ here, on the worker's side of the pickle boundary.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
 from typing import Any, Callable, Mapping
 
 import numpy as np
@@ -23,10 +25,17 @@ import numpy as np
 from repro.core.design_space import enumerate_common_configurations
 from repro.core.feasibility import Requirement
 from repro.core.latency_model import LatencyModel
+from repro.faults.injectors import FaultCounters
+from repro.faults.plan import FaultPlan
 from repro.mac.catalog import testbed_dddu
 from repro.mac.types import AccessMode, Direction
 from repro.net.probes import LatencyProbe
 from repro.net.session import RanConfig, RanSystem
+from repro.phy.channel import (
+    Channel,
+    GilbertElliottChannel,
+    IidErasureChannel,
+)
 from repro.phy.timebase import tc_from_ms
 from repro.radio.interface import InterfaceBus, bus, usb3
 from repro.radio.os_jitter import gpos
@@ -144,6 +153,128 @@ def ran_latency(params: Mapping[str, Any],
         raise ValueError(f"direction must be 'dl' or 'ul', "
                          f"got {direction!r}")
     return _probe_metrics(probe, keep_samples=True)
+
+
+def _chaos_channel(params: Mapping[str, Any]) -> Channel | None:
+    """Channel model for the chaos scenario (perfect/iid/ge)."""
+    kind = str(params.get("channel", "perfect"))
+    if kind == "perfect":
+        return None
+    if kind == "iid":
+        return IidErasureChannel(float(params.get("bler", 0.01)))
+    if kind == "ge":
+        return GilbertElliottChannel(
+            mean_good_tc=tc_from_ms(float(params.get("ge_good_ms",
+                                                     20.0))),
+            mean_bad_tc=tc_from_ms(float(params.get("ge_bad_ms", 2.0))))
+    raise ValueError(
+        f"channel must be 'perfect', 'iid' or 'ge', got {kind!r}")
+
+
+@scenario("chaos-latency")
+def chaos_latency(params: Mapping[str, Any],
+                  rngs: RngRegistry) -> dict[str, Any]:
+    """Delivery reliability under a deterministic fault schedule.
+
+    The §7 testbed driven through a :class:`~repro.faults.plan.FaultPlan`
+    — the reliability-vs-fault-intensity unit of docs/ROBUSTNESS.md.
+    Params: ``access``, ``direction`` (``dl``/``ul``), ``packets``,
+    ``horizon_ms``, ``faults`` (a preset name or inline FaultPlan
+    JSON), ``intensity`` (scales the plan; 0 disarms it bit-exactly),
+    ``channel`` (``perfect``/``iid``/``ge``) plus the channel knobs
+    ``bler``, ``ge_good_ms``, ``ge_bad_ms``.  Reliability counts
+    packets delivered within ``budget_us`` (default 5 ms, where the
+    fault intensity actually moves the curve on this testbed) over
+    packets *offered* — a dropped packet is a reliability failure,
+    which is the whole point of injecting faults.  ``reliability_1ms``
+    reports the same ratio against the paper's 1 ms URLLC bound.
+    """
+    plan = FaultPlan.resolve(str(params["faults"]))
+    plan = plan.scaled(float(params.get("intensity", 1.0)))
+    system = RanSystem(
+        testbed_dddu(),
+        RanConfig(access=AccessMode(str(params["access"])),
+                  gnb_radio_head=RadioHead("b210", usb3(), gpos()),
+                  channel=_chaos_channel(params),
+                  fault_plan=plan,
+                  seed=rngs.fork("system").seed))
+    offered = int(params["packets"])
+    arrivals = uniform_in_horizon(
+        offered, tc_from_ms(float(params["horizon_ms"])),
+        rngs.stream("arrivals"))
+    direction = str(params["direction"])
+    if direction == "dl":
+        probe = system.run_downlink(arrivals)
+    elif direction == "ul":
+        probe = system.run_uplink(arrivals)
+    else:
+        raise ValueError(f"direction must be 'dl' or 'ul', "
+                         f"got {direction!r}")
+    latencies_us = probe.latencies_us()
+    budget_us = float(params.get("budget_us", 5_000.0))
+    on_time = sum(1 for value in latencies_us if value <= budget_us)
+    within_1ms = sum(1 for value in latencies_us if value <= 1_000.0)
+    metrics: dict[str, Any] = {
+        "offered": offered,
+        "delivered": len(latencies_us),
+        "dropped": offered - len(latencies_us),
+        "reliability": on_time / offered,
+        "reliability_1ms": within_1ms / offered,
+        "blocks_sent": system.link.counters.blocks_sent,
+        "blocks_failed": system.link.counters.blocks_failed,
+        "harq_drops": system.link.counters.packets_dropped,
+    }
+    if latencies_us:
+        summary = probe.summary()
+        metrics.update({
+            "mean_us": summary.mean_us,
+            "p50_us": summary.p50_us,
+            "p99_us": summary.p99_us,
+            "max_us": summary.max_us,
+        })
+    else:  # total outage: keep the key set stable for baselines
+        metrics.update({"mean_us": 0.0, "p50_us": 0.0, "p99_us": 0.0,
+                        "max_us": 0.0})
+    counters = (system.faults.counters if system.faults is not None
+                else FaultCounters())
+    metrics.update(counters.as_metrics())
+    return metrics
+
+
+@scenario("chaos-selftest")
+def chaos_selftest(params: Mapping[str, Any],
+                   rngs: RngRegistry) -> dict[str, Any]:
+    """Runner-hardening self-test: misbehave deliberately, once.
+
+    The one sanctioned *impure* scenario: it exists so the chaos tests
+    and CI job can prove that a crashed, raising or wedged worker fails
+    (or retries) a single point instead of the campaign.  The fault
+    path is double-gated — it needs ``URLLC5G_CHAOS=1`` in the
+    environment *and* a ``token`` marker-file path — and fires only
+    while the marker is absent: the first attempt creates the marker
+    and then misbehaves per ``mode`` (``raise``/``kill``/``hang``), so
+    the retry of the same point finds the marker and succeeds.  The
+    returned payload is computed from the point's own streams and never
+    depends on the fault path, keeping replays and caches coherent.
+    """
+    mode = str(params.get("mode", "ok"))
+    token = str(params.get("token", ""))
+    if (mode != "ok" and token
+            and os.environ.get("URLLC5G_CHAOS") == "1"):
+        marker = Path(token)
+        if not marker.exists():
+            try:
+                marker.touch()
+            except OSError:
+                pass  # unwritable token: the fault fires every attempt
+            if mode == "kill":
+                os._exit(17)  # simulate a segfaulting worker
+            if mode == "hang":
+                while True:  # simulate a wedged worker
+                    pass
+            raise RuntimeError("chaos-selftest: injected worker failure")
+    draws = rngs.stream("noise").random(4)
+    return {"value": float(np.sum(draws)), "draws": 4}
 
 
 @scenario("sensitivity-latency")

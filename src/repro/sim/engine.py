@@ -38,6 +38,21 @@ class SimulationError(RuntimeError):
     """Raised on misuse of the simulator (e.g. scheduling in the past)."""
 
 
+def _dispatch_error(event: "Event", exc: Exception) -> SimulationError:
+    """Wrap a callback failure with the simulation context it lost.
+
+    A bare traceback out of a deep event cascade says nothing about
+    *when* the failure happened; re-raising as :class:`SimulationError`
+    restores the sim time, event sequence number, and callback identity
+    (the original exception stays chained as ``__cause__``).
+    """
+    callback = event.callback
+    name = (getattr(callback, "__qualname__", "") or repr(callback))
+    return SimulationError(
+        f"callback {name} raised {type(exc).__name__} at t={event.time} "
+        f"(event seq {event.seq}): {exc}")
+
+
 def _as_tick(value: int | float, what: str) -> int:
     """Coerce a scheduling time to an integer tick.
 
@@ -204,7 +219,12 @@ class Simulator:
                 self._tombstones -= 1
                 continue
             self._now = event.time
-            event.callback(*event.args)
+            try:
+                event.callback(*event.args)
+            except SimulationError:
+                raise
+            except Exception as exc:
+                raise _dispatch_error(event, exc) from exc
             self._processed += 1
             return True
         return False
@@ -241,10 +261,15 @@ class Simulator:
                 pop(queue)
                 self._now = event.time
                 args = event.args
-                if args:
-                    event.callback(*args)
-                else:  # no-args fast path (the common case)
-                    event.callback()
+                try:
+                    if args:
+                        event.callback(*args)
+                    else:  # no-args fast path (the common case)
+                        event.callback()
+                except SimulationError:
+                    raise
+                except Exception as exc:
+                    raise _dispatch_error(event, exc) from exc
                 self._processed += 1
                 executed += 1
                 queue = self._queue  # compaction may have swapped it

@@ -36,7 +36,8 @@ class ProcessingLayer:
                  category: str, delay: DelaySampler,
                  rng: np.random.Generator,
                  adds_header: bool = False,
-                 cpu: "CpuResource | None" = None):
+                 cpu: "CpuResource | None" = None,
+                 dilation: Callable[[str], float] | None = None):
         self.sim = sim
         self.tracer = tracer
         self.name = name
@@ -45,6 +46,9 @@ class ProcessingLayer:
         self.rng = rng
         self.adds_header = adds_header
         self.cpu = cpu
+        # Fault-injection hook (repro.faults): multiplies the sampled
+        # delay during a processing-overload window (factor >= 1).
+        self.dilation = dilation
         self.samples_us: list[float] = []
 
     def process(self, packet: Packet,
@@ -56,6 +60,8 @@ class ProcessingLayer:
         observed processing time (§7's multi-UE caveat).
         """
         delay_us = self.delay.sample(self.rng)
+        if self.dilation is not None:
+            delay_us = delay_us * self.dilation(self.category)
         delay_tc = tc_from_us(delay_us)
         self.samples_us.append(delay_us)
         submitted = self.sim.now

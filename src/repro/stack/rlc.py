@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
@@ -48,11 +49,15 @@ class RlcQueue:
     """FIFO of packets awaiting MAC scheduling, with wait accounting."""
 
     def __init__(self, sim: Simulator, tracer: Tracer, category: str,
-                 max_packets: int | None = None):
+                 max_packets: int | None = None,
+                 fault_gate: "Callable[[str, Packet], bool] | None" = None):
         self.sim = sim
         self.tracer = tracer
         self.category = category
         self.max_packets = max_packets
+        # Fault-injection hook (repro.faults): asked per enqueue whether
+        # an injected loss storm claims this PDU.
+        self.fault_gate = fault_gate
         self._queue: deque[tuple[int, Packet]] = deque()
         self.wait_samples_us: list[float] = []
         self.dropped_overflow = 0
@@ -72,7 +77,12 @@ class RlcQueue:
 
     # ------------------------------------------------------------------
     def enqueue(self, packet: Packet) -> bool:
-        """Add a packet; returns False (and drops it) on overflow."""
+        """Add a packet; returns False (and drops it) on overflow or
+        when an injected RLC loss claims it."""
+        if (self.fault_gate is not None
+                and self.fault_gate(self.category, packet)):
+            packet.mark_dropped("fault-rlc-loss")
+            return False
         if (self.max_packets is not None
                 and len(self._queue) >= self.max_packets):
             packet.mark_dropped("rlc-queue-overflow")

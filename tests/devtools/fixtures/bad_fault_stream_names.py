@@ -1,0 +1,16 @@
+"""Fixture: fault code drawing randomness outside named fault streams."""
+from numpy.random import default_rng
+
+__all__ = ["BadInjector"]
+
+
+class BadInjector:
+    """Violates the fault.* stream-naming contract three ways."""
+
+    def __init__(self, rngs):
+        self.rng = rngs.stream("link")          # no fault. prefix
+        self.other = rngs.stream(f"{self.pre}.0")  # prefix not literal
+        self.pre = "fault"
+
+    def fires(self):
+        return float(default_rng(0).random()) < 0.5  # ad-hoc generator

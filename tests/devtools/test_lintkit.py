@@ -27,6 +27,7 @@ EXPECTED_RULES = {
     "no-float-tick-equality",
     "unordered-iteration-before-schedule",
     "public-api-exports",
+    "fault-streams-named",
 }
 
 
@@ -39,7 +40,7 @@ def rule_ids_in(source: str, path: str = "mod.py") -> set[str]:
     return {v.rule_id for v in violations}
 
 
-def test_all_six_domain_rules_are_registered():
+def test_all_domain_rules_are_registered():
     assert EXPECTED_RULES <= set(registered_rules())
 
 
@@ -53,6 +54,7 @@ def test_all_six_domain_rules_are_registered():
     ("bad_float_equality.py", "no-float-tick-equality", 2),
     ("bad_iteration.py", "unordered-iteration-before-schedule", 2),
     ("bad_exports.py", "public-api-exports", 1),
+    ("bad_fault_stream_names.py", "fault-streams-named", 3),
 ])
 def test_fixture_caught_by_correct_rule(fixture, expected_rule,
                                         expected_count):
@@ -67,7 +69,7 @@ def test_fixture_caught_by_correct_rule(fixture, expected_rule,
 
 def test_fixture_directory_linted_as_a_tree():
     report = lint_paths([FIXTURES])
-    assert report.files_checked == 7
+    assert report.files_checked == 8
     assert {v.rule_id for v in report.violations} == (
         EXPECTED_RULES | {SYNTAX_ERROR_RULE_ID})
     assert report.exit_code == 1

@@ -70,7 +70,8 @@ def test_payload_and_json_document(tmp_path):
         (row["tottime_s"] for row in top), reverse=True)
 
 
-def test_bench_profile_flag_writes_document(tmp_path, capsys):
+def test_bench_profile_flag_writes_document(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # the default journal lands in cwd
     output = tmp_path / "BENCH_smoke.json"
     code = main(["bench", "smoke", "--no-cache",
                  "--output", str(output), "--profile"])

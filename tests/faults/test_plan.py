@@ -1,0 +1,74 @@
+"""FaultPlan/FaultSpec: validation, serialisation, intensity scaling."""
+
+import pytest
+
+from repro.faults import PRESET_PLANS, FaultKind, FaultPlan, FaultSpec
+
+
+def test_kind_coerces_from_wire_string():
+    spec = FaultSpec("harq-nack")
+    assert spec.kind is FaultKind.HARQ_NACK
+
+
+@pytest.mark.parametrize("kwargs, match", [
+    ({"kind": "no-such-kind"}, "no-such-kind"),
+    ({"kind": "rlc-loss", "start_ms": -1.0}, "start_ms"),
+    ({"kind": "rlc-loss", "start_ms": 5.0, "stop_ms": 5.0}, "stop_ms"),
+    ({"kind": "rlc-loss", "probability": 1.5}, "probability"),
+    ({"kind": "gnb-overload", "factor": 0.5}, "factor"),
+    ({"kind": "radio-stall", "stall_us": -3.0}, "stall_us"),
+])
+def test_spec_validation(kwargs, match):
+    with pytest.raises(ValueError, match=match):
+        FaultSpec(**kwargs)
+
+
+def test_spec_dict_roundtrip_rejects_unknown_fields():
+    spec = FaultSpec(FaultKind.RLC_LOSS, start_ms=1.0, stop_ms=2.0,
+                     probability=0.25, target="gnb")
+    assert FaultSpec.from_dict(spec.to_dict()) == spec
+    with pytest.raises(ValueError, match="unknown fault-spec"):
+        FaultSpec.from_dict({"kind": "rlc-loss", "oops": 1})
+    with pytest.raises(ValueError, match="missing 'kind'"):
+        FaultSpec.from_dict({"probability": 0.5})
+
+
+def test_scaling_clamps_probability_and_interpolates_factor():
+    spec = FaultSpec(FaultKind.GNB_OVERLOAD, probability=0.4, factor=4.0)
+    half = spec.scaled(0.5)
+    assert half.probability == pytest.approx(0.2)
+    assert half.factor == pytest.approx(2.5)
+    cranked = spec.scaled(10.0)
+    assert cranked.probability == 1.0   # clamped
+    assert cranked.factor == pytest.approx(31.0)  # keeps growing
+    with pytest.raises(ValueError, match="intensity"):
+        spec.scaled(-0.1)
+
+
+def test_intensity_zero_disarms_every_spec():
+    disarmed = PRESET_PLANS["standard"].scaled(0.0)
+    assert all(spec.probability == 0.0 for spec in disarmed.specs)
+    assert all(spec.factor == 1.0 for spec in disarmed.specs)
+
+
+def test_plan_json_roundtrip_is_canonical():
+    plan = PRESET_PLANS["standard"]
+    text = plan.to_json()
+    assert FaultPlan.from_json(text) == plan
+    assert FaultPlan.from_json(text).to_json() == text
+    with pytest.raises(ValueError, match="list of specs"):
+        FaultPlan.from_json('{"kind": "rlc-loss"}')
+
+
+def test_empty_plan_is_falsy():
+    assert not FaultPlan()
+    assert PRESET_PLANS["standard"]
+
+
+def test_resolve_accepts_presets_and_inline_json():
+    assert FaultPlan.resolve("standard") == PRESET_PLANS["standard"]
+    inline = FaultPlan((FaultSpec(FaultKind.UPF_OUTAGE, start_ms=1.0,
+                                  stop_ms=2.0),))
+    assert FaultPlan.resolve(inline.to_json()) == inline
+    with pytest.raises(ValueError, match="presets"):
+        FaultPlan.resolve("no-such-preset")

@@ -102,7 +102,8 @@ def test_bench_unknown_campaign(capsys):
     assert main(["bench", "definitely-not-a-campaign"]) == 2
 
 
-def test_bench_check_exit_codes(tmp_path, capsys):
+def test_bench_check_exit_codes(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # the default journal lands in cwd
     cache = str(tmp_path / "cache.json")
     output = str(tmp_path / "BENCH_smoke.json")
     baseline = tmp_path / "smoke.json"

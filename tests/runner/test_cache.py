@@ -48,6 +48,48 @@ def test_cache_discards_other_versions_and_corrupt_files(tmp_path):
     assert ResultCache(path).entries == {}
 
 
+def test_corrupt_cache_is_quarantined_with_a_warning(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text('{"runner_version": "1", "entries": {tru',
+                    encoding="utf-8")
+    cache = ResultCache(path)
+    assert cache.entries == {}
+    assert len(cache.warnings) == 1
+    assert "quarantined" in cache.warnings[0]
+    assert not path.exists()  # moved aside, next save writes clean
+    corpses = list(tmp_path.glob("cache.json.corrupt-*"))
+    assert len(corpses) == 1
+    assert corpses[0].read_text(encoding="utf-8").startswith(
+        '{"runner_version"')
+    # Repeated loads of the same corpse content do not pile up copies.
+    path.write_text('{"runner_version": "1", "entries": {tru',
+                    encoding="utf-8")
+    ResultCache(path)
+    assert len(list(tmp_path.glob("cache.json.corrupt-*"))) == 1
+
+
+def test_malformed_entries_count_as_corruption(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text(json.dumps({"runner_version": RUNNER_VERSION,
+                                "entries": {"d": "not-an-object"}}),
+                    encoding="utf-8")
+    cache = ResultCache(path)
+    assert cache.entries == {}
+    assert any("quarantined" in warning for warning in cache.warnings)
+    assert list(tmp_path.glob("cache.json.corrupt-*"))
+
+
+def test_version_mismatch_is_stale_not_corrupt(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text(json.dumps({"runner_version": "not-" + RUNNER_VERSION,
+                                "entries": {}}), encoding="utf-8")
+    cache = ResultCache(path)
+    assert cache.entries == {}
+    assert cache.warnings == []
+    assert path.exists()  # left in place, not quarantined
+    assert not list(tmp_path.glob("cache.json.corrupt-*"))
+
+
 def test_cache_save_is_noop_when_clean(tmp_path):
     path = tmp_path / "cache.json"
     cache = ResultCache(path)

@@ -97,7 +97,11 @@ def test_metrics_flatten_only_scalars():
     assert result.wall_clock_s >= 0.0
 
 
-def test_unknown_scenario_raises():
+def test_unknown_scenario_is_contained_as_a_failed_point():
     campaign = Campaign.build("bad", 1, [("no-such-scenario", {"x": 1})])
-    with pytest.raises(ValueError, match="unknown scenario"):
-        CampaignRunner(workers=1).run(campaign)
+    result = CampaignRunner(workers=1, max_retries=0).run(campaign)
+    (entry,) = result.point_results
+    assert entry.failed
+    assert entry.result == {}
+    assert "unknown scenario" in (entry.error or "")
+    assert result.failures == (entry,)

@@ -18,6 +18,11 @@ CHEAP_SPECS = {
     "multi-ue": {"n_ues": 2, "packets_per_ue": 5, "horizon_ms": 60.0},
     "design-feasibility": {"index": 0, "mu": 2, "max_period_ms": 1.0,
                            "budget_ms": 0.5, "reliability": 0.99999},
+    "chaos-latency": {"access": "grant-free", "direction": "dl",
+                      "packets": 10, "horizon_ms": 60.0,
+                      "faults": "standard", "intensity": 1.0,
+                      "channel": "iid", "bler": 0.01},
+    "chaos-selftest": {"mode": "ok"},
 }
 
 

@@ -1,0 +1,51 @@
+"""Callback failures surface as SimulationError with event context."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def _boom():
+    raise ValueError("physics went sideways")
+
+
+def test_run_wraps_callback_exceptions_with_context():
+    sim = Simulator()
+    sim.schedule(42, _boom)
+    with pytest.raises(SimulationError) as info:
+        sim.run()
+    message = str(info.value)
+    assert "_boom" in message          # callback qualname
+    assert "t=42" in message           # simulated time of the failure
+    assert "seq" in message            # event sequence number
+    assert "ValueError" in message
+    assert isinstance(info.value.__cause__, ValueError)
+
+
+def test_step_wraps_callback_exceptions_too():
+    sim = Simulator()
+    sim.schedule(0, _boom)
+    with pytest.raises(SimulationError, match="_boom"):
+        sim.step()
+
+
+def test_simulation_errors_pass_through_unwrapped():
+    sim = Simulator()
+
+    def already_domain_error():
+        raise SimulationError("scheduler invariant broken")
+
+    sim.schedule(0, already_domain_error)
+    with pytest.raises(SimulationError,
+                       match="scheduler invariant broken") as info:
+        sim.run()
+    assert info.value.__cause__ is None  # not re-wrapped
+
+
+def test_failure_does_not_corrupt_the_clock():
+    sim = Simulator()
+    sim.schedule(5, _boom)
+    sim.schedule(9, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.run()
+    assert sim.now == 5  # stopped at the failing event's time

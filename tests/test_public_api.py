@@ -10,7 +10,7 @@ PACKAGES = ["repro", "repro.sim", "repro.phy", "repro.mac",
             "repro.stack", "repro.radio", "repro.net", "repro.traffic",
             "repro.baselines", "repro.analysis", "repro.core",
             "repro.devtools", "repro.devtools.lintkit",
-            "repro.runner"]
+            "repro.runner", "repro.faults"]
 
 
 @pytest.mark.parametrize("package_name", PACKAGES)
