@@ -20,6 +20,7 @@ or ``python -m repro.cli <command>``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -111,7 +112,9 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
 
 
 def _cmd_technologies(args: argparse.Namespace) -> None:
-    rng = RngRegistry(args.seed).stream("technologies")
+    # Both baselines intentionally share one comparison stream so the
+    # table's Monte-Carlo noise is correlated across technologies.
+    rng = RngRegistry(args.seed).stream("technologies")  # detsan: shared
     rows = [("5G FR2 mmWave",
              f"{MmWaveBaseline().sub_ms_fraction(rng, 30_000):.1%} sub-ms")]
     for stations in (2, 10):
@@ -203,6 +206,53 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_detsan(args: argparse.Namespace) -> int:
+    # Imported lazily so analysis commands stay import-light.
+    from pathlib import Path
+
+    from repro.devtools.analyze import (Baseline, load_baseline,
+                                        write_baseline)
+    from repro.devtools.detsan import (
+        DetsanConfig, detsan_paths, load_detsan_config,
+        render_detsan_dot, render_detsan_json, render_detsan_sarif,
+        render_detsan_text)
+    paths = args.paths or ["src"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.no_config:
+            config = DetsanConfig()
+        else:
+            config = load_detsan_config(pyproject=args.config,
+                                        start=paths[0])
+        baseline = (load_baseline(args.baseline)
+                    if args.baseline else None)
+        if args.write_baseline:
+            # Capture the *unfiltered* findings as the new baseline.
+            report = detsan_paths(paths, config, baseline=Baseline(),
+                                  cache_path=args.cache,
+                                  use_cache=not args.no_cache)
+            write_baseline(args.write_baseline, report.violations)
+            print(f"wrote {len(report.violations)} finding(s) to "
+                  f"{args.write_baseline}")
+            return 0
+        report = detsan_paths(paths, config, baseline=baseline,
+                              cache_path=args.cache,
+                              use_cache=not args.no_cache)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    renderers = {"json": render_detsan_json,
+                 "sarif": render_detsan_sarif,
+                 "dot": render_detsan_dot,
+                 "text": render_detsan_text}
+    print(renderers[args.format](report))
+    return report.exit_code
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.devtools.determinism import determinism_report
     if not args.determinism:
@@ -242,6 +292,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.sanitize:
+        # Environment (not a flag threaded through the runner) so
+        # spawned worker processes inherit it; streams are wrapped in
+        # recording proxies at creation time (see repro.sim.sanitize).
+        # Sanitized runs are bit-identical, so cached results stay
+        # valid either way.
+        os.environ["URLLC5G_SANITIZE"] = "1"
     cache = None if args.no_cache else ResultCache(args.cache)
     journal = None
     if not args.no_journal:
@@ -385,6 +442,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="ignore [tool.urllc5g.analyze] entirely")
     analyze.set_defaults(func=_cmd_analyze)
 
+    detsan = sub.add_parser(
+        "detsan",
+        help="RNG stream-ownership analysis (see docs/ANALYSIS.md)")
+    detsan.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories (default: src)")
+    detsan.add_argument("--format",
+                        choices=("text", "json", "sarif", "dot"),
+                        default="text",
+                        help="dot emits the stream->owner graph")
+    detsan.add_argument("--baseline", default=None, metavar="FILE",
+                        help="accepted-findings file "
+                             "(overrides pyproject)")
+    detsan.add_argument("--write-baseline", default=None,
+                        metavar="FILE",
+                        help="accept all current findings into FILE "
+                             "and exit 0")
+    detsan.add_argument("--cache", default=None, metavar="FILE",
+                        help="incremental cache location "
+                             "(overrides pyproject)")
+    detsan.add_argument("--no-cache", action="store_true",
+                        help="re-parse every module")
+    detsan.add_argument("--config", default=None,
+                        help="explicit pyproject.toml path")
+    detsan.add_argument("--no-config", action="store_true",
+                        help="ignore [tool.urllc5g.detsan] entirely")
+    detsan.set_defaults(func=_cmd_detsan)
+
     check = sub.add_parser(
         "check", help="runtime sanitizers (currently: --determinism)")
     check.add_argument("--determinism", action="store_true",
@@ -438,6 +522,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--resume", action="store_true",
                        help="replay completed points from the journal "
                             "of an interrupted run (docs/ROBUSTNESS.md)")
+    bench.add_argument("--sanitize", action="store_true",
+                       help="run under the determinism sanitizer "
+                            "(URLLC5G_SANITIZE=1): stream draws are "
+                            "recorded and ownership violations raise, "
+                            "results stay bit-identical")
     bench.set_defaults(func=_cmd_bench)
     return parser
 

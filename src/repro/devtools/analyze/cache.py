@@ -23,7 +23,7 @@ from repro.devtools.analyze.loader import ModuleSummary
 __all__ = ["ANALYZER_VERSION", "DEFAULT_CACHE_PATH", "AnalysisCache"]
 
 #: Bump on any change to summary extraction or the summary schema.
-ANALYZER_VERSION = "1"
+ANALYZER_VERSION = "2"
 
 DEFAULT_CACHE_PATH = ".urllc5g-analyze-cache.json"
 

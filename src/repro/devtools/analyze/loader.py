@@ -89,6 +89,22 @@ _GLOBAL_NP_RANDOM = frozenset({
     "binomial", "choice", "shuffle", "permutation", "standard_normal",
 })
 _SCHEDULE_METHODS = frozenset({"schedule", "call_in"})
+#: Method names that consume entropy when called on a Generator or a
+#: delay sampler.  Used for the ordering dimension of the taint
+#: lattice (draws under unordered iteration) — receiver-agnostic by
+#: design, so ``self._delays[key].sample(rng)`` still counts.
+_GENERATOR_DRAW_METHODS = frozenset({
+    "random", "normal", "uniform", "lognormal", "exponential",
+    "poisson", "integers", "choice", "standard_normal", "shuffle",
+    "permutation", "sample", "sample_batch", "next",
+})
+#: Classes that take exclusive ownership of the Generator passed to
+#: their constructor (resolved through import aliases).
+_BUFFER_CLASSES = frozenset({"BufferedSampler", "UniformBuffer"})
+#: The sanctioned way to draw through a claimed generator: passing it
+#: back to the buffered sampler (plus the ``owns`` identity probe).
+_BUFFER_DRAW_METHODS = frozenset({"sample", "sample_batch", "next", "owns"})
+_DETSAN_SHARED_RE = re.compile(r"#\s*detsan:\s*shared\b")
 _PASSTHROUGH_CALLS = frozenset({"float", "int", "round", "abs"})
 _JOIN_CALLS = frozenset({"min", "max"})
 _BUILTIN_NAMES = frozenset(dir(__import__("builtins")))
@@ -163,6 +179,7 @@ class FunctionSummary:
     global_rng: list[dict] = field(default_factory=list)
     schedules: bool = False
     unordered_loops: list[dict] = field(default_factory=list)
+    draws: list[dict] = field(default_factory=list)
 
     def param_unit(self, index: int) -> str | None:
         if 0 <= index < len(self.params):
@@ -198,6 +215,12 @@ class ModuleSummary:
     line_pragmas: dict[int, list[str]] = field(default_factory=dict)
     file_pragmas: list[str] = field(default_factory=list)
     parse_error: dict | None = None
+    #: RngRegistry stream acquisitions (see :class:`_StreamWalker`).
+    streams: list[dict] = field(default_factory=list)
+    #: BufferedSampler/UniformBuffer constructions and their rng args.
+    rng_buffers: list[dict] = field(default_factory=list)
+    #: Uses of a buffer-claimed generator outside the buffered idiom.
+    rng_escapes: list[dict] = field(default_factory=list)
 
     def to_json(self) -> dict:
         from dataclasses import asdict
@@ -223,6 +246,9 @@ class ModuleSummary:
                           in payload["line_pragmas"].items()},
             file_pragmas=list(payload["file_pragmas"]),
             parse_error=payload.get("parse_error"),
+            streams=list(payload.get("streams", [])),
+            rng_buffers=list(payload.get("rng_buffers", [])),
+            rng_escapes=list(payload.get("rng_escapes", [])),
         )
 
 
@@ -357,6 +383,7 @@ class _ModuleExtractor:
                                        class_name=None)
             elif isinstance(stmt, ast.ClassDef):
                 self._extract_class(stmt)
+        _StreamWalker(self).run()
         return self.summary
 
     # -- comments ------------------------------------------------------
@@ -502,6 +529,7 @@ class _FunctionExtractor:
         self.global_rng: list[dict] = []
         self.schedules = False
         self.unordered_loops: list[dict] = []
+        self.draws: list[dict] = []
         self._loop_stack: list[dict] = []
         self._lineno = lineno
 
@@ -522,6 +550,7 @@ class _FunctionExtractor:
             global_rng=self.global_rng,
             schedules=self.schedules,
             unordered_loops=self.unordered_loops,
+            draws=self.draws,
         )
 
     # -- statements ----------------------------------------------------
@@ -627,6 +656,7 @@ class _FunctionExtractor:
             loop_record = {
                 "line": stmt.lineno, "col": stmt.col_offset,
                 "reason": reason, "calls": [], "direct": False,
+                "draws": False,
             }
             self._loop_stack.append(loop_record)
         try:
@@ -793,6 +823,12 @@ class _FunctionExtractor:
             callee_name = func.attr
             candidates = self._resolve_attr_call(func)
             self._detect_schedule(func, node)
+            if func.attr in _GENERATOR_DRAW_METHODS:
+                self.draws.append({
+                    "line": node.lineno, "col": node.col_offset,
+                    "recv": _dotted(func.value), "method": func.attr})
+                for loop in self._loop_stack:
+                    loop["draws"] = True
         self._detect_impurity(func, node)
 
         # The <target>_from_<source> naming convention is authoritative
@@ -909,6 +945,408 @@ class _FunctionExtractor:
                  "col": getattr(node, "col_offset", 0)}
         check.update(payload)
         self.checks.append(check)
+
+
+class _StreamWalker:
+    """Collect RNG stream acquisitions, buffer claims, and escapes.
+
+    A separate, parent-aware pass (rather than more state inside the
+    flow-sensitive :class:`_FunctionExtractor`) because classifying an
+    acquisition depends on its *syntactic context* — the assignment
+    target, the enclosing call, the chained attribute — which the
+    bottom-up expression evaluator never sees.  Records land on the
+    module summary for the project-level ``detsan`` pass.
+    """
+
+    def __init__(self, module: _ModuleExtractor):
+        self.module = module
+        self.shared_lines = {
+            lineno for lineno, line in enumerate(module.lines, start=1)
+            if _DETSAN_SHARED_RE.search(line)}
+
+    def run(self) -> None:
+        top = [stmt for stmt in self.module.tree.body
+               if not isinstance(stmt, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef,
+                                        ast.ClassDef))]
+        if top:
+            self._scan(top, f"{self.module.qualname}.<module>", None, top)
+        self._walk_body(self.module.tree.body, self.module.qualname,
+                        None, None)
+
+    def _walk_body(self, stmts: list[ast.stmt], scope: str,
+                   class_qualname: str | None,
+                   class_node: ast.ClassDef | None) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested defs are scanned as part of the enclosing
+                # function's subtree (attributed to the outer scope).
+                region = [class_node] if class_node is not None \
+                    else stmt.body
+                self._scan(stmt.body, f"{scope}.{stmt.name}",
+                           class_qualname, region)
+            elif isinstance(stmt, ast.ClassDef):
+                qualname = f"{scope}.{stmt.name}"
+                self._walk_body(stmt.body, qualname, qualname, stmt)
+
+    # -- one function (or the module body) ------------------------------
+    def _scan(self, stmts: list[ast.stmt], func: str,
+              class_qualname: str | None,
+              region: list[ast.AST] | ast.ClassDef | None) -> None:
+        from repro.devtools.detsan.resolver import (is_resolved,
+                                                    is_stream_acquisition,
+                                                    resolve_stream_name)
+        parents: dict[ast.AST, ast.AST] = {}
+        nodes: list[ast.AST] = []
+        for stmt in stmts:
+            for parent in ast.walk(stmt):
+                nodes.append(parent)
+                for child in ast.iter_child_nodes(parent):
+                    parents[child] = parent
+        by_node: dict[int, dict] = {}
+        for node in nodes:
+            if not (isinstance(node, ast.Call)
+                    and is_stream_acquisition(node)):
+                continue
+            scope = self._receiver_scope(node.func.value, func,
+                                         class_qualname, node.lineno)
+            if scope is None:
+                continue
+            template = resolve_stream_name(node.args[0])
+            record = {
+                "line": node.lineno, "col": node.col_offset,
+                "template": template, "resolved": is_resolved(template),
+                "arg": ast.unparse(node.args[0]),
+                "scope": scope, "func": func,
+                "owner_kind": "other", "owner": [func],
+                "attr": None, "local": None,
+                "drawn": False, "uses": 1, "handoffs": [],
+                "buffered": False,
+                "shared": node.lineno in self.shared_lines,
+            }
+            self._classify(node, record, parents, func, class_qualname)
+            by_node[id(node)] = record
+            self.module.summary.streams.append(record)
+        for record in by_node.values():
+            if record["owner_kind"] == "local":
+                self._refine_local(record, nodes, parents, func,
+                                   class_qualname)
+            elif record["owner_kind"] == "attribute":
+                self._refine_attribute(record, func, class_qualname)
+        self._scan_buffers(nodes, parents, func, class_qualname,
+                           region, by_node)
+
+    def _receiver_scope(self, recv: ast.expr, func: str,
+                        class_qualname: str | None,
+                        line: int) -> str | None:
+        """Registry-scope key for an acquisition, or None if the
+        receiver does not look like an RngRegistry.
+
+        Scoping keeps independent registries (one per run/system) from
+        being conflated: ``self.rngs`` streams key by the owning class,
+        plain locals by the enclosing function, and a fresh
+        ``RngRegistry(...)``/``fork(...)`` receiver by its call site.
+        """
+        dotted = _dotted(recv)
+        if dotted is not None:
+            last = dotted.rpartition(".")[2].lower()
+            if "rng" not in last and last != "registry":
+                return None
+            if dotted.startswith("self.") and class_qualname:
+                return class_qualname
+            return func
+        if isinstance(recv, ast.Call):
+            if isinstance(recv.func, ast.Attribute) \
+                    and recv.func.attr == "fork":
+                return f"{func}:{line}"
+            callee = _dotted(recv.func)
+            if callee is not None:
+                resolved = self.module.resolve_dotted(callee)
+                if resolved.rpartition(".")[2] == "RngRegistry":
+                    return f"{func}:{line}"
+        return None
+
+    def _classify(self, node: ast.Call, record: dict,
+                  parents: dict[ast.AST, ast.AST], func: str,
+                  class_qualname: str | None) -> None:
+        parent = parents.get(node)
+        if isinstance(parent, ast.keyword):
+            parent = parents.get(parent)
+        if isinstance(parent, ast.Call) and node is not parent.func:
+            record["owner_kind"] = "argument"
+            record["owner"] = (self._callee_candidates(
+                parent, class_qualname) or [func])
+            return
+        if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            targets = (parent.targets
+                       if isinstance(parent, ast.Assign)
+                       else [parent.target])
+            if len(targets) == 1:
+                target = targets[0]
+                if isinstance(target, ast.Attribute) and isinstance(
+                        target.value, ast.Name) \
+                        and target.value.id == "self" and class_qualname:
+                    record["owner_kind"] = "attribute"
+                    record["owner"] = [class_qualname]
+                    record["attr"] = target.attr
+                    return
+                if isinstance(target, ast.Name):
+                    record["owner_kind"] = "local"
+                    record["local"] = target.id
+                    return
+            record["owner_kind"] = "other"
+            return
+        if isinstance(parent, ast.Attribute) and parent.value is node:
+            grand = parents.get(parent)
+            record["owner_kind"] = "inline"
+            if parent.attr in _GENERATOR_DRAW_METHODS and isinstance(
+                    grand, ast.Call) and grand.func is parent:
+                record["drawn"] = True
+            return
+        if isinstance(parent, ast.Expr):
+            record["owner_kind"] = "discarded"
+            record["uses"] = 0
+            return
+
+    def _callee_candidates(self, call: ast.Call,
+                           class_qualname: str | None) -> list[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            aliases = self.module.summary.aliases
+            if name in aliases:
+                return [aliases[name]]
+            if name in _BUILTIN_NAMES:
+                return []
+            return [f"{self.module.qualname}.{name}"]
+        dotted = _dotted(func)
+        if dotted is None:
+            return []
+        head, _, tail = dotted.partition(".")
+        if head in ("self", "cls") and class_qualname and "." not in tail:
+            return [f"{class_qualname}.{tail}"]
+        if head in self.module.summary.aliases:
+            return [self.module.resolve_dotted(dotted)]
+        return []
+
+    # -- use analysis ---------------------------------------------------
+    def _refine_local(self, record: dict, nodes: list[ast.AST],
+                      parents: dict[ast.AST, ast.AST], func: str,
+                      class_qualname: str | None) -> None:
+        name = record["local"]
+        uses = [node for node in nodes
+                if isinstance(node, ast.Name) and node.id == name
+                and isinstance(node.ctx, ast.Load)]
+        self._apply_uses(record, uses, parents, class_qualname)
+        handoffs = sorted(set(record["handoffs"]))
+        if record["uses"] == 0:
+            record["owner"] = [func]
+        elif handoffs and not record["drawn"]:
+            record["owner_kind"] = "local-arg"
+            record["owner"] = handoffs
+        elif handoffs:
+            # Drawn locally *and* handed off: multiple consumers from
+            # one acquisition; the sharing rule sees both owners.
+            record["owner"] = [func] + handoffs
+        else:
+            record["owner"] = [func]
+
+    def _refine_attribute(self, record: dict, func: str,
+                          class_qualname: str | None) -> None:
+        """Class-wide uses of a ``self.<attr> = rngs.stream(...)`` field."""
+        class_node = self._class_node(class_qualname)
+        if class_node is None:
+            return
+        parents: dict[ast.AST, ast.AST] = {}
+        nodes: list[ast.AST] = []
+        for parent in ast.walk(class_node):
+            nodes.append(parent)
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        attr = record["attr"]
+        uses = [node for node in nodes
+                if isinstance(node, ast.Attribute) and node.attr == attr
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and isinstance(node.ctx, ast.Load)]
+        self._apply_uses(record, uses, parents, class_qualname)
+        record["owner"] = [class_qualname]
+
+    def _apply_uses(self, record: dict, uses: list[ast.AST],
+                    parents: dict[ast.AST, ast.AST],
+                    class_qualname: str | None) -> None:
+        record["uses"] = len(uses)
+        for use in uses:
+            parent = parents.get(use)
+            if isinstance(parent, ast.Attribute) and parent.value is use:
+                grand = parents.get(parent)
+                if parent.attr in _GENERATOR_DRAW_METHODS and isinstance(
+                        grand, ast.Call) and grand.func is parent:
+                    record["drawn"] = True
+                continue
+            if isinstance(parent, ast.keyword):
+                parent = parents.get(parent)
+            if isinstance(parent, ast.Call) and use is not parent.func:
+                candidates = self._callee_candidates(parent,
+                                                     class_qualname)
+                last = candidates[0].rpartition(".")[2] if candidates \
+                    else None
+                callee_attr = (parent.func.attr
+                               if isinstance(parent.func, ast.Attribute)
+                               else None)
+                if last in _BUFFER_CLASSES:
+                    # Claimed by a buffered sampler: consumed, but the
+                    # buffer is machinery, not a second owner.
+                    record["buffered"] = True
+                    record["drawn"] = True
+                elif callee_attr in _BUFFER_DRAW_METHODS:
+                    # The sanctioned sampler.sample(rng) idiom.
+                    record["drawn"] = True
+                else:
+                    record["handoffs"].extend(
+                        candidates or [ast.unparse(parent.func)])
+
+    def _class_node(self, class_qualname: str | None
+                    ) -> ast.ClassDef | None:
+        if class_qualname is None:
+            return None
+        name = class_qualname.rpartition(".")[2]
+        for node in ast.walk(self.module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == name:
+                return node
+        return None
+
+    # -- buffer claims and escapes --------------------------------------
+    def _scan_buffers(self, nodes: list[ast.AST],
+                      parents: dict[ast.AST, ast.AST], func: str,
+                      class_qualname: str | None,
+                      region: list[ast.AST] | ast.ClassDef | None,
+                      by_node: dict[int, dict]) -> None:
+        from repro.devtools.detsan.resolver import is_stream_acquisition
+        for node in nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            candidates = self._callee_candidates(node, class_qualname)
+            buffer = candidates[0].rpartition(".")[2] if candidates \
+                else None
+            if buffer not in _BUFFER_CLASSES:
+                continue
+            kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+            if buffer == "BufferedSampler":
+                rng_node = (node.args[1] if len(node.args) > 1
+                            else kwargs.get("rng"))
+            else:
+                rng_node = (node.args[0] if node.args
+                            else kwargs.get("rng"))
+            if rng_node is None:
+                continue
+            if isinstance(rng_node, ast.Call) \
+                    and is_stream_acquisition(rng_node):
+                acq = by_node.get(id(rng_node))
+                if acq is not None:
+                    acq["buffered"] = True
+                    acq["drawn"] = True
+                descr = "stream:" + (acq["template"] if acq
+                                     and acq["template"] else
+                                     ast.unparse(rng_node))
+                dotted = None
+            else:
+                dotted = _dotted(rng_node)
+                descr = dotted or ast.unparse(rng_node)
+            self.module.summary.rng_buffers.append({
+                "line": node.lineno, "col": node.col_offset,
+                "buffer": buffer, "rng": descr, "func": func,
+            })
+            if dotted is not None:
+                self._scan_escapes(node, dotted, buffer, func,
+                                   class_qualname, region)
+
+    def _scan_escapes(self, claim: ast.Call, dotted: str, buffer: str,
+                      func: str, class_qualname: str | None,
+                      region: list[ast.AST] | ast.ClassDef | None
+                      ) -> None:
+        """Uses of a claimed generator outside the buffered idiom.
+
+        The claimed rng may only flow back into the claiming sampler
+        (``.sample(rng)`` / ``.sample_batch`` / ``.next`` / ``.owns``);
+        a direct draw or a hand-off to any other callee desynchronizes
+        the pre-drawn block from the scalar bit-stream, so it is
+        recorded as an escape even when it sits on a conditional path.
+        """
+        if region is None:
+            return
+        roots: list[ast.AST] = (region if isinstance(region, list)
+                                else [region])
+        names = {dotted}
+        if "." not in dotted:
+            # The claim took a bare local/param; its `self.X = rng`
+            # aliases share the stream.
+            for root in roots:
+                for node in ast.walk(root):
+                    if isinstance(node, ast.Assign) \
+                            and isinstance(node.value, ast.Name) \
+                            and node.value.id == dotted:
+                        for target in node.targets:
+                            target_dotted = _dotted(target)
+                            if target_dotted \
+                                    and target_dotted.startswith("self."):
+                                names.add(target_dotted)
+        parents: dict[ast.AST, ast.AST] = {}
+        nodes: list[ast.AST] = []
+        for root in roots:
+            for parent in ast.walk(root):
+                nodes.append(parent)
+                for child in ast.iter_child_nodes(parent):
+                    parents[child] = parent
+        claim_args = set(map(id, claim.args)) | {
+            id(kw.value) for kw in claim.keywords}
+        for node in nodes:
+            if not isinstance(node, (ast.Name, ast.Attribute)):
+                continue
+            node_dotted = _dotted(node)
+            if node_dotted not in names or id(node) in claim_args:
+                continue
+            if not isinstance(getattr(node, "ctx", None), ast.Load):
+                continue
+            parent = parents.get(node)
+            if isinstance(parent, ast.Attribute) and parent.value is node:
+                grand = parents.get(parent)
+                if parent.attr in _GENERATOR_DRAW_METHODS and isinstance(
+                        grand, ast.Call) and grand.func is parent:
+                    self._record_escape(grand, buffer, node_dotted, func,
+                                        f"drawn directly via "
+                                        f".{parent.attr}()")
+                continue
+            if isinstance(parent, ast.keyword):
+                parent = parents.get(parent)
+            if isinstance(parent, ast.Call) and node is not parent.func:
+                callee_attr = (parent.func.attr
+                               if isinstance(parent.func, ast.Attribute)
+                               else None)
+                if callee_attr in _BUFFER_DRAW_METHODS:
+                    continue
+                candidates = self._callee_candidates(parent,
+                                                     class_qualname)
+                last = candidates[0].rpartition(".")[2] if candidates \
+                    else None
+                if last in _BUFFER_CLASSES:
+                    self._record_escape(
+                        parent, buffer, node_dotted, func,
+                        f"also claimed by a second {last}")
+                    continue
+                callee = (candidates[0] if candidates
+                          else ast.unparse(parent.func))
+                self._record_escape(parent, buffer, node_dotted, func,
+                                    f"passed to {callee}()")
+
+    def _record_escape(self, node: ast.AST, buffer: str, expr: str,
+                       func: str, detail: str) -> None:
+        self.module.summary.rng_escapes.append({
+            "line": getattr(node, "lineno", 1),
+            "col": getattr(node, "col_offset", 0),
+            "buffer": buffer, "stream_expr": expr, "func": func,
+            "detail": detail,
+        })
 
 
 def u_const_for_qualname(qualname: str) -> dict | None:

@@ -1,0 +1,93 @@
+"""Load detsan configuration from ``pyproject.toml``.
+
+The ``[tool.urllc5g.detsan]`` table mirrors the analyze one::
+
+    [tool.urllc5g.detsan]
+    ignore = []                       # detsan rule ids disabled
+    exclude = ["*/fixtures/*"]        # path globs never analyzed
+    baseline = "detsan-baseline.json" # reviewed accepted findings
+    cache = ".urllc5g-analyze-cache.json"
+
+The cache may (and by default does) point at the analyze cache file:
+both passes consume the same versioned module summaries, so one parse
+serves both.  Per-line sharing contracts use ``# detsan: shared``;
+the baseline file is the reviewed mechanism for everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.lintkit.core import _glob_match
+from repro.devtools.lintkit.config import find_pyproject
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - Python 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+__all__ = ["DetsanConfig", "load_detsan_config"]
+
+
+@dataclass
+class DetsanConfig:
+    """Which detsan rules run where; see ``[tool.urllc5g.detsan]``."""
+
+    ignore: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    baseline: str | None = None
+    cache: str | None = None
+    _extra_excludes: tuple[str, ...] = field(default=(), repr=False)
+
+    def is_excluded(self, path: str) -> bool:
+        patterns = self.exclude + self._extra_excludes
+        return any(_glob_match(path, pattern) for pattern in patterns)
+
+
+def load_detsan_config(pyproject: str | Path | None = None,
+                       start: str | Path = ".") -> DetsanConfig:
+    """Build a :class:`DetsanConfig` from the nearest pyproject.
+
+    Missing file, missing table, or a pre-3.11 interpreter all yield
+    the default config.
+    """
+    if tomllib is None:  # pragma: no cover - Python 3.10 fallback
+        return DetsanConfig()
+    path = Path(pyproject) if pyproject is not None else (
+        find_pyproject(start))
+    if path is None or not path.is_file():
+        return DetsanConfig()
+    with open(path, "rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get("urllc5g", {}).get("detsan", {})
+    if not isinstance(table, dict):
+        raise ValueError("[tool.urllc5g.detsan] must be a table")
+    baseline = table.get("baseline")
+    cache = table.get("cache")
+    for key, value in (("baseline", baseline), ("cache", cache)):
+        if value is not None and not isinstance(value, str):
+            raise ValueError(
+                f"[tool.urllc5g.detsan] {key} must be a string")
+    # Relative baseline/cache paths are anchored at the pyproject's
+    # directory, so `--config /elsewhere/pyproject.toml` honors the
+    # reviewed baseline no matter the invocation cwd.
+    anchor = path.parent
+    if baseline is not None:
+        baseline = str(anchor / baseline)
+    if cache is not None:
+        cache = str(anchor / cache)
+    return DetsanConfig(
+        ignore=tuple(_as_str_list(table.get("ignore", []), "ignore")),
+        exclude=tuple(_as_str_list(table.get("exclude", []), "exclude")),
+        baseline=baseline,
+        cache=cache,
+    )
+
+
+def _as_str_list(value: object, key: str) -> list[str]:
+    if (not isinstance(value, list)
+            or not all(isinstance(item, str) for item in value)):
+        raise ValueError(
+            f"[tool.urllc5g.detsan] {key} must be a list of strings")
+    return value

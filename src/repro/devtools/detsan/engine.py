@@ -1,0 +1,238 @@
+"""DetSan orchestration: load -> ownership map -> report.
+
+:func:`detsan_paths` mirrors :func:`repro.devtools.analyze.engine
+.analyze_paths` — same project loader, same incremental cache, same
+baseline and pragma machinery — but runs the stream-ownership rules
+and carries the ownership map in its report.  ``# analyze:
+disable=detsan-*`` pragmas work unchanged (one pragma grammar for
+both project passes); sharing contracts are declared with
+``# detsan: shared`` on the acquisition line.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.devtools.lintkit.core import (
+    SYNTAX_ERROR_RULE_ID,
+    Severity,
+    Violation,
+)
+from repro.devtools.analyze.baseline import Baseline, load_baseline
+from repro.devtools.analyze.cache import AnalysisCache
+from repro.devtools.analyze.engine import (_apply_pragmas,
+                                           _syntax_violations)
+from repro.devtools.analyze.loader import Project, load_project
+from repro.devtools.detsan.config import DetsanConfig
+from repro.devtools.detsan.ownership import (DETSAN_RULES, OwnershipMap,
+                                             detsan_violations)
+
+__all__ = ["DETSAN_RULES", "DetsanReport", "detsan_paths",
+           "render_detsan_text", "render_detsan_json",
+           "render_detsan_sarif", "render_detsan_dot"]
+
+
+@dataclass
+class DetsanReport:
+    """The outcome of one whole-program determinism analysis."""
+
+    violations: list[Violation]
+    ownership: OwnershipMap
+    files_checked: int
+    parsed: int = 0
+    from_cache: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    project: Project | None = field(default=None, repr=False)
+
+    @property
+    def errors(self) -> list[Violation]:
+        return [v for v in self.violations
+                if v.severity >= Severity.ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+
+def detsan_paths(paths: Iterable[str | Path],
+                 config: DetsanConfig | None = None,
+                 *,
+                 baseline: Baseline | None = None,
+                 cache_path: str | Path | None = None,
+                 use_cache: bool = True) -> DetsanReport:
+    """Run the determinism analysis and aggregate a report.
+
+    ``baseline`` overrides the config's baseline file; ``cache_path``
+    overrides the config's cache location; ``use_cache=False`` disables
+    the incremental cache entirely (every module is re-parsed).
+    """
+    config = config or DetsanConfig()
+    cache: AnalysisCache | None = None
+    if use_cache:
+        location = cache_path if cache_path is not None else config.cache
+        if location is not None:
+            cache = AnalysisCache(location)
+    project = load_project(paths, exclude=config.is_excluded, cache=cache)
+    if cache is not None:
+        cache.save()
+
+    violations, ownership = detsan_violations(project)
+    violations = _syntax_violations(project) + violations
+    if config.ignore:
+        ignored = set(config.ignore)
+        violations = [v for v in violations if v.rule_id not in ignored]
+    violations, suppressed = _apply_pragmas(project, violations)
+
+    if baseline is None and config.baseline is not None:
+        baseline = load_baseline(config.baseline)
+    baselined = 0
+    if baseline is not None:
+        violations, baselined = baseline.filter(violations)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return DetsanReport(
+        violations=violations,
+        ownership=ownership,
+        files_checked=project.files_checked,
+        parsed=project.parsed,
+        from_cache=project.from_cache,
+        suppressed=suppressed,
+        baselined=baselined,
+        project=project,
+    )
+
+
+def _scope_label(scope: str) -> str:
+    """Short display form of a registry-scope key."""
+    head = scope.split(":")[0]
+    parts = head.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else head
+
+
+def render_detsan_text(report: DetsanReport) -> str:
+    """Human-readable report: the ownership map plus the findings."""
+    ownership = report.ownership
+    lines = ["stream ownership map "
+             f"({len(ownership.streams)} stream(s), "
+             f"{ownership.resolved}/{ownership.acquisitions} "
+             "acquisition(s) resolved):"]
+    for info in ownership.streams:
+        flags = "".join((
+            " [buffered]" if info.buffered else "",
+            " [shared]" if info.shared else "",
+        ))
+        owners = ", ".join(info.owners) or "(unconsumed)"
+        lines.append(f"  {info.template:<20} -> {owners}{flags}  "
+                     f"(scope {_scope_label(info.scope)})")
+    lines.append("")
+    lines.extend(violation.render() for violation in report.violations)
+    summary = (f"{report.files_checked} file(s) analyzed "
+               f"({report.parsed} parsed, {report.from_cache} from "
+               f"cache), {len(report.violations)} finding(s)")
+    extras = []
+    if report.suppressed:
+        extras.append(f"{report.suppressed} suppressed")
+    if report.baselined:
+        extras.append(f"{report.baselined} baselined")
+    if extras:
+        summary += " (" + ", ".join(extras) + ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_detsan_json(report: DetsanReport) -> str:
+    """Machine-readable report for tooling."""
+    payload = {
+        "files_checked": report.files_checked,
+        "parsed": report.parsed,
+        "from_cache": report.from_cache,
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "exit_code": report.exit_code,
+        "resolution": {
+            "acquisitions": report.ownership.acquisitions,
+            "resolved": report.ownership.resolved,
+            "rate": report.ownership.resolution_rate,
+        },
+        "streams": [
+            {
+                "template": info.template,
+                "scope": info.scope,
+                "owners": info.owners,
+                "sites": [f"{path}:{line}" for path, line in info.sites],
+                "buffered": info.buffered,
+                "shared": info.shared,
+            }
+            for info in report.ownership.streams
+        ],
+        "violations": [
+            {
+                "path": violation.path,
+                "line": violation.line,
+                "col": violation.col,
+                "rule": violation.rule_id,
+                "severity": str(violation.severity),
+                "message": violation.message,
+            }
+            for violation in report.violations
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_detsan_sarif(report: DetsanReport) -> str:
+    """SARIF 2.1.0 document via the shared writer."""
+    from repro.devtools.sarif import render_sarif
+
+    rules = dict(DETSAN_RULES)
+    rules[SYNTAX_ERROR_RULE_ID] = "file could not be parsed"
+    return render_sarif(report.violations, tool_name="urllc5g-detsan",
+                        rules=rules)
+
+
+def render_detsan_dot(report: DetsanReport) -> str:
+    """The ownership graph in Graphviz dot, for docs.
+
+    Stream nodes are ellipses (doubled border when a buffered sampler
+    claims the stream exclusively), consumer components are boxes, and
+    an edge means "this component draws from this stream".  Output is
+    deterministic so the generated graph can live in version control.
+    """
+    lines = [
+        "// Generated by `urllc5g detsan --format dot`.",
+        "digraph stream_ownership {",
+        "  rankdir=LR;",
+        '  node [fontname="Helvetica", fontsize=11];',
+        '  edge [fontname="Helvetica", fontsize=9];',
+    ]
+    owners: dict[str, str] = {}
+    for index, info in enumerate(report.ownership.streams):
+        stream_id = f"stream_{index}"
+        style = ["shape=ellipse"]
+        if info.buffered:
+            style.append("peripheries=2")
+        if info.shared:
+            style.append('style=dashed')
+        label = info.template
+        scope = _scope_label(info.scope)
+        lines.append(f'  {stream_id} [label="{label}\\n({scope})", '
+                     f'{", ".join(style)}];')
+        for owner in info.owners:
+            owner_id = owners.get(owner)
+            if owner_id is None:
+                owner_id = f"owner_{len(owners)}"
+                owners[owner] = owner_id
+                short = ".".join(owner.split(".")[-2:])
+                lines.append(f'  {owner_id} [label="{short}", '
+                             'shape=box];')
+            attrs = []
+            if info.buffered:
+                attrs.append('label="buffered"')
+            lines.append(f"  {stream_id} -> {owner_id}"
+                         + (f" [{', '.join(attrs)}]" if attrs else "")
+                         + ";")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,72 @@
+"""Dynamic-side helpers: replay verification over the sanitizer log.
+
+The recording machinery itself lives in :mod:`repro.sim.sanitize`
+(the simulation core cannot import devtools); this module adds the
+devtools-side conveniences: running a workload twice under fresh
+sanitizer sessions and diffing the per-stream draw logs, which is how
+draw-count divergence between serial and parallel replays of the same
+campaign point is detected.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.sanitize import (DeterminismViolation, SanitizeLog,
+                                sanitizer_session)
+
+__all__ = ["compare_draw_logs", "verify_replay"]
+
+
+def compare_draw_logs(first: SanitizeLog, second: SanitizeLog
+                      ) -> list[str]:
+    """Human-readable divergences between two runs' draw logs.
+
+    Compares per-stream draw counts and consumer sets; an empty list
+    means the two replays consumed identical entropy from identical
+    call sites.
+    """
+    divergences: list[str] = []
+    counts_a = first.draw_counts()
+    counts_b = second.draw_counts()
+    for stream in sorted(set(counts_a) | set(counts_b)):
+        a = counts_a.get(stream, 0)
+        b = counts_b.get(stream, 0)
+        if a != b:
+            divergences.append(
+                f"stream '{stream}': {a} draw(s) vs {b} draw(s)")
+    consumers_a = first.consumer_map()
+    consumers_b = second.consumer_map()
+    for stream in sorted(set(consumers_a) | set(consumers_b)):
+        a_set = set(consumers_a.get(stream, ()))
+        b_set = set(consumers_b.get(stream, ()))
+        if a_set != b_set:
+            only_a = ", ".join(sorted(a_set - b_set)) or "-"
+            only_b = ", ".join(sorted(b_set - a_set)) or "-"
+            divergences.append(
+                f"stream '{stream}': consumers differ "
+                f"(only first: {only_a}; only second: {only_b})")
+    return divergences
+
+
+def verify_replay(run: Callable[[], Any], *,
+                  label: str = "workload") -> tuple[Any, SanitizeLog]:
+    """Run ``run`` twice under fresh sanitizer sessions and compare.
+
+    Each invocation must construct its own registry/system (streams
+    are wrapped at creation time).  Raises
+    :exc:`~repro.sim.sanitize.DeterminismViolation` if the two replays
+    diverge in results, per-stream draw counts, or consumer sets;
+    otherwise returns the first result and its log.
+    """
+    with sanitizer_session() as first_log:
+        first = run()
+    with sanitizer_session() as second_log:
+        second = run()
+    divergences = compare_draw_logs(first_log, second_log)
+    if first != second:
+        divergences.insert(0, "results differ between replays")
+    if divergences:
+        raise DeterminismViolation(
+            f"replay divergence in {label}: " + "; ".join(divergences))
+    return first, first_log

@@ -549,17 +549,34 @@ class FaultStreamsNamedRule(Rule):
         tokens = re.split(r"[^a-z0-9]+", path.stem.lower())
         return bool(self._FAULT_TOKENS & set(tokens))
 
-    @staticmethod
-    def _is_fault_stream_name(arg: ast.expr) -> bool:
-        if isinstance(arg, ast.Constant):
-            return (isinstance(arg.value, str)
-                    and arg.value.startswith("fault."))
-        if isinstance(arg, ast.JoinedStr) and arg.values:
-            first = arg.values[0]
-            return (isinstance(first, ast.Constant)
-                    and isinstance(first.value, str)
-                    and first.value.startswith("fault."))
-        return False
+    def _stream_name_violation(self, module: ModuleUnderLint,
+                               node: ast.Call,
+                               arg: ast.expr) -> Violation | None:
+        """Validate a stream-name argument via the detsan resolver.
+
+        Delegating to :func:`repro.devtools.detsan.resolver
+        .resolve_stream_name` means f-strings and concatenations are
+        judged by the same template grammar the ownership map uses:
+        ``f"fault.{kind}.{index}"`` resolves to ``fault.{*}.{*}`` and
+        passes, while a fully dynamic name is reported as unresolvable
+        rather than silently failing the prefix check.
+        """
+        from repro.devtools.detsan.resolver import (is_resolved,
+                                                    resolve_stream_name)
+        template = resolve_stream_name(arg)
+        if template is None or not is_resolved(template):
+            return self.violation(
+                module, node,
+                "stream name cannot be resolved statically; use a "
+                "literal (or an f-string with a literal 'fault.' "
+                "prefix) so the detsan ownership map can cover it")
+        if not template.startswith("fault."):
+            return self.violation(
+                module, node,
+                "fault injectors must draw from a registry stream "
+                "whose name literally starts with 'fault.' "
+                f"(resolves to '{template}')")
+        return None
 
     def check(self, module: ModuleUnderLint) -> Iterator[Violation]:
         if not self._applies(module):
@@ -582,13 +599,17 @@ class FaultStreamsNamedRule(Rule):
                 continue
             func = node.func
             if isinstance(func, ast.Attribute) and func.attr == "stream":
-                if (not node.args
-                        or not self._is_fault_stream_name(node.args[0])):
+                if not node.args:
                     yield self.violation(
                         module, node,
                         "fault injectors must draw from a registry "
                         "stream whose name literally starts with "
                         "'fault.' (fault.<kind>.<index>)")
+                else:
+                    found = self._stream_name_violation(
+                        module, node, node.args[0])
+                    if found is not None:
+                        yield found
                 continue
             dotted = _dotted(func)
             if dotted is None:

@@ -20,6 +20,7 @@ from repro.sim.engine import Event, Simulator, SimulationError
 from repro.sim.resources import CpuResource
 from repro.sim.rng import RngRegistry
 from repro.sim.sampling import BufferedSampler, force_sequential
+from repro.sim.sanitize import DeterminismViolation, sanitizer_session
 from repro.sim.trace import TraceRecord, Tracer
 
 __all__ = [
@@ -29,7 +30,9 @@ __all__ = [
     "CpuResource",
     "RngRegistry",
     "BufferedSampler",
+    "DeterminismViolation",
     "force_sequential",
+    "sanitizer_session",
     "TraceRecord",
     "Tracer",
 ]

@@ -26,6 +26,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.sim.sanitize import sanitize_active, set_sim_clock
+
 __all__ = ["SimulationError", "Event", "Simulator"]
 
 #: Queues smaller than this are never compacted: scanning them on pop is
@@ -124,6 +126,11 @@ class Simulator:
         self._running = False
         self._processed: int = 0
         self._tombstones: int = 0
+        if sanitize_active():
+            # Timestamp sanitizer draw records with this simulation's
+            # clock (the newest simulator wins; records without a
+            # live clock carry sim_time=None).
+            set_sim_clock(lambda: self._now)
 
     # ------------------------------------------------------------------
     # clock

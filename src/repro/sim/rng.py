@@ -14,6 +14,8 @@ import hashlib
 
 import numpy as np
 
+from . import sanitize
+
 __all__ = ["RngRegistry"]
 
 
@@ -47,6 +49,14 @@ class RngRegistry:
         generator = self._streams.get(name)
         if generator is None:
             generator = np.random.default_rng(self._entropy_for(name))
+            if sanitize.sanitize_active():
+                # Under the determinism sanitizer, vend a recording
+                # proxy instead.  The proxy forwards every draw to the
+                # real generator (bit-identical results) and is cached
+                # like any stream, so identity checks — e.g.
+                # BufferedSampler's ownership guard — keep working.
+                generator = sanitize.RecordingGenerator(
+                    generator, name, sanitize.current_log())
             self._streams[name] = generator
         return generator
 

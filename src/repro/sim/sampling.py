@@ -37,11 +37,15 @@ from typing import Iterator
 import numpy as np
 
 from .distributions import DelaySampler
+from .sanitize import (DeterminismViolation, RecordingGenerator,
+                       caller_qualname, claim_exclusive, owner_section,
+                       sanitize_active)
 
 __all__ = [
     "DEFAULT_BLOCK",
     "BufferedSampler",
     "UniformBuffer",
+    "DeterminismViolation",
     "force_sequential",
     "buffering_enabled",
 ]
@@ -88,7 +92,7 @@ class BufferedSampler:
     pre-drawn block encodes this generator's stream position.
     """
 
-    __slots__ = ("_sampler", "_rng", "_block", "_buf", "_pos")
+    __slots__ = ("_sampler", "_rng", "_block", "_buf", "_pos", "_owner")
 
     def __init__(self, sampler: DelaySampler, rng: np.random.Generator,
                  block: int = DEFAULT_BLOCK):
@@ -99,6 +103,20 @@ class BufferedSampler:
         self._block = block
         self._buf: np.ndarray | None = None
         self._pos = 0
+        self._owner = self._claim()
+
+    def _claim(self) -> str:
+        """Record exclusive ownership of the stream under the sanitizer.
+
+        The owner label is the constructing frame (the component wiring
+        this sampler), so violation reports name both sides of a
+        conflict.  Outside sanitized runs this is a cheap constant.
+        """
+        if not isinstance(self._rng, RecordingGenerator):
+            return type(self).__name__
+        owner = f"{caller_qualname(2)} [{type(self).__name__}]"
+        claim_exclusive(self._rng, owner)
+        return owner
 
     @property
     def mean_us(self) -> float:
@@ -112,16 +130,32 @@ class BufferedSampler:
     def sample(self, rng: np.random.Generator) -> float:
         """Next sample; ``rng`` must be the owning Generator."""
         if rng is not self._rng:
-            raise ValueError(
+            raise DeterminismViolation(
                 "BufferedSampler owns its Generator; sample() was called "
                 "with a different one.  Buffering is only deterministic "
                 "for a single-consumer stream — use the scalar sampler "
-                "for shared generators.")
+                "for shared generators.",
+                stream=getattr(self._rng, "stream_name", None),
+                owner=self._owner, consumer=caller_qualname(1))
         buf = self._buf
         if buf is None or self._pos >= len(buf):
             if not _BUFFERING_ENABLED:
-                return float(self._sampler.sample(self._rng))
-            buf = self._sampler.sample_batch(self._rng, self._block)
+                if buf is not None and sanitize_active():
+                    # A pre-drawn block exists, so the stream position
+                    # is already blocks ahead of the served count;
+                    # switching to the scalar path now skips the
+                    # unserved tail and diverges from both pure modes.
+                    raise DeterminismViolation(
+                        "force_sequential() entered mid-run: this "
+                        "sampler already served pre-drawn blocks, so "
+                        "scalar draws would skip the unconsumed tail.  "
+                        "Wrap whole runs, not fragments.",
+                        stream=getattr(self._rng, "stream_name", None),
+                        owner=self._owner, consumer=caller_qualname(1))
+                with owner_section(self._rng):
+                    return float(self._sampler.sample(self._rng))
+            with owner_section(self._rng):
+                buf = self._sampler.sample_batch(self._rng, self._block)
             self._buf = buf
             self._pos = 0
         value = buf[self._pos]
@@ -142,7 +176,7 @@ class UniformBuffer:
     exclusive-ownership requirement.
     """
 
-    __slots__ = ("_rng", "_block", "_buf", "_pos")
+    __slots__ = ("_rng", "_block", "_buf", "_pos", "_owner")
 
     def __init__(self, rng: np.random.Generator, block: int = DEFAULT_BLOCK):
         if block < 1:
@@ -151,6 +185,11 @@ class UniformBuffer:
         self._block = block
         self._buf: np.ndarray | None = None
         self._pos = 0
+        if isinstance(rng, RecordingGenerator):
+            self._owner = f"{caller_qualname(1)} [{type(self).__name__}]"
+            claim_exclusive(rng, self._owner)
+        else:
+            self._owner = type(self).__name__
 
     def owns(self, rng: np.random.Generator) -> bool:
         return rng is self._rng
@@ -159,8 +198,18 @@ class UniformBuffer:
         buf = self._buf
         if buf is None or self._pos >= len(buf):
             if not _BUFFERING_ENABLED:
-                return float(self._rng.random())
-            buf = self._rng.random(self._block)
+                if buf is not None and sanitize_active():
+                    raise DeterminismViolation(
+                        "force_sequential() entered mid-run: this "
+                        "uniform buffer already served pre-drawn "
+                        "blocks; scalar draws would skip the "
+                        "unconsumed tail.  Wrap whole runs.",
+                        stream=getattr(self._rng, "stream_name", None),
+                        owner=self._owner, consumer=caller_qualname(1))
+                with owner_section(self._rng):
+                    return float(self._rng.random())
+            with owner_section(self._rng):
+                buf = self._rng.random(self._block)
             self._buf = buf
             self._pos = 0
         value = buf[self._pos]

@@ -345,3 +345,38 @@ def test_src_tree_is_lint_clean():
     # The reviewed baseline lives in pyproject.toml, not in scattered
     # pragma comments: the src tree must contain none.
     assert report.suppressed == 0
+
+
+# ----------------------------------------------------------------------
+# fault-streams-named delegates name resolution to the detsan resolver
+# ----------------------------------------------------------------------
+def test_fault_stream_fstring_with_literal_prefix_is_clean():
+    source = (
+        "class Injector:\n"
+        "    def __init__(self, rngs, kind, index):\n"
+        "        self.rng = rngs.stream(f\"fault.{kind}.{index}\")\n"
+    )
+    assert "fault-streams-named" not in rule_ids_in(
+        source, "faults/injectors.py")
+
+
+def test_fault_stream_dynamic_name_reported_as_unresolvable():
+    source = (
+        "def acquire(rngs, name):\n"
+        "    return rngs.stream(name)\n"
+    )
+    violations, _ = lint_source(source, "faults/dynamic.py", rules())
+    hits = [v for v in violations if v.rule_id == "fault-streams-named"]
+    assert len(hits) == 1
+    assert "resolved statically" in hits[0].message
+
+
+def test_fault_stream_resolved_template_in_message():
+    source = (
+        "def acquire(rngs, index):\n"
+        "    return rngs.stream(f\"link.{index}\")\n"
+    )
+    violations, _ = lint_source(source, "faults/wrongprefix.py", rules())
+    hits = [v for v in violations if v.rule_id == "fault-streams-named"]
+    assert len(hits) == 1
+    assert "'link.{*}'" in hits[0].message

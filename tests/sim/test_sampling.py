@@ -12,6 +12,7 @@ from repro.sim.distributions import (
 )
 from repro.sim.sampling import (
     BufferedSampler,
+    DeterminismViolation,
     UniformBuffer,
     buffering_enabled,
     force_sequential,
@@ -59,7 +60,7 @@ def test_buffered_sampler_matches_scalar_across_block_boundaries(sampler):
 def test_buffered_sampler_rejects_foreign_generator():
     owner = np.random.default_rng(1)
     buffered = BufferedSampler(LogNormal(10.0, 3.0), owner)
-    with pytest.raises(ValueError, match="owns its Generator"):
+    with pytest.raises(DeterminismViolation, match="owns its Generator"):
         buffered.sample(np.random.default_rng(1))  # equal seed, not same
 
 
