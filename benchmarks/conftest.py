@@ -26,7 +26,8 @@ from repro.phy.timebase import tc_from_ms
 from repro.radio.interface import usb3
 from repro.radio.os_jitter import gpos
 from repro.radio.radio_head import RadioHead
-from repro.runner import CampaignRunner, ResultCache, atomic_write_text
+from repro.runner import (CampaignRunner, ResultCache,
+                          atomic_write_text, envconfig)
 from repro.sim.rng import RngRegistry
 from repro.traffic.generators import uniform_in_horizon
 
@@ -44,10 +45,10 @@ def results_dir() -> Path:
 @pytest.fixture(scope="session")
 def campaign_runner():
     """One pool + one result cache shared by every campaign benchmark."""
-    workers = int(os.environ.get("URLLC5G_BENCH_WORKERS",
-                                 min(4, os.cpu_count() or 1)))
-    cache = (None if os.environ.get("URLLC5G_BENCH_NO_CACHE")
-             else ResultCache(CACHE_PATH))
+    knobs = envconfig.refresh()
+    workers = (knobs.bench_workers if knobs.bench_workers is not None
+               else min(4, os.cpu_count() or 1))
+    cache = None if knobs.bench_no_cache else ResultCache(CACHE_PATH)
     with CampaignRunner(workers=max(1, workers), cache=cache) as runner:
         yield runner
 

@@ -23,7 +23,9 @@ from repro.devtools.analyze.loader import ModuleSummary
 __all__ = ["ANALYZER_VERSION", "DEFAULT_CACHE_PATH", "AnalysisCache"]
 
 #: Bump on any change to summary extraction or the summary schema.
-ANALYZER_VERSION = "2"
+#: "3": distributability channels (host_state, global_writes, fs_writes,
+#: boundary, digest_hazards, decorators, str_constants, mutable_globals).
+ANALYZER_VERSION = "3"
 
 DEFAULT_CACHE_PATH = ".urllc5g-analyze-cache.json"
 

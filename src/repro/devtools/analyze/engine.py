@@ -201,4 +201,5 @@ def render_analysis_sarif(report: AnalysisReport) -> str:
     from repro.devtools.sarif import render_sarif
 
     return render_sarif(report.violations, tool_name="urllc5g-analyze",
-                        rules=ANALYZE_RULES)
+                        rules=ANALYZE_RULES,
+                        information_uri="docs/ANALYSIS.md")

@@ -109,6 +109,57 @@ _PASSTHROUGH_CALLS = frozenset({"float", "int", "round", "abs"})
 _JOIN_CALLS = frozenset({"min", "max"})
 _BUILTIN_NAMES = frozenset(dir(__import__("builtins")))
 
+# -- distributability extraction (consumed by repro.devtools.distcheck) --
+#: Calls that read (or mutate) the process environment.
+_ENV_READ_CALLS = frozenset({
+    "os.environ.get", "os.getenv", "os.environ.setdefault",
+    "os.environ.pop", "os.putenv",
+})
+#: Calls that observe — or move — the host working directory.
+_CWD_CALLS = frozenset({
+    "os.getcwd", "os.getcwdb", "os.chdir", "pathlib.Path.cwd",
+    "Path.cwd",
+})
+#: Calls that read host identity (name, pid, user, platform).
+_HOST_ID_CALLS = frozenset({
+    "socket.gethostname", "socket.getfqdn", "platform.node",
+    "platform.system", "platform.machine", "platform.release",
+    "platform.platform", "platform.python_version", "os.getpid",
+    "os.getppid", "os.uname", "os.getlogin", "getpass.getuser",
+})
+#: Calls that control the worker process itself.
+_PROCESS_CALLS = frozenset({
+    "os._exit", "os.abort", "os.kill", "os.fork", "os.execv",
+})
+#: Module-level filesystem mutators (methods are matched separately).
+_FS_WRITE_CALLS = frozenset({
+    "os.remove", "os.unlink", "os.rename", "os.replace",
+    "os.makedirs", "os.mkdir", "os.rmdir", "os.symlink", "os.link",
+    "os.truncate", "os.chmod", "os.chown",
+})
+#: Path-flavoured mutator methods, matched receiver-agnostically (the
+#: receiver of ``.write_text`` etc. is a path whatever its static type).
+_FS_WRITE_METHODS = frozenset({
+    "write_text", "write_bytes", "mkdir", "touch", "unlink", "rmdir",
+    "symlink_to", "hardlink_to",
+})
+#: Methods that ship a callable across a process-pool boundary.
+_POOL_SUBMIT_METHODS = frozenset({
+    "submit", "map", "apply_async", "starmap", "imap",
+    "imap_unordered",
+})
+#: Methods that mutate their receiver in place (checked only against
+#: module-level mutable bindings, so local containers never match).
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "add", "update", "setdefault", "insert",
+    "remove", "discard", "pop", "popitem", "clear",
+})
+#: Constructors whose module-level result is mutable shared state.
+_MUTABLE_FACTORIES = frozenset({
+    "dict", "list", "set", "defaultdict", "deque", "OrderedDict",
+    "Counter",
+})
+
 
 def unit_of_name(name: str) -> str | None:
     """Lattice unit carried by a name's suffix (case-insensitive)."""
@@ -180,6 +231,18 @@ class FunctionSummary:
     schedules: bool = False
     unordered_loops: list[dict] = field(default_factory=list)
     draws: list[dict] = field(default_factory=list)
+    #: Decorators, resolved: ``{"name": qualname, "arg": str | None}``.
+    decorators: list[dict] = field(default_factory=list)
+    #: Host-state observations: env/cwd/file/host-id/locale/process.
+    host_state: list[dict] = field(default_factory=list)
+    #: Writes to module-level mutable bindings (incl. ``global`` rebinds).
+    global_writes: list[dict] = field(default_factory=list)
+    #: Filesystem mutations outside any sanctioned-writer decision.
+    fs_writes: list[dict] = field(default_factory=list)
+    #: Unpicklable values handed to pool submit/map call sites.
+    boundary: list[dict] = field(default_factory=list)
+    #: Canonical-form hazards (unsorted json.dumps, hash(), id()).
+    digest_hazards: list[dict] = field(default_factory=list)
 
     def param_unit(self, index: int) -> str | None:
         if 0 <= index < len(self.params):
@@ -221,6 +284,10 @@ class ModuleSummary:
     rng_buffers: list[dict] = field(default_factory=list)
     #: Uses of a buffer-claimed generator outside the buffered idiom.
     rng_escapes: list[dict] = field(default_factory=list)
+    #: Module-level ``NAME = "literal"`` bindings (env-var name lookup).
+    str_constants: dict[str, str] = field(default_factory=dict)
+    #: Module-level bindings to mutable containers (dict/list/set/...).
+    mutable_globals: list[str] = field(default_factory=list)
 
     def to_json(self) -> dict:
         from dataclasses import asdict
@@ -249,6 +316,8 @@ class ModuleSummary:
             streams=list(payload.get("streams", [])),
             rng_buffers=list(payload.get("rng_buffers", [])),
             rng_escapes=list(payload.get("rng_escapes", [])),
+            str_constants=dict(payload.get("str_constants", {})),
+            mutable_globals=list(payload.get("mutable_globals", [])),
         )
 
 
@@ -377,6 +446,7 @@ class _ModuleExtractor:
         self.summary.module_checks = module_fn.checks
         for name, expr in module_fn.env.items():
             self.summary.constants[name] = expr
+        self._collect_module_bindings()
         for stmt in self.tree.body:
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 self._extract_function(stmt, parent=self.qualname,
@@ -398,6 +468,31 @@ class _ModuleExtractor:
             if match:
                 self.summary.file_pragmas.extend(
                     r.strip() for r in match.group(1).split(","))
+
+    def _collect_module_bindings(self) -> None:
+        """Index module-level string constants and mutable containers.
+
+        Both feed the distributability pass: string constants resolve
+        indirect env-var names (``os.environ.get(ENV_FLAG)``), mutable
+        bindings anchor the dist-mutable-global rule.  Only top-level
+        statements count — anything created inside a function is local.
+        """
+        for stmt in self.tree.body:
+            if isinstance(stmt, ast.Assign):
+                value, targets = stmt.value, stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value, targets = stmt.value, [stmt.target]
+            else:
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if not names:
+                continue
+            if isinstance(value, ast.Constant) and isinstance(
+                    value.value, str):
+                for name in names:
+                    self.summary.str_constants[name] = value.value
+            elif _is_mutable_literal(value):
+                self.summary.mutable_globals.extend(names)
 
     def unit_annotation(self, lineno: int) -> str | None:
         """A ``# unit: tc`` annotation on the given source line."""
@@ -464,8 +559,38 @@ class _ModuleExtractor:
             lineno=node.lineno, declared_unit=declared,
             class_name=class_name, module_level=False,
             is_converter=conversion is not None)
+        extractor.decorators = self._decorator_records(node)
         extractor.exec_block(node.body)
         self.summary.functions.append(extractor.finish(self.path))
+
+    def _decorator_records(self, node: ast.FunctionDef
+                           | ast.AsyncFunctionDef) -> list[dict]:
+        """Resolve each decorator to a qualname plus its first str arg.
+
+        Bare same-module names qualify against this module, so
+        ``@scenario("x")`` resolves identically whether the decorator
+        is imported or defined alongside its uses.
+        """
+        records: list[dict] = []
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            dotted = _dotted(target)
+            if dotted is None:
+                continue
+            head = dotted.split(".")[0]
+            if head in self.summary.aliases:
+                name = self.resolve_dotted(dotted)
+            elif "." not in dotted and dotted not in _BUILTIN_NAMES:
+                name = f"{self.qualname}.{dotted}"
+            else:
+                name = dotted
+            arg = None
+            if isinstance(dec, ast.Call) and dec.args and isinstance(
+                    dec.args[0], ast.Constant) and isinstance(
+                    dec.args[0].value, str):
+                arg = dec.args[0].value
+            records.append({"name": name, "arg": arg})
+        return records
 
     def _extract_class(self, node: ast.ClassDef) -> None:
         qualname = f"{self.qualname}.{node.name}"
@@ -530,6 +655,14 @@ class _FunctionExtractor:
         self.schedules = False
         self.unordered_loops: list[dict] = []
         self.draws: list[dict] = []
+        self.decorators: list[dict] = []
+        self.host_state: list[dict] = []
+        self.global_writes: list[dict] = []
+        self.fs_writes: list[dict] = []
+        self.boundary: list[dict] = []
+        self.digest_hazards: list[dict] = []
+        self._lambda_names: set[str] = set()
+        self.local_classes: set[str] = set()
         self._loop_stack: list[dict] = []
         self._lineno = lineno
 
@@ -551,6 +684,12 @@ class _FunctionExtractor:
             schedules=self.schedules,
             unordered_loops=self.unordered_loops,
             draws=self.draws,
+            decorators=self.decorators,
+            host_state=self.host_state,
+            global_writes=self.global_writes,
+            fs_writes=self.fs_writes,
+            boundary=self.boundary,
+            digest_hazards=self.digest_hazards,
         )
 
     # -- statements ----------------------------------------------------
@@ -566,11 +705,18 @@ class _FunctionExtractor:
             self.module._extract_function(stmt, parent=self.qualname,
                                           class_name=self.class_name)
         elif isinstance(stmt, ast.ClassDef):
-            pass
+            self.local_classes.add(stmt.name)
         elif isinstance(stmt, ast.Assign):
             value = self.eval_expr(stmt.value)
             for target in stmt.targets:
                 self._assign(target, value, stmt)
+                if isinstance(target, ast.Subscript):
+                    self._module_mutation(target.value, stmt,
+                                          "item assignment")
+            if isinstance(stmt.value, ast.Lambda):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self._lambda_names.add(target.id)
         elif isinstance(stmt, ast.AnnAssign):
             value = (self.eval_expr(stmt.value)
                      if stmt.value is not None else None)
@@ -578,6 +724,9 @@ class _FunctionExtractor:
                 self._assign(stmt.target, value, stmt)
         elif isinstance(stmt, ast.AugAssign):
             value = self.eval_expr(stmt.value)
+            if isinstance(stmt.target, ast.Subscript):
+                self._module_mutation(stmt.target.value, stmt,
+                                      "augmented item assignment")
             target_unit = self._target_unit(stmt.target, stmt)
             if target_unit is not None and isinstance(
                     stmt.op, (ast.Add, ast.Sub, ast.Mod, ast.FloorDiv)):
@@ -622,7 +771,16 @@ class _FunctionExtractor:
             for target in stmt.targets:
                 if isinstance(target, ast.Name):
                     self.env.pop(target.id, None)
-        # pass/break/continue/import/global/nonlocal: no unit effect
+        elif isinstance(stmt, ast.Global):
+            # A ``global`` declaration inside a function announces a
+            # rebind of module state — the canonical relocation hazard.
+            if not self.module_level:
+                for name in stmt.names:
+                    self.global_writes.append({
+                        "line": stmt.lineno, "col": stmt.col_offset,
+                        "name": f"{self.module.qualname}.{name}",
+                        "how": "declared global and rebound"})
+        # pass/break/continue/import/nonlocal: no unit effect
 
     def _branches(self, stmt: ast.stmt,
                   blocks: list[list[ast.stmt]]) -> None:
@@ -699,6 +857,11 @@ class _FunctionExtractor:
             return (U_UNITLESS if isinstance(node.value, (int, float))
                     and not isinstance(node.value, bool) else U_UNKNOWN)
         if isinstance(node, ast.Name):
+            if node.id == "__file__" and "__file__" not in self.env:
+                self.host_state.append({
+                    "line": node.lineno, "col": node.col_offset,
+                    "kind": "file", "what": "__file__",
+                    "var": None, "ref": None, "expr": "__file__"})
             return self._name_unit(node.id)
         if isinstance(node, ast.Attribute):
             self.eval_expr(node.value)
@@ -730,6 +893,7 @@ class _FunctionExtractor:
         if isinstance(node, ast.Subscript):
             base = self.eval_expr(node.value)
             self.eval_expr(node.slice)
+            self._subscript_host_state(node)
             if isinstance(node.slice, ast.Constant) and isinstance(
                     node.slice.value, str):
                 unit = unit_of_name(node.slice.value)
@@ -829,7 +993,15 @@ class _FunctionExtractor:
                     "recv": _dotted(func.value), "method": func.attr})
                 for loop in self._loop_stack:
                     loop["draws"] = True
+            if func.attr in _MUTATING_METHODS:
+                self._module_mutation(func.value, node,
+                                      f".{func.attr}() call")
+            if func.attr in _POOL_SUBMIT_METHODS:
+                self._detect_boundary(func, node)
         self._detect_impurity(func, node)
+        self._detect_host_state(func, node)
+        self._detect_fs_write(func, node)
+        self._detect_digest_hazard(func, node)
 
         # The <target>_from_<source> naming convention is authoritative
         # even when the converter is defined outside the analysis roots.
@@ -937,6 +1109,186 @@ class _FunctionExtractor:
                 what: str) -> None:
         sink.append({"line": node.lineno, "col": node.col_offset,
                      "what": what})
+
+    # -- distributability ----------------------------------------------
+    def _detect_host_state(self, func: ast.expr,
+                           node: ast.Call) -> None:
+        dotted = _dotted(func)
+        if dotted is None:
+            return
+        head = dotted.split(".")[0]
+        if head in self.env or head in self.local_defs:
+            return
+        resolved = self.module.resolve_dotted(dotted)
+        if resolved in _ENV_READ_CALLS:
+            key = node.args[0] if node.args else None
+            var, ref, expr = (self._env_var(key) if key is not None
+                              else (None, None, "<missing>"))
+            self._host(node, "env", resolved, var=var, ref=ref,
+                       expr=expr)
+        elif resolved in _CWD_CALLS:
+            self._host(node, "cwd", resolved)
+        elif resolved in _HOST_ID_CALLS:
+            self._host(node, "host-id", resolved)
+        elif resolved.split(".")[0] == "locale":
+            self._host(node, "locale", resolved)
+        elif resolved in _PROCESS_CALLS:
+            self._host(node, "process", resolved)
+
+    def _host(self, node: ast.AST, kind: str, what: str, *,
+              var: str | None = None, ref: str | None = None,
+              expr: str | None = None) -> None:
+        self.host_state.append({
+            "line": getattr(node, "lineno", 1),
+            "col": getattr(node, "col_offset", 0),
+            "kind": kind, "what": what, "var": var, "ref": ref,
+            "expr": expr})
+
+    def _subscript_host_state(self, node: ast.Subscript) -> None:
+        dotted = _dotted(node.value)
+        if dotted is None:
+            return
+        if self.module.resolve_dotted(dotted) != "os.environ":
+            return
+        var, ref, expr = self._env_var(node.slice)
+        self._host(node, "env", "os.environ[...]", var=var, ref=ref,
+                   expr=expr)
+
+    def _env_var(self, node: ast.expr
+                 ) -> tuple[str | None, str | None, str]:
+        """``(literal name, constant qualname, source text)`` of a key.
+
+        Indirect names resolve through this module's string constants;
+        imported constants come back as a ``ref`` qualname for the
+        whole-program pass to look up across modules.
+        """
+        expr = ast.unparse(node)
+        if isinstance(node, ast.Constant) and isinstance(
+                node.value, str):
+            return node.value, None, expr
+        if isinstance(node, ast.Name) and node.id not in self.env:
+            value = self.module.summary.str_constants.get(node.id)
+            if value is not None:
+                return value, None, expr
+            if node.id in self.module.summary.aliases:
+                return None, self.module.summary.aliases[node.id], expr
+        elif isinstance(node, ast.Attribute):
+            dotted = _dotted(node)
+            if dotted is not None \
+                    and dotted.split(".")[0] in self.module.summary.aliases:
+                return None, self.module.resolve_dotted(dotted), expr
+        return None, None, expr
+
+    def _module_mutation(self, base: ast.expr, node: ast.AST,
+                         how: str) -> None:
+        if self.module_level or not isinstance(base, ast.Name):
+            return
+        name = base.id
+        if name in self.env or name in self.local_defs:
+            return
+        if name in self.module.summary.mutable_globals:
+            self.global_writes.append({
+                "line": getattr(node, "lineno", 1),
+                "col": getattr(node, "col_offset", 0),
+                "name": f"{self.module.qualname}.{name}", "how": how})
+
+    def _detect_fs_write(self, func: ast.expr, node: ast.Call) -> None:
+        if isinstance(func, ast.Name):
+            if func.id == "open" and func.id not in self.env \
+                    and func.id not in self.local_defs \
+                    and func.id not in self.module.summary.aliases:
+                mode = self._open_mode(node)
+                if mode is not None and any(c in mode for c in "wax+"):
+                    self._fs(node, f"open(..., {mode!r})")
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr == "open":
+            mode = self._open_mode(node)
+            if mode is not None and any(c in mode for c in "wax+"):
+                self._fs(node, f".open(..., {mode!r})")
+            return
+        if func.attr in _FS_WRITE_METHODS:
+            self._fs(node, f".{func.attr}()")
+            return
+        dotted = _dotted(func)
+        if dotted is None:
+            return
+        head = dotted.split(".")[0]
+        if head in self.env or head in self.local_defs:
+            return
+        resolved = self.module.resolve_dotted(dotted)
+        if resolved in _FS_WRITE_CALLS or resolved.split(".")[0] in (
+                "shutil", "tempfile"):
+            self._fs(node, f"{resolved}()")
+
+    def _open_mode(self, node: ast.Call) -> str | None:
+        mode: ast.expr | None = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+        if isinstance(mode, ast.Constant) and isinstance(
+                mode.value, str):
+            return mode.value
+        return None
+
+    def _fs(self, node: ast.Call, what: str) -> None:
+        self.fs_writes.append({"line": node.lineno,
+                               "col": node.col_offset, "what": what})
+
+    def _detect_boundary(self, func: ast.Attribute,
+                         node: ast.Call) -> None:
+        for arg in (*node.args, *(kw.value for kw in node.keywords)):
+            hazard = self._boundary_hazard(arg)
+            if hazard is not None:
+                self.boundary.append({
+                    "line": node.lineno, "col": node.col_offset,
+                    "method": func.attr, "hazard": hazard})
+
+    def _boundary_hazard(self, arg: ast.expr) -> str | None:
+        if isinstance(arg, ast.Lambda):
+            return "a lambda"
+        if isinstance(arg, ast.Name):
+            if arg.id in self.local_defs:
+                return f"the locally defined function '{arg.id}'"
+            if arg.id in self._lambda_names:
+                return f"the lambda bound to '{arg.id}'"
+            if arg.id in self.local_classes:
+                return f"the locally defined class '{arg.id}'"
+        if isinstance(arg, ast.Call) and isinstance(
+                arg.func, ast.Name) and arg.func.id in self.local_classes:
+            return f"an instance of the local class '{arg.func.id}'"
+        return None
+
+    def _detect_digest_hazard(self, func: ast.expr,
+                              node: ast.Call) -> None:
+        if isinstance(func, ast.Name):
+            if func.id in ("hash", "id") and func.id not in self.env \
+                    and func.id not in self.local_defs \
+                    and func.id not in self.module.summary.aliases:
+                what = ("builtin hash() (salted per-process via "
+                        "PYTHONHASHSEED)" if func.id == "hash" else
+                        "builtin id() (memory-layout dependent)")
+                self.digest_hazards.append({
+                    "line": node.lineno, "col": node.col_offset,
+                    "what": what})
+            return
+        dotted = _dotted(func)
+        if dotted is None:
+            return
+        if self.module.resolve_dotted(dotted) == "json.dumps":
+            sort_ok = any(
+                keyword.arg == "sort_keys"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+                for keyword in node.keywords)
+            if not sort_ok:
+                self.digest_hazards.append({
+                    "line": node.lineno, "col": node.col_offset,
+                    "what": "json.dumps(...) without sort_keys=True"})
 
     # -- bookkeeping ---------------------------------------------------
     def _record(self, rule: str, node: ast.AST, payload: dict) -> None:
@@ -1371,6 +1723,15 @@ def _dotted(node: ast.expr) -> str | None:
         parts.append(node.id)
         return ".".join(reversed(parts))
     return None
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.SetComp, ast.DictComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_FACTORIES)
 
 
 def _unordered_reason(node: ast.expr) -> str | None:

@@ -190,7 +190,8 @@ def render_detsan_sarif(report: DetsanReport) -> str:
     rules = dict(DETSAN_RULES)
     rules[SYNTAX_ERROR_RULE_ID] = "file could not be parsed"
     return render_sarif(report.violations, tool_name="urllc5g-detsan",
-                        rules=rules)
+                        rules=rules,
+                        information_uri="docs/ANALYSIS.md")
 
 
 def render_detsan_dot(report: DetsanReport) -> str:

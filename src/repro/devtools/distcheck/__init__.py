@@ -1,0 +1,47 @@
+"""``urllc5g distcheck`` — distributability certification.
+
+Whole-program pass over the analyze project model that certifies each
+``@scenario``-registered campaign entry point as safe to execute on a
+remote host: no reachable writes to module-level mutable state, no
+undeclared host-state observation, nothing unpicklable crossing the
+pool boundary, order-stable digest material, and no filesystem writes
+outside the sanctioned artifact/journal APIs.  Findings ride the same
+``Violation``/pragma/baseline/SARIF machinery as lint, analyze, and
+detsan; the per-scenario verdicts are emitted as
+``distcheck-manifest.json`` for the multi-host dispatcher.  See the
+"Distributability contract" chapter in docs/ANALYSIS.md.
+"""
+
+from repro.devtools.distcheck.config import (DistcheckConfig,
+                                             load_distcheck_config)
+from repro.devtools.distcheck.engine import (
+    DIST_RULES,
+    DistcheckReport,
+    ScenarioCertification,
+    distcheck_paths,
+    render_distcheck_json,
+    render_distcheck_manifest,
+    render_distcheck_sarif,
+    render_distcheck_text,
+)
+from repro.devtools.distcheck.rules import (CertificationMap,
+                                            ScenarioEntry,
+                                            certification_map,
+                                            find_scenario_entries)
+
+__all__ = [
+    "DIST_RULES",
+    "CertificationMap",
+    "DistcheckConfig",
+    "DistcheckReport",
+    "ScenarioCertification",
+    "ScenarioEntry",
+    "certification_map",
+    "distcheck_paths",
+    "find_scenario_entries",
+    "load_distcheck_config",
+    "render_distcheck_json",
+    "render_distcheck_manifest",
+    "render_distcheck_sarif",
+    "render_distcheck_text",
+]

@@ -1,0 +1,132 @@
+"""Load distcheck configuration from ``pyproject.toml``.
+
+The ``[tool.urllc5g.distcheck]`` table extends the detsan shape with
+the distributability contract knobs::
+
+    [tool.urllc5g.distcheck]
+    ignore = []                         # rule ids disabled outright
+    exclude = ["*/fixtures/*"]          # path globs never analyzed
+    baseline = "distcheck-baseline.json"
+    cache = ".urllc5g-analyze-cache.json"
+    allow-env = ["URLLC5G_*"]           # reviewed env-var contract
+    refuse-scenarios = ["chaos-selftest"]
+    allow-globals = []                  # reviewed mutable-state writers
+    sanctioned-writers = ["repro.runner.cache.*"]
+    entry-decorators = ["repro.runner.scenarios.scenario"]
+    shared-roots = ["repro.runner.scenarios.run_point"]
+    digest-roots = []                   # extra digest-feeding functions
+
+``allow-env`` patterns match environment-variable *names*;
+``allow-globals`` and ``sanctioned-writers`` match function
+*qualnames* (fnmatch globs).  ``refuse-scenarios`` lists scenarios
+deliberately outside the distributability contract: their findings
+are dropped and the manifest marks them ``refused``, so a dispatcher
+must never ship their points off-host.  The cache defaults to the
+analyze cache file — one parse serves lint-adjacent passes, analyze,
+detsan, and distcheck alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.lintkit.core import _glob_match
+from repro.devtools.lintkit.config import find_pyproject
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - Python 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+__all__ = ["DistcheckConfig", "load_distcheck_config"]
+
+#: The decorator that marks a remote-executable entry point.
+DEFAULT_ENTRY_DECORATORS = ("repro.runner.scenarios.scenario",)
+#: Functions every remote point executes besides the scenario itself.
+DEFAULT_SHARED_ROOTS = ("repro.runner.scenarios.run_point",)
+#: The reviewed env-var contract: runner knobs are snapshot-managed.
+DEFAULT_ALLOW_ENV = ("URLLC5G_*",)
+
+
+@dataclass
+class DistcheckConfig:
+    """The distributability contract; see ``[tool.urllc5g.distcheck]``."""
+
+    ignore: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    baseline: str | None = None
+    cache: str | None = None
+    allow_env: tuple[str, ...] = DEFAULT_ALLOW_ENV
+    refuse_scenarios: tuple[str, ...] = ()
+    allow_globals: tuple[str, ...] = ()
+    sanctioned_writers: tuple[str, ...] = ()
+    entry_decorators: tuple[str, ...] = DEFAULT_ENTRY_DECORATORS
+    shared_roots: tuple[str, ...] = DEFAULT_SHARED_ROOTS
+    digest_roots: tuple[str, ...] = ()
+    _extra_excludes: tuple[str, ...] = field(default=(), repr=False)
+
+    def is_excluded(self, path: str) -> bool:
+        patterns = self.exclude + self._extra_excludes
+        return any(_glob_match(path, pattern) for pattern in patterns)
+
+
+_LIST_KEYS = {
+    "ignore": "ignore",
+    "exclude": "exclude",
+    "allow-env": "allow_env",
+    "refuse-scenarios": "refuse_scenarios",
+    "allow-globals": "allow_globals",
+    "sanctioned-writers": "sanctioned_writers",
+    "entry-decorators": "entry_decorators",
+    "shared-roots": "shared_roots",
+    "digest-roots": "digest_roots",
+}
+
+
+def load_distcheck_config(pyproject: str | Path | None = None,
+                          start: str | Path = ".") -> DistcheckConfig:
+    """Build a :class:`DistcheckConfig` from the nearest pyproject.
+
+    Missing file, missing table, or a pre-3.11 interpreter all yield
+    the default config.
+    """
+    if tomllib is None:  # pragma: no cover - Python 3.10 fallback
+        return DistcheckConfig()
+    path = Path(pyproject) if pyproject is not None else (
+        find_pyproject(start))
+    if path is None or not path.is_file():
+        return DistcheckConfig()
+    with open(path, "rb") as handle:
+        data = tomllib.load(handle)
+    table = data.get("tool", {}).get("urllc5g", {}).get("distcheck", {})
+    if not isinstance(table, dict):
+        raise ValueError("[tool.urllc5g.distcheck] must be a table")
+    baseline = table.get("baseline")
+    cache = table.get("cache")
+    for key, value in (("baseline", baseline), ("cache", cache)):
+        if value is not None and not isinstance(value, str):
+            raise ValueError(
+                f"[tool.urllc5g.distcheck] {key} must be a string")
+    # Relative baseline/cache paths are anchored at the pyproject's
+    # directory, so `--config /elsewhere/pyproject.toml` honors the
+    # reviewed baseline no matter the invocation cwd.
+    anchor = path.parent
+    if baseline is not None:
+        baseline = str(anchor / baseline)
+    if cache is not None:
+        cache = str(anchor / cache)
+    kwargs: dict[str, object] = {"baseline": baseline, "cache": cache}
+    for toml_key, attr in _LIST_KEYS.items():
+        if toml_key in table:
+            kwargs[attr] = tuple(
+                _as_str_list(table[toml_key], toml_key))
+    return DistcheckConfig(**kwargs)  # type: ignore[arg-type]
+
+
+def _as_str_list(value: object, key: str) -> list[str]:
+    if (not isinstance(value, list)
+            or not all(isinstance(item, str) for item in value)):
+        raise ValueError(
+            f"[tool.urllc5g.distcheck] {key} must be a list of strings")
+    return value

@@ -1,0 +1,307 @@
+"""Distcheck orchestration: load -> reachability -> certification.
+
+:func:`distcheck_paths` mirrors the analyze/detsan engines — same
+project loader, incremental cache, pragma grammar, and reviewed
+baseline — then folds the surviving findings into a per-scenario
+certification verdict:
+
+``certified``
+    no findings anywhere in the scenario's reachability closure;
+``baselined-findings``
+    findings exist but every one is reviewed (pragma, ignore list,
+    or baseline entry);
+``failed``
+    at least one unreviewed finding survives;
+``refused``
+    the scenario is listed in ``refuse-scenarios`` — deliberately
+    outside the distributability contract (its findings are dropped,
+    and a dispatcher must never ship its points off-host).
+
+A finding attributed *only* to refused scenarios is dropped; one
+shared with any certified scenario still gates.  Boundary and digest
+findings with no scenario attribution are program-wide and are never
+droppable.  The manifest renderer emits the machine-readable
+``distcheck-manifest.json`` the future multi-host dispatcher checks
+before shipping a point.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.devtools.lintkit.core import (
+    SYNTAX_ERROR_RULE_ID,
+    Severity,
+    Violation,
+)
+from repro.devtools.analyze.baseline import Baseline, load_baseline
+from repro.devtools.analyze.cache import AnalysisCache
+from repro.devtools.analyze.engine import (_apply_pragmas,
+                                           _syntax_violations)
+from repro.devtools.analyze.loader import Project, load_project
+from repro.devtools.distcheck.config import DistcheckConfig
+from repro.devtools.distcheck.rules import (DIST_RULES, CertificationMap,
+                                            certification_map,
+                                            distcheck_findings)
+
+__all__ = ["DIST_RULES", "ScenarioCertification", "DistcheckReport",
+           "distcheck_paths", "render_distcheck_text",
+           "render_distcheck_json", "render_distcheck_sarif",
+           "render_distcheck_manifest"]
+
+#: Manifest schema version; bump on any change to the payload shape.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScenarioCertification:
+    """One scenario's distributability verdict."""
+
+    name: str
+    entry: str
+    status: str  # certified | baselined-findings | failed | refused
+    reachable: int = 0
+    findings: int = 0  # unreviewed findings surviving all filters
+    reviewed: int = 0  # findings removed by ignore/pragma/baseline
+
+
+@dataclass
+class DistcheckReport:
+    """The outcome of one whole-program distributability analysis."""
+
+    violations: list[Violation]
+    certifications: list[ScenarioCertification]
+    files_checked: int
+    parsed: int = 0
+    from_cache: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    refused_findings: int = 0
+    #: surviving violation -> attributed scenario names (may be empty)
+    attribution: dict[int, frozenset[str]] = field(
+        default_factory=dict, repr=False)
+    project: Project | None = field(default=None, repr=False)
+
+    @property
+    def errors(self) -> list[Violation]:
+        return [v for v in self.violations
+                if v.severity >= Severity.ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def scenarios_for(self, violation: Violation) -> frozenset[str]:
+        return self.attribution.get(id(violation), frozenset())
+
+
+def distcheck_paths(paths: Iterable[str | Path],
+                    config: DistcheckConfig | None = None,
+                    *,
+                    baseline: Baseline | None = None,
+                    cache_path: str | Path | None = None,
+                    use_cache: bool = True) -> DistcheckReport:
+    """Run the distributability analysis and aggregate a report.
+
+    ``baseline`` overrides the config's baseline file; ``cache_path``
+    overrides the config's cache location; ``use_cache=False`` disables
+    the incremental cache entirely (every module is re-parsed).
+    """
+    config = config or DistcheckConfig()
+    cache: AnalysisCache | None = None
+    if use_cache:
+        location = cache_path if cache_path is not None else config.cache
+        if location is not None:
+            cache = AnalysisCache(location)
+    project = load_project(paths, exclude=config.is_excluded, cache=cache)
+    if cache is not None:
+        cache.save()
+
+    cert = certification_map(project, config)
+    pairs = distcheck_findings(project, config, cert)
+
+    refuse = set(config.refuse_scenarios)
+    attribution: dict[int, frozenset[str]] = {}
+    violations: list[Violation] = []
+    refused_findings = 0
+    for violation, scenarios in pairs:
+        if scenarios and scenarios <= refuse:
+            refused_findings += 1
+            continue
+        attribution[id(violation)] = scenarios
+        violations.append(violation)
+    violations = _syntax_violations(project) + violations
+
+    # Findings present before review filters, per scenario: these
+    # decide certified vs baselined-findings further down.
+    pre_counts = _per_scenario_counts(violations, attribution)
+
+    if config.ignore:
+        ignored = set(config.ignore)
+        violations = [v for v in violations if v.rule_id not in ignored]
+    violations, suppressed = _apply_pragmas(project, violations)
+
+    if baseline is None and config.baseline is not None:
+        baseline = load_baseline(config.baseline)
+    baselined = 0
+    if baseline is not None:
+        violations, baselined = baseline.filter(violations)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+
+    surviving = _per_scenario_counts(violations, attribution)
+    certifications = []
+    for entry in sorted(cert.entries, key=lambda e: e.name):
+        reachable = cert.closure_sizes.get(entry.name, 0)
+        if entry.name in refuse:
+            status = "refused"
+            found = reviewed = 0
+        else:
+            found = surviving.get(entry.name, 0)
+            reviewed = pre_counts.get(entry.name, 0) - found
+            status = ("failed" if found
+                      else "baselined-findings" if reviewed
+                      else "certified")
+        certifications.append(ScenarioCertification(
+            name=entry.name, entry=entry.qualname, status=status,
+            reachable=reachable, findings=found, reviewed=reviewed))
+
+    return DistcheckReport(
+        violations=violations,
+        certifications=certifications,
+        files_checked=project.files_checked,
+        parsed=project.parsed,
+        from_cache=project.from_cache,
+        suppressed=suppressed,
+        baselined=baselined,
+        refused_findings=refused_findings,
+        attribution={id(v): attribution.get(id(v), frozenset())
+                     for v in violations},
+        project=project,
+    )
+
+
+def _per_scenario_counts(violations: list[Violation],
+                         attribution: dict[int, frozenset[str]]
+                         ) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for violation in violations:
+        for name in attribution.get(id(violation), frozenset()):
+            counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def render_distcheck_text(report: DistcheckReport) -> str:
+    """Human-readable report: certification table plus the findings."""
+    lines = [f"scenario certification "
+             f"({len(report.certifications)} scenario(s)):"]
+    for cert in report.certifications:
+        if cert.status == "refused":
+            detail = "(listed in refuse-scenarios)"
+        else:
+            detail = (f"({cert.reachable} reachable function(s), "
+                      f"{cert.findings} finding(s), "
+                      f"{cert.reviewed} reviewed)")
+        lines.append(f"  {cert.name:<22} {cert.status:<20} {detail}")
+    lines.append("")
+    for violation in report.violations:
+        lines.append(violation.render())
+        scenarios = sorted(report.scenarios_for(violation))
+        lines.append("    reached from: "
+                     + (", ".join(scenarios) if scenarios
+                        else "(program-wide)"))
+    summary = (f"{report.files_checked} file(s) analyzed "
+               f"({report.parsed} parsed, {report.from_cache} from "
+               f"cache), {len(report.violations)} finding(s)")
+    extras = []
+    if report.suppressed:
+        extras.append(f"{report.suppressed} suppressed")
+    if report.baselined:
+        extras.append(f"{report.baselined} baselined")
+    if report.refused_findings:
+        extras.append(f"{report.refused_findings} on refused scenarios")
+    if extras:
+        summary += " (" + ", ".join(extras) + ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_distcheck_json(report: DistcheckReport) -> str:
+    """Machine-readable report for tooling."""
+    payload = {
+        "files_checked": report.files_checked,
+        "parsed": report.parsed,
+        "from_cache": report.from_cache,
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "refused_findings": report.refused_findings,
+        "exit_code": report.exit_code,
+        "scenarios": [
+            {
+                "name": cert.name,
+                "entry": cert.entry,
+                "status": cert.status,
+                "reachable_functions": cert.reachable,
+                "findings": cert.findings,
+                "reviewed_findings": cert.reviewed,
+            }
+            for cert in report.certifications
+        ],
+        "violations": [
+            {
+                "path": violation.path,
+                "line": violation.line,
+                "col": violation.col,
+                "rule": violation.rule_id,
+                "severity": str(violation.severity),
+                "message": violation.message,
+                "scenarios": sorted(report.scenarios_for(violation)),
+            }
+            for violation in report.violations
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_distcheck_sarif(report: DistcheckReport) -> str:
+    """SARIF 2.1.0 document via the shared writer."""
+    from repro.devtools.sarif import render_sarif
+
+    rules = dict(DIST_RULES)
+    rules[SYNTAX_ERROR_RULE_ID] = "file could not be parsed"
+    return render_sarif(report.violations,
+                        tool_name="urllc5g-distcheck", rules=rules,
+                        information_uri="docs/ANALYSIS.md")
+
+
+def render_distcheck_manifest(report: DistcheckReport) -> str:
+    """The per-scenario certification manifest.
+
+    The dispatcher contract: a point may only be shipped off-host when
+    its scenario's status is ``certified`` or ``baselined-findings``.
+    Deterministic (sorted keys, no timestamps) so the file is diffable
+    and cacheable in CI artifacts.
+    """
+    from repro.devtools.sarif import TOOL_VERSION
+
+    payload = {
+        "tool": "urllc5g-distcheck",
+        "tool_version": TOOL_VERSION,
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "exit_code": report.exit_code,
+        "scenarios": {
+            cert.name: {
+                "entry": cert.entry,
+                "status": cert.status,
+                "distributable": cert.status in (
+                    "certified", "baselined-findings"),
+                "reachable_functions": cert.reachable,
+                "findings": cert.findings,
+                "reviewed_findings": cert.reviewed,
+            }
+            for cert in report.certifications
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

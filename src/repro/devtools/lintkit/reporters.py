@@ -69,4 +69,5 @@ def render_sarif(report: LintReport) -> str:
         rules[rule_id] = rule_cls.description
         severities[rule_id] = str(rule_cls.severity)
     return _render(report.violations, tool_name="urllc5g-lint",
-                   rules=rules, rule_severities=severities)
+                   rules=rules, rule_severities=severities,
+                   information_uri="docs/LINTING.md")

@@ -1,10 +1,15 @@
-"""SARIF 2.1.0 output shared by ``urllc5g lint`` and ``urllc5g analyze``.
+"""SARIF 2.1.0 output shared by all four ``urllc5g`` analysis verbs.
 
 `SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
 is the interchange format code scanners upload to review UIs; emitting
-it lets both tools feed GitHub code scanning and any SARIF viewer.  The
-writer is a pure function from violations + rule metadata to the
-document, so tests can assert on the exact shape.
+it lets lint, analyze, detsan, and distcheck feed GitHub code scanning
+and any SARIF viewer.  The writer is a pure function from violations +
+rule metadata to the document, so tests can assert on the exact shape.
+
+Every verb emits the same driver metadata shape — ``urllc5g-<verb>``
+tool name, the shared :data:`TOOL_VERSION`, and a sorted,
+index-referenced rule table — so the four CI artifacts merge cleanly
+in one viewer.
 """
 
 from __future__ import annotations
@@ -14,11 +19,15 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.devtools.lintkit.core import Severity, Violation
 
-__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "sarif_document",
-           "render_sarif"]
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "TOOL_VERSION",
+           "sarif_document", "render_sarif"]
 
 SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
 SARIF_VERSION = "2.1.0"
+
+#: One version for every ``urllc5g-*`` driver; tracks the project
+#: version in pyproject.toml so merged artifacts agree on provenance.
+TOOL_VERSION = "1.0.0"
 
 #: Severity -> SARIF ``level`` (the two vocabularies coincide for the
 #: levels this project uses; "none" exists in SARIF but is never emitted).
@@ -31,7 +40,7 @@ def _level(severity: str) -> str:
 
 def sarif_document(violations: Sequence[Violation], *,
                    tool_name: str,
-                   tool_version: str = "1.0.0",
+                   tool_version: str = TOOL_VERSION,
                    rules: Mapping[str, str] | None = None,
                    rule_severities: Mapping[str, str] | None = None,
                    information_uri: str | None = None) -> dict:
@@ -108,7 +117,7 @@ def sarif_document(violations: Sequence[Violation], *,
 
 def render_sarif(violations: Iterable[Violation], *,
                  tool_name: str,
-                 tool_version: str = "1.0.0",
+                 tool_version: str = TOOL_VERSION,
                  rules: Mapping[str, str] | None = None,
                  rule_severities: Mapping[str, str] | None = None,
                  information_uri: str | None = None) -> str:

@@ -10,6 +10,7 @@ source fingerprint.  ``urllc5g bench`` and the benchmark harness are
 the two front-ends; see ``docs/CAMPAIGNS.md``.
 """
 
+from repro.runner import envconfig
 from repro.runner.bench import (
     CAMPAIGNS,
     CheckOutcome,
@@ -57,6 +58,7 @@ __all__ = [
     "canonical_params",
     "check_against_baseline",
     "derive_point_seed",
+    "envconfig",
     "grid_params",
     "load_baseline",
     "render_baseline",

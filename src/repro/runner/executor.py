@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Any, Callable
 
+from repro.runner import envconfig
 from repro.runner.cache import ResultCache, source_fingerprint
 from repro.runner.campaign import Campaign, ScenarioPoint
 from repro.runner.journal import CampaignJournal
@@ -236,6 +237,9 @@ class CampaignRunner:
         """
         # Measurement boundary: elapsed-time span only, never results.
         start_s = time.perf_counter()
+        # One consistent URLLC5G_* reading for the whole campaign:
+        # mid-run environment mutation is never observed.
+        envconfig.refresh()
         warnings: list[str] = []
         if self.cache is not None:
             warnings.extend(self.cache.warnings)

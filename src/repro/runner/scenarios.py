@@ -28,6 +28,7 @@ from repro.core.latency_model import LatencyModel
 from repro.faults.injectors import FaultCounters
 from repro.faults.plan import FaultPlan
 from repro.mac.catalog import testbed_dddu
+from repro.runner import envconfig
 from repro.mac.types import AccessMode, Direction
 from repro.net.probes import LatencyProbe
 from repro.net.session import RanConfig, RanSystem
@@ -259,8 +260,7 @@ def chaos_selftest(params: Mapping[str, Any],
     """
     mode = str(params.get("mode", "ok"))
     token = str(params.get("token", ""))
-    if (mode != "ok" and token
-            and os.environ.get("URLLC5G_CHAOS") == "1"):
+    if mode != "ok" and token and envconfig.current().chaos:
         marker = Path(token)
         if not marker.exists():
             try:

@@ -1,4 +1,4 @@
-"""CLI wiring for ``urllc5g lint``, ``analyze`` and ``check``."""
+"""CLI wiring: ``urllc5g lint``/``analyze``/``distcheck``/``check``."""
 
 import json
 from pathlib import Path
@@ -102,6 +102,98 @@ def test_analyze_missing_path_is_an_error(capsys):
     code = main(["analyze", "no/such/dir"])
     assert code == 2
     assert "no such path" in capsys.readouterr().err
+
+
+def test_distcheck_src_certifies_and_writes_manifest(tmp_path, capsys):
+    manifest = tmp_path / "manifest.json"
+    code = main(["distcheck", str(REPO_ROOT / "src"),
+                 "--config", str(REPO_ROOT / "pyproject.toml"),
+                 "--manifest", str(manifest)])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "scenario certification" in out
+    payload = json.loads(manifest.read_text(encoding="utf-8"))
+    assert payload["tool"] == "urllc5g-distcheck"
+    assert payload["scenarios"]["chaos-selftest"]["status"] == "refused"
+    assert all(entry["status"] != "failed"
+               for entry in payload["scenarios"].values())
+
+
+def test_distcheck_host_stateful_scenario_exits_one(tmp_path, capsys):
+    # The CI regression contract: a scenario reaching undeclared host
+    # state must fail certification with exit code 1.
+    (tmp_path / "probe.py").write_text(
+        "import os\n"
+        "\n"
+        "from repro.runner.scenarios import scenario\n"
+        "\n"
+        "\n"
+        '@scenario("env-probe")\n'
+        "def env_probe(params, seed):\n"
+        '    return {"tag": os.environ.get("EXPERIMENT_TAG")}\n',
+        encoding="utf-8")
+    code = main(["distcheck", str(tmp_path), "--no-config",
+                 "--no-cache", "--no-manifest"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "dist-host-state" in out
+    assert "failed" in out
+
+
+def test_distcheck_write_then_use_baseline(tmp_path, capsys):
+    (tmp_path / "state.py").write_text(
+        "from repro.runner.scenarios import scenario\n"
+        "\n"
+        "_SEEN = []\n"
+        "\n"
+        "\n"
+        '@scenario("hoarder")\n'
+        "def hoarder(params, seed):\n"
+        "    _SEEN.append(seed)\n"
+        "    return {\"count\": len(_SEEN)}\n",
+        encoding="utf-8")
+    baseline = tmp_path / "baseline.json"
+    code = main(["distcheck", str(tmp_path), "--no-config", "--no-cache",
+                 "--write-baseline", str(baseline)])
+    assert code == 0
+    assert "wrote" in capsys.readouterr().out
+    code = main(["distcheck", str(tmp_path), "--no-config", "--no-cache",
+                 "--no-manifest", "--baseline", str(baseline)])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "baselined-findings" in out
+
+
+def test_sarif_metadata_is_unified_across_all_verbs(capsys):
+    drivers = {}
+    for verb in ("lint", "analyze", "detsan", "distcheck"):
+        argv = [verb, str(CROSSMOD), "--no-config", "--format", "sarif"]
+        if verb != "lint":
+            argv.append("--no-cache")
+        if verb == "distcheck":
+            argv.append("--no-manifest")
+        main(argv)
+        document = json.loads(capsys.readouterr().out)
+        drivers[verb] = document["runs"][0]["tool"]["driver"]
+    # One tool family: urllc5g-<verb>, one shared version, a docs link
+    # and an indexed rule table in every driver.
+    for verb, driver in drivers.items():
+        assert driver["name"] == f"urllc5g-{verb}", verb
+        assert driver["informationUri"], verb
+        assert driver["rules"], verb
+    assert {driver["version"] for driver in drivers.values()} == \
+        {"1.0.0"}
+
+
+def test_check_all_aggregates_the_four_gates(capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    code = main(["check", "--all"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    for verb in ("lint", "analyze", "detsan", "distcheck"):
+        assert verb in out
+    assert "FAIL" not in out
+    assert "distcheck scenarios:" in out
 
 
 def test_check_determinism_passes(capsys):
