@@ -373,6 +373,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         CAMPAIGNS, CampaignJournal, CampaignRunner, ResultCache,
         bench_payload, build_campaign, check_against_baseline,
         load_baseline, render_baseline, write_bench_json)
+    if args.worker is not None:
+        # Worker mode: attach to a dispatch queue directory and exit
+        # when the campaign is drained.  No campaign name, cache or
+        # journal flags apply — everything comes from the queue.
+        from repro.runner import run_worker
+        if args.campaign is not None or args.dispatch is not None:
+            print("error: --worker takes no campaign name and is "
+                  "mutually exclusive with --dispatch",
+                  file=sys.stderr)
+            return 2
+        worker_id = args.worker_id or f"w{os.getpid()}"
+        return run_worker(args.worker, worker_id,
+                          max_retries=args.retries)
     if args.list:
         for name in sorted(CAMPAIGNS):
             print(f"{name}: {len(build_campaign(name))} point(s)")
@@ -385,6 +398,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("error: --resume requires a journal (drop --no-journal)",
               file=sys.stderr)
         return 2
+    if args.dispatch is not None:
+        if args.dispatch < 1:
+            print(f"error: --dispatch must be >= 1, got "
+                  f"{args.dispatch}", file=sys.stderr)
+            return 2
+        if args.workers != 1:
+            print("error: --dispatch spawns its own worker processes; "
+                  "drop --workers", file=sys.stderr)
+            return 2
+        if args.resume:
+            print("error: --resume is not supported with --dispatch "
+                  "(the queue is rebuilt each run; warm points replay "
+                  "from the result cache instead)", file=sys.stderr)
+            return 2
     try:
         campaign = build_campaign(args.campaign)
     except ValueError as exc:
@@ -398,25 +425,65 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # valid either way.
         os.environ["URLLC5G_SANITIZE"] = "1"
     cache = None if args.no_cache else ResultCache(args.cache)
-    journal = None
+    journal_path = None
     if not args.no_journal:
         journal_path = (args.journal
                         or f".urllc5g-{campaign.name}.journal.jsonl")
-        journal = CampaignJournal(journal_path)
-    with CampaignRunner(workers=args.workers, cache=cache,
-                        timeout_s=args.timeout_s,
-                        max_retries=args.retries) as runner:
-        if args.profile:
-            from repro.devtools.profile import (
-                profile_call, write_profile_json)
-            result, report = profile_call(
-                lambda: runner.run(campaign, journal=journal,
-                                   resume=args.resume))
-        else:
-            result = runner.run(campaign, journal=journal,
-                                resume=args.resume)
-    if journal is not None:
-        journal.close()
+    if args.profile:
+        from repro.devtools.profile import (
+            profile_call, write_profile_json)
+    if args.dispatch is not None:
+        import shutil
+
+        from repro.devtools.distcheck.manifest import (
+            ManifestError, load_manifest)
+        from repro.runner.dispatch import (
+            MERGED_JOURNAL_NAME, DispatchCoordinator,
+            DispatchRefusedError)
+        try:
+            manifest = load_manifest(args.manifest)
+        except ManifestError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        queue_dir = Path(args.queue_dir
+                         or f".urllc5g-{campaign.name}.queue")
+        coordinator = DispatchCoordinator(
+            workers=args.dispatch, queue_dir=queue_dir,
+            manifest=manifest, cache=cache,
+            max_retries=args.retries)
+        try:
+            if args.profile:
+                result, report = profile_call(
+                    lambda: coordinator.run(campaign))
+            else:
+                result = coordinator.run(campaign)
+        except (DispatchRefusedError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        # The merged journal is serial-equivalent: copy it to the
+        # standard journal path so a later (non-dispatched) --resume
+        # picks it up exactly as if this run had been serial.
+        if journal_path is not None:
+            shutil.copyfile(queue_dir / MERGED_JOURNAL_NAME,
+                            journal_path)
+        if not args.keep_queue:
+            shutil.rmtree(queue_dir, ignore_errors=True)
+    else:
+        journal = None
+        if journal_path is not None:
+            journal = CampaignJournal(journal_path)
+        with CampaignRunner(workers=args.workers, cache=cache,
+                            timeout_s=args.timeout_s,
+                            max_retries=args.retries) as runner:
+            if args.profile:
+                result, report = profile_call(
+                    lambda: runner.run(campaign, journal=journal,
+                                       resume=args.resume))
+            else:
+                result = runner.run(campaign, journal=journal,
+                                    resume=args.resume)
+        if journal is not None:
+            journal.close()
     payload = bench_payload(result)
     output = args.output or f"BENCH_{campaign.name}.json"
     write_bench_json(output, payload)
@@ -435,6 +502,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"resilience: {payload['journal_replays']} point(s) "
               f"replayed from the journal, {payload['retries']} "
               "retr(y/ies)")
+    if payload.get("dispatch"):
+        stats = payload["dispatch"]
+        print(f"dispatch: {stats['jobs']} job(s) across "
+              f"{stats['workers']} worker(s), {stats['steals']} "
+              f"steal(s), {stats['lease_expirations']} expired "
+              f"lease(s), {stats['reclaims']} reclaim(s), "
+              f"{stats['inline_points']} inline point(s)")
     for warning in payload["warnings"]:
         print(f"warning: {warning}", file=sys.stderr)
     for failure in payload["failed_points"]:
@@ -664,6 +738,35 @@ def build_parser() -> argparse.ArgumentParser:
                             "(URLLC5G_SANITIZE=1): stream draws are "
                             "recorded and ownership violations raise, "
                             "results stay bit-identical")
+    bench.add_argument("--dispatch", type=int, default=None,
+                       metavar="N",
+                       help="distribute the campaign over N worker "
+                            "processes through a shared queue "
+                            "directory; requires every scenario to be "
+                            "certified in the distcheck manifest "
+                            "(docs/CAMPAIGNS.md)")
+    bench.add_argument("--queue-dir", default=None, metavar="DIR",
+                       help="dispatch queue directory (default: "
+                            ".urllc5g-<campaign>.queue); put it on a "
+                            "shared filesystem to attach workers from "
+                            "other hosts")
+    bench.add_argument("--keep-queue", action="store_true",
+                       help="keep the queue directory (leases, "
+                            "events, per-worker journals) after a "
+                            "successful dispatched run")
+    bench.add_argument("--manifest", default="distcheck-manifest.json",
+                       metavar="FILE",
+                       help="distcheck certification manifest gating "
+                            "--dispatch (default: "
+                            "distcheck-manifest.json)")
+    bench.add_argument("--worker", default=None, metavar="QUEUE_DIR",
+                       help="run as a dispatch worker attached to an "
+                            "existing queue directory (no campaign "
+                            "name); exits 0 when the queue is drained, "
+                            "2 if refusing to participate")
+    bench.add_argument("--worker-id", default=None, metavar="ID",
+                       help="worker identity inside the queue "
+                            "(default: w<pid>)")
     bench.set_defaults(func=_cmd_bench)
     return parser
 

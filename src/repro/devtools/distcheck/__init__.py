@@ -24,6 +24,13 @@ from repro.devtools.distcheck.engine import (
     render_distcheck_sarif,
     render_distcheck_text,
 )
+from repro.devtools.distcheck.manifest import (
+    DISTRIBUTABLE_STATUSES,
+    DistManifest,
+    ManifestError,
+    ScenarioVerdict,
+    load_manifest,
+)
 from repro.devtools.distcheck.rules import (CertificationMap,
                                             ScenarioEntry,
                                             certification_map,
@@ -31,15 +38,20 @@ from repro.devtools.distcheck.rules import (CertificationMap,
 
 __all__ = [
     "DIST_RULES",
+    "DISTRIBUTABLE_STATUSES",
     "CertificationMap",
+    "DistManifest",
     "DistcheckConfig",
     "DistcheckReport",
+    "ManifestError",
     "ScenarioCertification",
     "ScenarioEntry",
+    "ScenarioVerdict",
     "certification_map",
     "distcheck_paths",
     "find_scenario_entries",
     "load_distcheck_config",
+    "load_manifest",
     "render_distcheck_json",
     "render_distcheck_manifest",
     "render_distcheck_sarif",

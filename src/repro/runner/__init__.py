@@ -26,6 +26,12 @@ from repro.runner.cache import (
     atomic_write_text,
     source_fingerprint,
 )
+from repro.runner.dispatch import (
+    DispatchCoordinator,
+    DispatchRefusedError,
+    DispatchStats,
+    run_worker,
+)
 from repro.runner.campaign import (
     Campaign,
     ScenarioPoint,
@@ -39,6 +45,12 @@ from repro.runner.executor import (
     PointResult,
 )
 from repro.runner.journal import CampaignJournal
+from repro.runner.lease import QueueDir
+from repro.runner.merge import (
+    JournalMergeError,
+    merge_worker_journals,
+    write_merged_journal,
+)
 from repro.runner.scenarios import SCENARIOS, run_point, scenario
 
 __all__ = [
@@ -48,7 +60,12 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "CheckOutcome",
+    "DispatchCoordinator",
+    "DispatchRefusedError",
+    "DispatchStats",
+    "JournalMergeError",
     "PointResult",
+    "QueueDir",
     "ResultCache",
     "SCENARIOS",
     "ScenarioPoint",
@@ -61,9 +78,12 @@ __all__ = [
     "envconfig",
     "grid_params",
     "load_baseline",
+    "merge_worker_journals",
     "render_baseline",
     "run_point",
+    "run_worker",
     "scenario",
     "source_fingerprint",
     "write_bench_json",
+    "write_merged_journal",
 ]

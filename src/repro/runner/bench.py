@@ -220,6 +220,14 @@ def bench_payload(result: CampaignResult) -> dict[str, Any]:
         ],
         "warnings": list(result.warnings),
         "metrics": result.metrics(),
+        # Content hash of every full point payload, in campaign order —
+        # what the dispatch CI job compares between serial and
+        # distributed runs (metrics alone only cover scalars).
+        "results_digest": result.results_digest(),
+        # Scheduling provenance of a dispatched run; null for
+        # in-process runs.  Never part of the bit-identity contract.
+        "dispatch": (result.dispatch.as_payload()
+                     if result.dispatch is not None else None),
     }
 
 

@@ -124,7 +124,18 @@ class ResultCache:
                 raise ValueError("cache payload is not a JSON object")
             if payload.get("runner_version") != RUNNER_VERSION:
                 # A valid file from another runner version is stale, not
-                # corrupt: silently start fresh (it will be overwritten).
+                # corrupt: start fresh (it will be overwritten).  Warn
+                # loudly, though — on a dispatched fleet a version
+                # mismatch means some host is running different code,
+                # which would otherwise only show up as a mysteriously
+                # cold cache (the quarantine path already surfaces the
+                # corrupt-file case the same way).
+                self.warnings.append(
+                    f"result cache {self.path} was written by runner "
+                    f"version {payload.get('runner_version')!r} "
+                    f"(current {RUNNER_VERSION!r}); treating every "
+                    "entry as stale — check for mixed code versions "
+                    "if this host is part of a dispatched campaign")
                 return
             entries = payload.get("entries")
             if not isinstance(entries, dict):

@@ -28,19 +28,24 @@ in ``[tool.urllc5g.lint.per-path]``); neither can alter a payload.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import get_context
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.runner import envconfig
 from repro.runner.cache import ResultCache, source_fingerprint
 from repro.runner.campaign import Campaign, ScenarioPoint
 from repro.runner.journal import CampaignJournal
 from repro.runner.scenarios import run_point
+
+if TYPE_CHECKING:
+    from repro.runner.dispatch import DispatchStats
 
 __all__ = ["CampaignResult", "CampaignRunner", "PointResult"]
 
@@ -90,6 +95,8 @@ class CampaignResult:
     wall_clock_s: float
     journal_replays: int = 0
     warnings: tuple[str, ...] = ()
+    #: Present only for dispatched runs (repro.runner.dispatch).
+    dispatch: "DispatchStats | None" = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -125,6 +132,30 @@ class CampaignResult:
                     continue
                 merged[f"{label}/{name}"] = float(value)
         return merged
+
+    def results_digest(self) -> str:
+        """Content hash over every point's *full* payload, in order.
+
+        The merged metrics table only carries scalars; this digest
+        additionally covers sample lists (per-packet latencies) and
+        string payload fields, so two runs agree on it iff their
+        documents are bit-identical point for point.  It is what the
+        dispatch CI job compares between a serial and a distributed
+        run — execution provenance (cache hits, journal replays,
+        attempt counts) is deliberately excluded because it may
+        legitimately differ between equal runs.
+        """
+        hasher = hashlib.sha256()
+        for point_result in self.point_results:
+            record = {
+                "point": point_result.point.digest(),
+                "result": point_result.result,
+                "error": point_result.error,
+            }
+            hasher.update(json.dumps(record,
+                                     sort_keys=True).encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
 
 
 def _execute_point(point: ScenarioPoint) -> dict[str, Any]:

@@ -54,16 +54,36 @@ class CampaignJournal:
         and left open for appending.  Without ``resume`` the file is
         simply truncated to a fresh header.
         """
+        return self.start_raw(
+            name=campaign.name, seed=campaign.seed,
+            fingerprint=fingerprint, points=len(campaign.points),
+            digests={point.digest() for point in campaign.points},
+            resume=resume)
+
+    def start_raw(self, *, name: str, seed: int, fingerprint: str,
+                  points: int, digests: set[str],
+                  resume: bool = False
+                  ) -> dict[str, tuple[dict[str, Any], int]]:
+        """:meth:`start` for callers holding only the campaign identity.
+
+        Dispatch workers (:mod:`repro.runner.dispatch`) journal against
+        the queue manifest's ``(name, seed, fingerprint, digests)``
+        without ever materialising a :class:`Campaign` — the campaign
+        object stays on the coordinating host; workers receive points
+        as job files.
+        """
         self.close()
         replayed: dict[str, tuple[dict[str, Any], int]] = {}
         if resume:
-            replayed = self._load(campaign, fingerprint)
+            replayed = self._load(name=name, seed=seed,
+                                  fingerprint=fingerprint,
+                                  digests=digests)
         header = {
             "journal_version": RUNNER_VERSION,
-            "campaign": campaign.name,
-            "seed": campaign.seed,
+            "campaign": name,
+            "seed": seed,
             "fingerprint": fingerprint,
-            "points": len(campaign.points),
+            "points": points,
         }
         lines = [json.dumps(header, sort_keys=True)]
         for digest, (result, attempts) in replayed.items():
@@ -107,8 +127,9 @@ class CampaignJournal:
         except ValueError:
             return None
 
-    def _load(self, campaign: "Campaign",
-              fingerprint: str) -> dict[str, tuple[dict[str, Any], int]]:
+    def _load(self, *, name: str, seed: int, fingerprint: str,
+              digests: set[str]
+              ) -> dict[str, tuple[dict[str, Any], int]]:
         try:
             lines = self.path.read_text(encoding="utf-8").splitlines()
         except OSError:
@@ -118,14 +139,13 @@ class CampaignJournal:
         header = self._parse(lines[0])
         if (not isinstance(header, dict)
                 or header.get("journal_version") != RUNNER_VERSION
-                or header.get("campaign") != campaign.name
-                or header.get("seed") != campaign.seed
+                or header.get("campaign") != name
+                or header.get("seed") != seed
                 or header.get("fingerprint") != fingerprint):
             self.warnings.append(
                 f"journal {self.path} belongs to a different campaign, "
                 "seed, source tree or format; ignoring it")
             return {}
-        digests = {point.digest() for point in campaign.points}
         replayed: dict[str, tuple[dict[str, Any], int]] = {}
         for number, line in enumerate(lines[1:], start=2):
             entry = self._parse(line)

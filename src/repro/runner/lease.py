@@ -1,0 +1,473 @@
+"""Filesystem queue primitives: jobs, leases, heartbeats, reclamation.
+
+The dispatch layer (:mod:`repro.runner.dispatch`) coordinates workers
+through a shared *queue directory* — the only channel a worker needs,
+which is what lets workers attach from other hosts over any shared
+filesystem.  The layout::
+
+    <queue>/queue-manifest.json   campaign identity + enqueued digests
+    <queue>/jobs/                 one file per unclaimed job
+    <queue>/leases/               one file per in-flight claim
+    <queue>/done/                 one marker per finished point
+    <queue>/hearts/               one liveness stamp file per worker
+    <queue>/events/               one append-only event log per actor
+    <queue>/journals/             one CampaignJournal per worker
+
+Every protocol transition is a single atomic ``os.replace``:
+
+- **claim**: ``jobs/<digest>--<home>.json`` →
+  ``leases/<digest>--<worker>.json``.  Exactly one racing worker wins
+  the rename; losers get ``FileNotFoundError`` and move on.
+- **reclaim**: an orphaned lease is renamed back into ``jobs/`` with
+  its original home shard, so a crashed worker's points are re-run by
+  whoever steals them next.
+
+Liveness is *stamp-based*, never wall-clock-based: each worker's
+heartbeat thread rewrites ``hearts/<worker>.json`` with a monotonically
+increasing counter, and an observer decides a worker is dead when the
+counter has not advanced across ``strikes`` consecutive observations
+(the observer sleeps its poll interval between scans).  No component
+of the protocol ever reads the wall clock, so the queue layer is
+lint-clean under the ``no-wall-clock`` rule without any excuse — and
+scheduling can never leak into results, which stay pure functions of
+``(scenario, params, seed)``.
+
+A false-positive reclaim (a live worker briefly starved of heartbeats)
+is *safe*: both workers compute the same pure payload and the merge
+layer (:mod:`repro.runner.merge`) deduplicates identical entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.runner.cache import atomic_write_text
+from repro.runner.campaign import ScenarioPoint, canonical_params
+
+__all__ = [
+    "EventLog",
+    "HeartbeatWriter",
+    "Job",
+    "LivenessTracker",
+    "QueueDir",
+    "read_queue_manifest",
+    "write_queue_manifest",
+]
+
+#: Separator between digest and shard/worker id inside queue filenames.
+_SEP = "--"
+
+_WORKER_ID_RE = re.compile(r"^[A-Za-z0-9_.-]+$")
+
+QUEUE_MANIFEST_NAME = "queue-manifest.json"
+
+
+def _check_worker_id(worker_id: str) -> str:
+    if _SEP in worker_id or not _WORKER_ID_RE.match(worker_id):
+        raise ValueError(
+            f"worker id must match [A-Za-z0-9_.-]+ and not contain "
+            f"{_SEP!r}, got {worker_id!r}")
+    return worker_id
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of queued work: a scenario point plus its home shard."""
+
+    digest: str
+    scenario: str
+    params: dict[str, Any]
+    seed: int
+    home: str
+
+    def point(self) -> ScenarioPoint:
+        """Rebuild the scenario point this job file describes."""
+        point = ScenarioPoint(self.scenario,
+                              canonical_params(self.params),
+                              self.seed)
+        if point.digest() != self.digest:
+            raise ValueError(
+                f"job file digest {self.digest[:12]}... does not match "
+                f"its point content (tampered or mixed-version queue)")
+        return point
+
+    def payload(self) -> dict[str, Any]:
+        return {"digest": self.digest, "scenario": self.scenario,
+                "params": self.params, "seed": self.seed,
+                "home": self.home}
+
+
+class QueueDir:
+    """Path helpers plus the atomic claim/reclaim/done transitions."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.jobs = self.root / "jobs"
+        self.leases = self.root / "leases"
+        self.done = self.root / "done"
+        self.hearts = self.root / "hearts"
+        self.events = self.root / "events"
+        self.journals = self.root / "journals"
+
+    def initialise(self) -> None:
+        """Create the directory skeleton (idempotent)."""
+        for directory in (self.root, self.jobs, self.leases, self.done,
+                          self.hearts, self.events, self.journals):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # jobs
+    # ------------------------------------------------------------------
+    def enqueue(self, point: ScenarioPoint, home: str) -> None:
+        """Publish one job file, atomically, under its home shard."""
+        _check_worker_id(home)
+        digest = point.digest()
+        job = Job(digest=digest, scenario=point.scenario,
+                  params=point.params_dict(), seed=point.seed,
+                  home=home)
+        atomic_write_text(self.jobs / f"{digest}{_SEP}{home}.json",
+                          json.dumps(job.payload(), sort_keys=True))
+
+    def _iter_names(self, directory: Path) -> Iterator[tuple[str, str]]:
+        """(digest, id) pairs parsed from a queue directory, sorted."""
+        try:
+            names = sorted(p.name for p in directory.iterdir()
+                           if p.name.endswith(".json"))
+        except OSError:
+            return
+        for name in names:
+            stem = name[:-len(".json")]
+            digest, sep, owner = stem.partition(_SEP)
+            if sep and digest and owner:
+                yield digest, owner
+
+    def pending(self) -> list[tuple[str, str]]:
+        """Unclaimed ``(digest, home)`` pairs, in sorted digest order."""
+        return list(self._iter_names(self.jobs))
+
+    def active_leases(self) -> list[tuple[str, str]]:
+        """In-flight ``(digest, worker)`` pairs, in sorted order."""
+        return list(self._iter_names(self.leases))
+
+    def claim(self, worker_id: str) -> Job | None:
+        """Atomically claim the next job for ``worker_id``.
+
+        Own-shard jobs are preferred (in sorted digest order); when the
+        shard is empty the worker *steals* the first other-shard job.
+        Returns None when nothing was claimable — either the queue is
+        empty or every candidate was won by a faster worker.
+        """
+        _check_worker_id(worker_id)
+        candidates = self.pending()
+        ordered = ([c for c in candidates if c[1] == worker_id]
+                   + [c for c in candidates if c[1] != worker_id])
+        for digest, home in ordered:
+            if (self.done / f"{digest}.json").exists():
+                # Already completed by a worker whose lease was
+                # (falsely) reclaimed: retire the duplicate job file.
+                try:
+                    os.unlink(self.jobs / f"{digest}{_SEP}{home}.json")
+                except OSError:
+                    pass
+                continue
+            source = self.jobs / f"{digest}{_SEP}{home}.json"
+            target = self.leases / f"{digest}{_SEP}{worker_id}.json"
+            try:
+                os.replace(source, target)
+            except OSError:
+                continue  # lost the race: try the next candidate
+            try:
+                payload = json.loads(
+                    target.read_text(encoding="utf-8"))
+                return Job(digest=str(payload["digest"]),
+                           scenario=str(payload["scenario"]),
+                           params=dict(payload["params"]),
+                           seed=int(payload["seed"]),
+                           home=str(payload["home"]))
+            except (OSError, ValueError, KeyError, TypeError):
+                # Torn/unreadable job file: surrender the lease so the
+                # defect is visible in the queue, and keep scanning.
+                try:
+                    os.replace(target,
+                               self.jobs / f"{digest}{_SEP}{home}.json")
+                except OSError:
+                    pass
+                continue
+        return None
+
+    def release(self, digest: str, worker_id: str) -> None:
+        """Drop a completed claim's lease file (idempotent)."""
+        try:
+            os.unlink(self.leases / f"{digest}{_SEP}{worker_id}.json")
+        except OSError:
+            pass
+
+    def reclaim(self, digest: str, worker_id: str) -> bool:
+        """Return an orphaned lease to the job queue.
+
+        The lease file still holds the original job payload (claim is
+        a pure rename), so renaming it back under its *home* shard
+        re-publishes the job unchanged.  Returns False when another
+        reclaimer won the race.
+        """
+        lease = self.leases / f"{digest}{_SEP}{worker_id}.json"
+        try:
+            payload = json.loads(lease.read_text(encoding="utf-8"))
+            home = _check_worker_id(str(payload["home"]))
+        except (OSError, ValueError, KeyError, TypeError):
+            return False
+        try:
+            os.replace(lease, self.jobs / f"{digest}{_SEP}{home}.json")
+        except OSError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # done markers
+    # ------------------------------------------------------------------
+    def mark_done(self, digest: str, worker_id: str, attempts: int,
+                  error: str | None = None,
+                  stolen: bool = False) -> None:
+        """Publish the completion marker for one point, atomically."""
+        atomic_write_text(
+            self.done / f"{digest}.json",
+            json.dumps({"digest": digest, "worker": worker_id,
+                        "attempts": attempts, "error": error,
+                        "stolen": stolen}, sort_keys=True))
+
+    def done_markers(self) -> dict[str, dict[str, Any]]:
+        """digest -> completion marker, for every finished point."""
+        markers: dict[str, dict[str, Any]] = {}
+        try:
+            paths = sorted(self.done.iterdir())
+        except OSError:
+            return markers
+        for path in paths:
+            if not path.name.endswith(".json"):
+                continue
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue  # torn write in progress: next poll sees it
+            if isinstance(payload, dict) \
+                    and isinstance(payload.get("digest"), str):
+                markers[payload["digest"]] = payload
+        return markers
+
+
+# ----------------------------------------------------------------------
+# liveness
+# ----------------------------------------------------------------------
+class HeartbeatWriter:
+    """Background thread stamping ``hearts/<worker>.json``.
+
+    The stamp is a plain counter — liveness is "the counter advanced
+    between two observations", so neither writer nor observer ever
+    consults the wall clock.  The thread is a daemon: a SIGKILLed
+    worker stops stamping instantly, which is exactly the signal the
+    reclaimers key on.
+    """
+
+    def __init__(self, queue: QueueDir, worker_id: str,
+                 interval_s: float = 0.1):
+        self.path = queue.hearts / f"{_check_worker_id(worker_id)}.json"
+        self.worker_id = worker_id
+        self.interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def beat(self, stamp: int) -> None:
+        atomic_write_text(self.path,
+                          json.dumps({"worker": self.worker_id,
+                                      "stamp": stamp}, sort_keys=True))
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self.beat(0)
+
+        def pump() -> None:
+            stamp = 1
+            while not self._stop.wait(self.interval_s):
+                self.beat(stamp)
+                stamp += 1
+
+        self._thread = threading.Thread(
+            target=pump, name=f"heartbeat-{self.worker_id}",
+            daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "HeartbeatWriter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+class LivenessTracker:
+    """Strike-counting observer of every worker's heartbeat stamp.
+
+    Call :meth:`observe` once per poll cycle (the caller sleeps its
+    poll interval between calls); a worker whose stamp has not
+    advanced for ``strikes`` consecutive observations is reported
+    dead.  Because both sides count in observations rather than
+    seconds, the detection threshold scales with however fast the
+    caller polls — and never touches the wall clock.
+    """
+
+    def __init__(self, queue: QueueDir, strikes: int = 4):
+        if strikes < 1:
+            raise ValueError(f"strikes must be >= 1, got {strikes}")
+        self.queue = queue
+        self.strikes = strikes
+        self._seen: dict[str, tuple[int, int]] = {}
+
+    def _stamps(self) -> dict[str, int]:
+        stamps: dict[str, int] = {}
+        try:
+            paths = sorted(self.queue.hearts.iterdir())
+        except OSError:
+            return stamps
+        for path in paths:
+            if not path.name.endswith(".json"):
+                continue
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                stamps[path.name[:-len(".json")]] = int(
+                    payload["stamp"])
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        return stamps
+
+    def observe(self) -> set[str]:
+        """One poll: returns the workers currently considered dead."""
+        stamps = self._stamps()
+        dead: set[str] = set()
+        for worker, stamp in stamps.items():
+            last_stamp, misses = self._seen.get(worker, (-1, 0))
+            if stamp != last_stamp:
+                self._seen[worker] = (stamp, 0)
+            else:
+                misses += 1
+                self._seen[worker] = (stamp, misses)
+                if misses >= self.strikes:
+                    dead.add(worker)
+        # A lease owner with *no* heartbeat file at all has never
+        # checked in (or its file was lost): give it the same strike
+        # budget before declaring it dead.
+        owners = {worker for _, worker in self.queue.active_leases()}
+        for worker in owners - stamps.keys():
+            last_stamp, misses = self._seen.get(worker, (-1, 0))
+            misses += 1
+            self._seen[worker] = (last_stamp, misses)
+            if misses >= self.strikes:
+                dead.add(worker)
+        return dead
+
+    def reclaim_dead(self, dead: set[str],
+                     events: "EventLog | None" = None) -> int:
+        """Reclaim every lease held by a dead worker; returns count."""
+        reclaimed = 0
+        for digest, worker in self.queue.active_leases():
+            if worker not in dead:
+                continue
+            if events is not None:
+                events.emit("expire", digest=digest, owner=worker)
+            if self.queue.reclaim(digest, worker):
+                reclaimed += 1
+                if events is not None:
+                    events.emit("reclaim", digest=digest, owner=worker)
+        return reclaimed
+
+
+# ----------------------------------------------------------------------
+# events
+# ----------------------------------------------------------------------
+class EventLog:
+    """Per-actor append-only event stream (single writer per file).
+
+    Dispatch statistics (steals, expirations, reclaims) are aggregated
+    from these logs at collect time.  Each actor owns exactly one file,
+    so no two processes ever write the same log — there is nothing to
+    lock even on filesystems without atomic appends.  Events feed the
+    ``DispatchStats`` block only; they never influence results.
+    """
+
+    def __init__(self, queue: QueueDir, actor: str):
+        self.path = queue.events / f"{_check_worker_id(actor)}.jsonl"
+        self.actor = actor
+
+    def emit(self, event: str, **fields: Any) -> None:
+        record = {"event": event, "actor": self.actor, **fields}
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+
+    @staticmethod
+    def read_all(queue: QueueDir) -> list[dict[str, Any]]:
+        """Every event from every actor, in (actor, order) order."""
+        events: list[dict[str, Any]] = []
+        try:
+            paths = sorted(queue.events.iterdir())
+        except OSError:
+            return events
+        for path in paths:
+            if not path.name.endswith(".jsonl"):
+                continue
+            try:
+                lines = path.read_text(encoding="utf-8").splitlines()
+            except OSError:
+                continue
+            for line in lines:
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn tail of a crashed actor
+                if isinstance(record, dict):
+                    events.append(record)
+        return events
+
+
+# ----------------------------------------------------------------------
+# queue manifest
+# ----------------------------------------------------------------------
+def write_queue_manifest(queue: QueueDir,
+                         payload: Mapping[str, Any]) -> None:
+    """Persist the campaign-identity manifest atomically."""
+    atomic_write_text(queue.root / QUEUE_MANIFEST_NAME,
+                      json.dumps(dict(payload), sort_keys=True,
+                                 indent=2) + "\n")
+
+
+def read_queue_manifest(queue: QueueDir) -> dict[str, Any]:
+    """Read and minimally validate the queue manifest."""
+    path = queue.root / QUEUE_MANIFEST_NAME
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValueError(
+            f"{path} is unreadable ({exc}); is this a dispatch "
+            "queue directory?") from exc
+    except ValueError as exc:
+        raise ValueError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} must be a JSON object")
+    for key in ("campaign", "seed", "fingerprint", "points",
+                "digests"):
+        if key not in payload:
+            raise ValueError(f"{path} is missing the {key!r} field")
+    return payload

@@ -1,0 +1,171 @@
+"""Deterministic merge of per-worker campaign journals.
+
+A dispatched campaign leaves one :class:`~repro.runner.journal.
+CampaignJournal` per worker in ``<queue>/journals/``.  Collect-time
+merging must produce *exactly* the document a serial run produces, so
+the merge is deterministic in everything observable:
+
+- journals are processed in sorted-filename order;
+- a journal whose header does not match the campaign identity —
+  foreign fingerprint (a worker running different code), different
+  campaign, seed, or format — is rejected whole, with a warning, and
+  its points recomputed by the coordinator rather than trusted;
+- a corrupt or truncated *tail* (the crash artifact of a killed
+  worker) discards entries from the first bad line onward of that one
+  journal only, never touching other workers' entries;
+- two workers journaling the same point (a lease falsely reclaimed
+  while the original owner was still computing) is legal **iff** the
+  payloads are bit-identical — points are pure functions of
+  ``(scenario, params, seed)``, so a divergent duplicate is a
+  determinism violation and raises :class:`JournalMergeError` loudly
+  instead of silently picking a winner.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.runner.cache import RUNNER_VERSION
+from repro.runner.journal import CampaignJournal
+
+__all__ = [
+    "JournalMergeError",
+    "MergeOutcome",
+    "MergedEntry",
+    "merge_worker_journals",
+    "write_merged_journal",
+]
+
+
+class JournalMergeError(RuntimeError):
+    """Two workers produced different payloads for the same point."""
+
+
+@dataclass(frozen=True)
+class MergedEntry:
+    """One point's merged payload plus its provenance."""
+
+    digest: str
+    result: dict[str, Any]
+    attempts: int
+    workers: tuple[str, ...]
+
+
+@dataclass
+class MergeOutcome:
+    """Everything collect needs from the journal directory."""
+
+    entries: dict[str, MergedEntry] = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
+    journals_read: int = 0
+    journals_rejected: int = 0
+    duplicate_points: int = 0
+
+
+def _parse(line: str) -> Any:
+    try:
+        return json.loads(line)
+    except ValueError:
+        return None
+
+
+def merge_worker_journals(paths: Iterable[str | Path], *,
+                          name: str, seed: int, fingerprint: str,
+                          digests: set[str]) -> MergeOutcome:
+    """Merge worker journals into one digest-keyed result map.
+
+    ``digests`` is the campaign's full point-digest set; entries
+    outside it are ignored (a reused queue directory cannot smuggle
+    stale points into the document).
+    """
+    outcome = MergeOutcome()
+    for path in sorted(Path(p) for p in paths):
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            outcome.warnings.append(
+                f"worker journal {path.name} is unreadable ({exc}); "
+                "its points will be recomputed")
+            outcome.journals_rejected += 1
+            continue
+        header = _parse(lines[0]) if lines else None
+        if (not isinstance(header, dict)
+                or header.get("journal_version") != RUNNER_VERSION
+                or header.get("campaign") != name
+                or header.get("seed") != seed):
+            outcome.warnings.append(
+                f"worker journal {path.name} belongs to a different "
+                "campaign, seed or format; rejected at merge")
+            outcome.journals_rejected += 1
+            continue
+        if header.get("fingerprint") != fingerprint:
+            outcome.warnings.append(
+                f"worker journal {path.name} was written against a "
+                "different source fingerprint (mixed code versions on "
+                "the fleet); rejected at merge")
+            outcome.journals_rejected += 1
+            continue
+        outcome.journals_read += 1
+        worker = path.stem
+        for number, line in enumerate(lines[1:], start=2):
+            entry = _parse(line)
+            if (not isinstance(entry, dict)
+                    or not isinstance(entry.get("digest"), str)
+                    or not isinstance(entry.get("result"), dict)):
+                outcome.warnings.append(
+                    f"worker journal {path.name} line {number} is "
+                    "corrupt or truncated; discarding it and any "
+                    "later entries of that journal")
+                break
+            digest = entry["digest"]
+            if digest not in digests:
+                continue
+            attempts = entry.get("attempts")
+            attempts = attempts if isinstance(attempts, int) else 1
+            existing = outcome.entries.get(digest)
+            if existing is None:
+                outcome.entries[digest] = MergedEntry(
+                    digest=digest, result=entry["result"],
+                    attempts=attempts, workers=(worker,))
+                continue
+            outcome.duplicate_points += 1
+            if existing.result != entry["result"]:
+                raise JournalMergeError(
+                    f"point {digest[:12]}... was journaled by "
+                    f"{existing.workers[0]} and {worker} with "
+                    "different payloads — scenario points must be "
+                    "pure functions of (scenario, params, seed); "
+                    "this is a determinism violation, not a merge "
+                    "conflict")
+            outcome.entries[digest] = MergedEntry(
+                digest=digest, result=existing.result,
+                attempts=existing.attempts,
+                workers=existing.workers + (worker,))
+    return outcome
+
+
+def write_merged_journal(path: str | Path, *, name: str, seed: int,
+                         fingerprint: str,
+                         ordered_digests: Iterable[str],
+                         entries: dict[str, MergedEntry]) -> None:
+    """Write the bit-identical-to-serial merged journal.
+
+    Entries land in campaign order (``ordered_digests``), behind a
+    standard journal header — so the merged file is exactly what a
+    serial ``--journal`` run would have produced and feeds straight
+    into ``urllc5g bench --resume``.
+    """
+    digests = list(ordered_digests)
+    journal = CampaignJournal(path)
+    journal.start_raw(name=name, seed=seed, fingerprint=fingerprint,
+                      points=len(digests), digests=set(digests))
+    try:
+        for digest in digests:
+            entry = entries.get(digest)
+            if entry is not None:
+                journal.record(digest, entry.result, entry.attempts)
+    finally:
+        journal.close()

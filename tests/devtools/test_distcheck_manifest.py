@@ -1,0 +1,102 @@
+"""The dispatch gate: reading distcheck-manifest.json fail-closed."""
+
+import json
+
+import pytest
+
+from repro.devtools.distcheck import (
+    DistManifest,
+    ManifestError,
+    ScenarioVerdict,
+    load_manifest,
+)
+
+
+def _write(tmp_path, payload):
+    path = tmp_path / "distcheck-manifest.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def _manifest(tmp_path, **scenarios):
+    return load_manifest(_write(tmp_path, {
+        "schema_version": 1,
+        "tool_version": "test",
+        "scenarios": {name: {"entry": f"m.{name}", "status": status}
+                      for name, status in scenarios.items()},
+    }))
+
+
+def test_certified_and_baselined_are_distributable(tmp_path):
+    manifest = _manifest(tmp_path, a="certified",
+                         b="baselined-findings", c="failed",
+                         d="refused")
+    assert manifest.distributable("a")
+    assert manifest.distributable("b")
+    assert not manifest.distributable("c")
+    assert not manifest.distributable("d")
+
+
+def test_absence_is_refusal(tmp_path):
+    manifest = _manifest(tmp_path, a="certified")
+    assert not manifest.distributable("never-certified")
+    reasons = manifest.refusals(["a", "never-certified"])
+    assert len(reasons) == 1
+    assert "absent" in reasons[0]
+
+
+def test_refusals_name_every_refused_scenario(tmp_path):
+    manifest = _manifest(tmp_path, a="certified", b="failed")
+    reasons = manifest.refusals(["a", "b", "c"])
+    assert len(reasons) == 2
+    assert any("'b'" in r and "'failed'" in r for r in reasons)
+    assert any("'c'" in r for r in reasons)
+    assert manifest.refusals(["a"]) == []
+
+
+def test_verdict_exposes_entry_and_status(tmp_path):
+    manifest = _manifest(tmp_path, a="certified")
+    verdict = manifest.verdict("a")
+    assert verdict == ScenarioVerdict(name="a", entry="m.a",
+                                      status="certified")
+    assert manifest.verdict("zzz") is None
+
+
+def test_missing_file_fails_closed(tmp_path):
+    with pytest.raises(ManifestError, match="cannot read"):
+        load_manifest(tmp_path / "nope.json")
+
+
+def test_invalid_json_fails_closed(tmp_path):
+    path = tmp_path / "m.json"
+    path.write_text("{", encoding="utf-8")
+    with pytest.raises(ManifestError, match="not valid JSON"):
+        load_manifest(path)
+
+
+def test_wrong_schema_version_fails_closed(tmp_path):
+    path = _write(tmp_path, {"schema_version": 99, "scenarios": {}})
+    with pytest.raises(ManifestError, match="schema_version"):
+        load_manifest(path)
+
+
+def test_malformed_scenario_entry_fails_closed(tmp_path):
+    path = _write(tmp_path, {"schema_version": 1,
+                             "scenarios": {"a": {"status": 42}}})
+    with pytest.raises(ManifestError, match="malformed"):
+        load_manifest(path)
+
+
+def test_repo_manifest_certifies_all_named_campaign_scenarios():
+    # The checked-in manifest must keep every scenario of every named
+    # campaign distributable — except chaos-selftest, which stays
+    # host-local by design (it kills its own process).
+    from repro.runner import CAMPAIGNS, build_campaign
+    manifest = load_manifest("distcheck-manifest.json")
+    assert isinstance(manifest, DistManifest)
+    for name in CAMPAIGNS:
+        for point in build_campaign(name).points:
+            assert manifest.distributable(point.scenario), \
+                f"{point.scenario} (campaign {name}) not distributable"
+    selftest = manifest.verdict("chaos-selftest")
+    assert selftest is not None and not selftest.distributable

@@ -85,7 +85,12 @@ def test_version_mismatch_is_stale_not_corrupt(tmp_path):
                                 "entries": {}}), encoding="utf-8")
     cache = ResultCache(path)
     assert cache.entries == {}
-    assert cache.warnings == []
+    # Stale-not-corrupt, but no longer *silent*: on a dispatched fleet
+    # a version mismatch means some host runs different code, so the
+    # bench document must surface it.
+    assert len(cache.warnings) == 1
+    assert "mixed code versions" in cache.warnings[0]
+    assert f"version {'not-' + RUNNER_VERSION!r}" in cache.warnings[0]
     assert path.exists()  # left in place, not quarantined
     assert not list(tmp_path.glob("cache.json.corrupt-*"))
 
