@@ -100,7 +100,8 @@ _GENERATOR_DRAW_METHODS = frozenset({
 })
 #: Classes that take exclusive ownership of the Generator passed to
 #: their constructor (resolved through import aliases).
-_BUFFER_CLASSES = frozenset({"BufferedSampler", "UniformBuffer"})
+_BUFFER_CLASSES = frozenset({"BufferedSampler", "UniformBuffer",
+                             "LogNormalBlockServer"})
 #: The sanctioned way to draw through a claimed generator: passing it
 #: back to the buffered sampler (plus the ``owns`` identity probe).
 _BUFFER_DRAW_METHODS = frozenset({"sample", "sample_batch", "next", "owns"})

@@ -15,12 +15,15 @@ from __future__ import annotations
 
 import bisect
 
+import numpy as np
+
 __all__ = [
     "BSR_TABLE_BYTES",
     "TOP_LEVEL_BYTES",
     "bsr_index",
     "reported_bytes",
     "quantize",
+    "quantize_batch",
 ]
 
 #: Upper edge (bytes) of each 5-bit BSR level (TS 38.321 table
@@ -63,3 +66,22 @@ def quantize(buffer_bytes: int) -> int:
     """Round a buffer size up through the BSR quantisation — the bytes
     the scheduler will grant for it."""
     return reported_bytes(bsr_index(buffer_bytes))
+
+
+#: The table as an array, sliced to the searchable levels 1..30 (the
+#: same ``lo=1, hi=31`` bounds :func:`bsr_index` bisects within).
+_TABLE_ARR = np.asarray(BSR_TABLE_BYTES[1:31], dtype=np.int64)
+_REPORTED_ARR = np.asarray(
+    [reported_bytes(i) for i in range(32)], dtype=np.int64)
+
+
+def quantize_batch(buffer_bytes: np.ndarray) -> np.ndarray:
+    """Population-level :func:`quantize`: one vectorized pass over a
+    whole array of buffer sizes, elementwise equal to the scalar path
+    (pinned by ``tests/mac/test_bsr.py``)."""
+    amounts = np.asarray(buffer_bytes, dtype=np.int64)
+    if amounts.size and int(amounts.min()) < 0:
+        raise ValueError("buffer sizes must be >= 0")
+    index = np.searchsorted(_TABLE_ARR, amounts, side="left") + 1
+    index = np.where(amounts == 0, 0, index)
+    return _REPORTED_ARR[index]

@@ -25,10 +25,14 @@ Three completion rules capture how 5G actually grants access:
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
-__all__ = ["Window", "OpportunityTimeline", "PeriodicInstants"]
+import numpy as np
+
+__all__ = ["Window", "WindowIndex", "OpportunityTimeline",
+           "PeriodicInstants"]
 
 
 @dataclass(frozen=True, order=True)
@@ -80,6 +84,13 @@ class OpportunityTimeline:
             raise ValueError(f"period must be positive, got {period_tc}")
         self.period_tc = int(period_tc)
         self.windows = _validated(windows, self.period_tc)
+        self._index: "WindowIndex | None" = None
+
+    def index(self) -> "WindowIndex":
+        """Cached :class:`WindowIndex` over this (immutable) timeline."""
+        if self._index is None:
+            self._index = WindowIndex(self)
+        return self._index
 
     # ------------------------------------------------------------------
     # iteration
@@ -202,6 +213,93 @@ class OpportunityTimeline:
     def __repr__(self) -> str:
         spans = ", ".join(f"[{w.start},{w.end})" for w in self.windows)
         return f"OpportunityTimeline(period={self.period_tc}, {spans})"
+
+
+class WindowIndex:
+    """Flat integer view of a timeline for population-scale queries.
+
+    The generator protocol of :meth:`OpportunityTimeline.windows_from`
+    is exact but allocates a :class:`Window` per step — fine for one
+    UE, ruinous for 100k.  This index exposes the same timeline as
+    arrays plus a *global window number* ``k``: window ``k`` is base
+    window ``k % n`` of cycle ``k // n``.  All queries are defined to
+    agree exactly with the generator/scalar methods they shadow (pinned
+    by ``tests/mac/test_opportunities.py``).
+    """
+
+    def __init__(self, timeline: "OpportunityTimeline"):
+        if timeline.is_empty():
+            raise ValueError("cannot index an empty timeline")
+        self.period_tc = timeline.period_tc
+        self.starts = tuple(w.start for w in timeline.windows)
+        self.ends = tuple(w.end for w in timeline.windows)
+        self.durations = tuple(w.duration for w in timeline.windows)
+        self.n_windows = len(self.starts)
+        self._ends_arr = np.asarray(self.ends, dtype=np.int64)
+        self._starts_arr = np.asarray(self.starts, dtype=np.int64)
+
+    def bounds(self, k: int) -> tuple[int, int]:
+        """``(start, end)`` of global window ``k`` in absolute Tc."""
+        cycle, base = divmod(k, self.n_windows)
+        offset = cycle * self.period_tc
+        return self.starts[base] + offset, self.ends[base] + offset
+
+    def duration(self, k: int) -> int:
+        return self.durations[k % self.n_windows]
+
+    def first_ending_after(self, time: int) -> int:
+        """Global number of the first window with ``end > time`` — the
+        window :meth:`OpportunityTimeline.windows_from` yields first."""
+        if time < 0:
+            time = 0
+        cycle, rem = divmod(time, self.period_tc)
+        base = bisect.bisect_right(self.ends, rem)
+        if base == self.n_windows:
+            cycle += 1
+            base = 0
+        return cycle * self.n_windows + base
+
+    def earliest_entries_joining(self, times: np.ndarray,
+                                 min_duration: int = 1) -> np.ndarray:
+        """Vectorized :meth:`OpportunityTimeline.earliest_entry_joining`.
+
+        One call answers the joining-rule entry instant for a whole
+        population of candidate times; elementwise equal to the scalar
+        method.  Raises :class:`LookupError` when no window of the
+        period fits ``min_duration`` (the scalar method's bounded-scan
+        rule: a demand the period cannot satisfy never becomes
+        satisfiable).
+        """
+        fits = [i for i, d in enumerate(self.durations)
+                if d >= min_duration]
+        if not fits:
+            raise LookupError(
+                f"no window of the timeline can fit {min_duration} ticks")
+        times = np.asarray(times, dtype=np.int64)
+        clipped = np.maximum(times, 0)
+        cycle, rem = np.divmod(clipped, self.period_tc)
+        base = np.searchsorted(self._ends_arr, rem, side="right")
+        wrap = base == self.n_windows
+        cycle = cycle + wrap
+        base = np.where(wrap, 0, base)
+        offset = cycle * self.period_tc
+        start = self._starts_arr[base] + offset
+        end = self._ends_arr[base] + offset
+        entry = np.maximum(clipped, start)
+        ok = (end - entry) >= min_duration
+        if bool(np.all(ok)):
+            return entry
+        # First candidate too full: the next fitting window is entered
+        # at its start (every later window starts after `time`).
+        fit_next = np.asarray(
+            [min((j for j in fits if j > i),
+                 default=fits[0] + self.n_windows)
+             for i in range(self.n_windows)], dtype=np.int64)
+        k = cycle * self.n_windows + base
+        k_next = (k - base) + fit_next[base]
+        cyc2, base2 = np.divmod(k_next, self.n_windows)
+        start2 = self._starts_arr[base2] + cyc2 * self.period_tc
+        return np.where(ok, entry, start2)
 
 
 class PeriodicInstants:

@@ -128,6 +128,7 @@ class GnbMacScheduler:
         self.rlc_fault_gate = rlc_fault_gate
 
         self.counters = SchedulerCounters()
+        self._capacity_memo: dict[int, int] = {}
         self._ues: dict[int, _UeState] = {}
         self._rr_order: deque[int] = deque()
         self._dl = scheme.dl_timeline()
@@ -201,18 +202,40 @@ class GnbMacScheduler:
     # ------------------------------------------------------------------
     def window_capacity_bytes(self, window: Window) -> int:
         """Transport-block capacity of a window at the configured MCS."""
-        slot_tc = self.carrier.numerology.slot_duration_tc
-        n_symbols = max(1, round(14 * window.duration / slot_tc))
-        n_symbols = min(14, n_symbols)
-        n_re = self.carrier.resource_elements(self.carrier.n_rb, n_symbols)
-        return transport_block_size(n_re, self.mcs_index) // 8
+        return self.capacity_for_duration(window.duration)
+
+    def capacity_for_duration(self, duration_tc: int) -> int:
+        """Capacity of any window of ``duration_tc``, memoized.
+
+        Capacity is a pure function of the window *duration* (and the
+        fixed carrier/MCS), and a periodic timeline only has a handful
+        of distinct durations — the population-scale slotted engine
+        calls this once per (duration, plan) instead of re-deriving the
+        transport-block size per packet.
+        """
+        capacity = self._capacity_memo.get(duration_tc)
+        if capacity is None:
+            slot_tc = self.carrier.numerology.slot_duration_tc
+            n_symbols = max(1, round(14 * duration_tc / slot_tc))
+            n_symbols = min(14, n_symbols)
+            n_re = self.carrier.resource_elements(self.carrier.n_rb,
+                                                  n_symbols)
+            capacity = transport_block_size(n_re, self.mcs_index) // 8
+            self._capacity_memo[duration_tc] = capacity
+        return capacity
+
+    def cg_capacity_for(self, duration_tc: int, cg_share: float) -> int:
+        """Grant-free capacity of a ``cg_share`` slice of a window —
+        the population-level form of :meth:`cg_capacity_bytes`, usable
+        without per-UE registration."""
+        return int(self.capacity_for_duration(duration_tc) * cg_share)
 
     def cg_capacity_bytes(self, ue_id: int, window: Window) -> int:
         """Grant-free capacity pre-allocated to a UE in a UL window."""
         state = self._ues[ue_id]
         if not state.grant_free:
             return 0
-        return int(self.window_capacity_bytes(window) * state.cg_share)
+        return self.cg_capacity_for(window.duration, state.cg_share)
 
     # ------------------------------------------------------------------
     # DL side
@@ -375,6 +398,12 @@ class GnbMacScheduler:
     def account_cg_window(self, ue_id: int, window: Window,
                           used_bytes: int) -> None:
         """Record configured-grant usage for the waste metric (§9)."""
-        allocated = self.cg_capacity_bytes(ue_id, window)
-        self.counters.cg_allocated_bytes += allocated
-        self.counters.cg_used_bytes += min(used_bytes, allocated)
+        self.account_cg_usage(self.cg_capacity_bytes(ue_id, window),
+                              used_bytes)
+
+    def account_cg_usage(self, allocated_bytes: int,
+                         used_bytes: int) -> None:
+        """Population-level form of :meth:`account_cg_window`: charge
+        one transmitted block against its pre-computed allocation."""
+        self.counters.cg_allocated_bytes += allocated_bytes
+        self.counters.cg_used_bytes += min(used_bytes, allocated_bytes)

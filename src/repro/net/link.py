@@ -68,6 +68,29 @@ class AirLink:
         if hasattr(self.channel, "delivered_from_uniform"):
             self._uniforms = UniformBuffer(rng)
 
+    def decide_fate(self, completion_tc: int) -> bool:
+        """Channel fate of one transport block finishing at
+        ``completion_tc``: counts the block, consults the fault gate,
+        then (fault-free only) draws the channel.
+
+        Shared by :meth:`transmit` and the slotted engine's mirrored
+        uplink path (:mod:`repro.sim.slotted`), so both consume the
+        link stream identically.  ``last_fault_fate`` is left set for
+        the caller's feedback-timing decision.
+        """
+        self.counters.blocks_sent += 1
+        # A forced fault fate replaces the channel draw entirely (the
+        # block is lost regardless of channel state, so consuming a
+        # channel uniform for it would be wasted entropy).
+        self.last_fault_fate = (None if self.fault_gate is None
+                                else self.fault_gate(completion_tc))
+        if self.last_fault_fate is not None:
+            return False
+        if self._uniforms is not None:
+            return self.channel.delivered_from_uniform(
+                self._uniforms.next())
+        return self.channel.delivered(completion_tc, self.rng)
+
     def transmit(self, packets: list[Packet], completion_tc: int,
                  deliver: Callable[[list[Packet]], None],
                  retransmit: Callable[[list[Packet]], None]) -> None:
@@ -78,19 +101,7 @@ class AirLink:
         failure packets go back through ``retransmit`` unless they have
         exhausted their HARQ budget, in which case they are dropped.
         """
-        self.counters.blocks_sent += 1
-        # A forced fault fate replaces the channel draw entirely (the
-        # block is lost regardless of channel state, so consuming a
-        # channel uniform for it would be wasted entropy).
-        self.last_fault_fate = (None if self.fault_gate is None
-                                else self.fault_gate(completion_tc))
-        if self.last_fault_fate is not None:
-            delivered = False
-        elif self._uniforms is not None:
-            delivered = self.channel.delivered_from_uniform(
-                self._uniforms.next())
-        else:
-            delivered = self.channel.delivered(completion_tc, self.rng)
+        delivered = self.decide_fate(completion_tc)
         if delivered:
             for packet in packets:
                 packet.charge(LatencySource.RADIO, self.propagation_tc)

@@ -35,6 +35,7 @@ from repro.radio.radio_head import RadioHead
 from repro.sim.engine import Simulator
 from repro.sim.resources import CpuResource
 from repro.sim.rng import RngRegistry
+from repro.sim.slotted import SlottedUplink, ineligibility
 from repro.sim.trace import Tracer
 from repro.stack.packets import LatencySource, Packet, PacketKind
 from repro import calibration
@@ -83,6 +84,19 @@ class RanConfig:
     #: plan leaves every layer untouched — bit-identical to the
     #: fault-free build.  See docs/ROBUSTNESS.md.
     fault_plan: FaultPlan | None = None
+    #: Execution engine: "scalar" always builds per-UE objects,
+    #: "slotted" runs the population executor (repro.sim.slotted —
+    #: grant-free uplink only, raises for unsupported configs), "auto"
+    #: picks slotted when eligible and ``n_ues >= slotted_threshold``.
+    #: Both engines are bit-identical (see docs/PERFORMANCE.md).
+    engine: str = "auto"
+    #: Population size at which "auto" switches to the slotted engine.
+    slotted_threshold: int = 256
+    #: Fraction of each window's transport block available to one UE's
+    #: configured grant.  None keeps the historical default
+    #: (1/n_ues for grant-free); large populations set 1.0 to model
+    #: dedicated per-UE CG resources (see docs/CAMPAIGNS.md).
+    cg_share: float | None = None
 
 
 @dataclass
@@ -193,10 +207,47 @@ class RanSystem:
             rlc_fault_gate=(self.faults.rlc_drop
                             if self.faults is not None else None),
         )
+        # Configured-grant share (grant-free): historical default splits
+        # the transport block evenly; config.cg_share overrides it (1.0
+        # models dedicated per-UE CG resources at scale).  Resolved once
+        # so the scalar and slotted engines use the identical value.
+        grant_free = self.config.access is AccessMode.GRANT_FREE
+        if self.config.cg_share is not None:
+            self.cg_share = self.config.cg_share
+        elif grant_free:
+            self.cg_share = 1.0 / self.config.n_ues
+        else:
+            self.cg_share = 1.0
+
+        self.slotted: SlottedUplink | None = None
         self.ues: dict[int, Ue] = {}
-        for ue_id in range(1, self.config.n_ues + 1):
-            self._build_ue(ue_id)
+        if self._use_slotted():
+            # Population mode: no per-UE objects at all — the mirror
+            # executor owns the ue<N> streams and the UL probe.
+            self.slotted = SlottedUplink(self)
+            self.ul_probe = self.slotted.probe
+        else:
+            for ue_id in range(1, self.config.n_ues + 1):
+                self._build_ue(ue_id)
         self.gnb.start()
+
+    def _use_slotted(self) -> bool:
+        engine = self.config.engine
+        if engine not in ("auto", "scalar", "slotted"):
+            raise ValueError(
+                f"engine must be 'auto', 'scalar' or 'slotted', "
+                f"got {engine!r}")
+        if engine == "scalar":
+            return False
+        if engine == "slotted":
+            return True  # SlottedUplink raises if the config is out
+        return (self.config.n_ues >= self.config.slotted_threshold
+                and ineligibility(self) is None)
+
+    @property
+    def engine_mode(self) -> str:
+        """Engine actually running: "slotted" or "scalar"."""
+        return "slotted" if self.slotted is not None else "scalar"
 
     # ------------------------------------------------------------------
     # wiring
@@ -225,9 +276,8 @@ class RanSystem:
 
     def _build_ue(self, ue_id: int) -> None:
         grant_free = self.config.access is AccessMode.GRANT_FREE
-        cg_share = 1.0 / self.config.n_ues if grant_free else 1.0
         priority = (self.config.ue_priorities or {}).get(ue_id, 0)
-        self.gnb.register_ue(ue_id, grant_free, cg_share,
+        self.gnb.register_ue(ue_id, grant_free, self.cg_share,
                              priority=priority)
         radio_submission = None
         if self._ue_radio_head is not None:
@@ -368,6 +418,15 @@ class RanSystem:
     # ------------------------------------------------------------------
     # experiments
     # ------------------------------------------------------------------
+    def _dl_arrival(self, packet: Packet) -> None:
+        """DL arrival dispatch (bound method, shared across packets —
+        no per-packet closure allocation on the hot queueing path)."""
+        self.upf.forward_downlink(packet, self.gnb.send_downlink)
+
+    def _ul_arrival(self, packet: Packet) -> None:
+        """UL arrival dispatch (bound method, shared across packets)."""
+        self.ues[packet.ue_id].send_uplink(packet)
+
     def queue_downlink(self, arrivals: list[int],
                        payload_bytes: int | None = None,
                        ue_id: int = 1) -> None:
@@ -376,44 +435,51 @@ class RanSystem:
         Arrivals must not lie in the simulated past; queue all traffic
         (possibly for several UEs) before calling :meth:`run`.
         """
+        if self.slotted is not None:
+            raise RuntimeError(
+                "slotted engine is uplink-only; use engine='scalar' "
+                "for downlink traffic")
         payload = payload_bytes or self.config.payload_bytes
         for arrival in arrivals:
             packet = Packet(PacketKind.DATA, Direction.DL, payload,
                             created_tc=arrival, ue_id=ue_id,
                             packet_id=next(self._packet_ids))
-            self.sim.schedule(
-                arrival,
-                lambda p=packet: self.upf.forward_downlink(
-                    p, self.gnb.send_downlink))
+            self.sim.schedule(arrival, self._dl_arrival, packet)
 
     def queue_uplink(self, arrivals: list[int],
                      payload_bytes: int | None = None,
                      ue_id: int = 1) -> None:
         """Schedule UL data arrivals without running the simulation."""
         payload = payload_bytes or self.config.payload_bytes
+        if self.slotted is not None:
+            self.slotted.queue_uplink(arrivals, payload, ue_id)
+            return
         for arrival in arrivals:
             packet = Packet(PacketKind.DATA, Direction.UL, payload,
                             created_tc=arrival, ue_id=ue_id,
                             packet_id=next(self._packet_ids))
-            self.sim.schedule(
-                arrival,
-                lambda p=packet: self.ues[p.ue_id].send_uplink(p))
+            self.sim.schedule(arrival, self._ul_arrival, packet)
 
     def queue_pings(self, arrivals: list[int],
                     payload_bytes: int | None = None,
                     ue_id: int = 1) -> None:
         """Schedule ping requests without running the simulation."""
+        if self.slotted is not None:
+            raise RuntimeError(
+                "slotted engine carries uplink data only; use "
+                "engine='scalar' for pings")
         payload = payload_bytes or self.config.payload_bytes
         for arrival in arrivals:
             packet = Packet(PacketKind.PING_REQUEST, Direction.UL,
                             payload, created_tc=arrival, ue_id=ue_id,
                             packet_id=next(self._packet_ids))
-            self.sim.schedule(
-                arrival,
-                lambda p=packet: self.ues[p.ue_id].send_uplink(p))
+            self.sim.schedule(arrival, self._ul_arrival, packet)
 
     def run(self) -> None:
         """Drain the simulation until all queued traffic completes."""
+        if self.slotted is not None:
+            self.slotted.run()
+            return
         self.sim.run_until_idle()
 
     def run_downlink(self, arrivals: list[int],

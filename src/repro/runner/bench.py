@@ -126,6 +126,31 @@ def _multi_ue() -> Campaign:
         fixed={"packets_per_ue": 60, "horizon_ms": 1_500.0})
 
 
+def _multi_ue_massive() -> Campaign:
+    """Population scale on the slotted engine: 10k-100k UEs per cell.
+
+    One cell, dedicated per-UE CG resources, a fixed per-UE packet
+    rate — the regime the slotted executor exists for.  Three points
+    keep the campaign dispatchable with useful work per worker while
+    still covering a decade of population size.
+    """
+    return Campaign.from_grid(
+        "multi-ue-massive", seed=77, scenario="multi-ue-massive",
+        grid={"n_ues": [10_000, 30_000, 100_000]},
+        fixed={"packets_per_ue": 4, "horizon_ms": 2_000.0})
+
+
+def _multi_ue_massive_smoke() -> Campaign:
+    """Blocking-CI shape of the massive campaign: same scenario and
+    per-UE rate, small-N populations straddling the engine threshold
+    (so the baseline pins both the slotted path and the numbers)."""
+    return Campaign.from_grid(
+        "multi-ue-massive-smoke", seed=77,
+        scenario="multi-ue-massive",
+        grid={"n_ues": [256, 1_024]},
+        fixed={"packets_per_ue": 4, "horizon_ms": 500.0})
+
+
 def _search() -> Campaign:
     """E3: every Common Configuration at the 0.5 ms and 1 ms budgets."""
     universe = len(enumerate_common_configurations(mu=2,
@@ -180,6 +205,8 @@ CAMPAIGNS: dict[str, Callable[[], Campaign]] = {
     "fig6": _fig6,
     "sensitivity": _sensitivity,
     "multi-ue": _multi_ue,
+    "multi-ue-massive": _multi_ue_massive,
+    "multi-ue-massive-smoke": _multi_ue_massive_smoke,
     "search": _search,
     "sweep": _sweep,
     "chaos-latency": _chaos,

@@ -140,6 +140,28 @@ class Simulator:
         """Current simulation time (integer ticks)."""
         return self._now
 
+    def advance_to(self, at: int) -> None:
+        """Move the clock forward to ``at`` without running any event.
+
+        This exists for external executors (the slotted engine in
+        :mod:`repro.sim.slotted`) that sequence their own work but share
+        components whose behaviour reads :attr:`now` — fault-injection
+        hooks, trace timestamps, the sanitizer's draw records.  The
+        clock can only move forward, and never past a live queued
+        event: an executor that owns the clock must also own the
+        timeline.
+        """
+        if type(at) is not int:
+            at = _as_tick(at, "advance_to time")
+        if at < self._now:
+            raise SimulationError(
+                f"cannot advance to {at}; current time is {self._now}")
+        if self._queue and self._queue[0][0] < at:
+            raise SimulationError(
+                f"cannot advance to {at} past a queued event at "
+                f"{self._queue[0][0]}; run() the queue instead")
+        self._now = at
+
     @property
     def events_processed(self) -> int:
         """Number of events executed so far (excludes cancelled ones)."""

@@ -31,6 +31,7 @@ process-wide so the same wiring can be run both ways and compared.
 
 from __future__ import annotations
 
+import math
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -45,6 +46,7 @@ __all__ = [
     "DEFAULT_BLOCK",
     "BufferedSampler",
     "UniformBuffer",
+    "LogNormalBlockServer",
     "DeterminismViolation",
     "force_sequential",
     "buffering_enabled",
@@ -165,6 +167,139 @@ class BufferedSampler:
     def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Batch draw, consuming any buffered samples first."""
         return np.array([self.sample(rng) for _ in range(n)], dtype=float)
+
+    def peek(self, n: int) -> np.ndarray | None:
+        """The next ``n`` values of the stream *without* consuming
+        them, or None when block drawing is disabled.
+
+        The slotted engine uses this to serve a stream's draws from
+        a local chunk instead of one :meth:`sample` call each (see
+        :meth:`LogNormalBlockServer.peek` for the contract).  Refills
+        happen in whole ``block``-sized ``sample_batch`` calls — the
+        same call grid :meth:`sample` uses — so peeking never changes
+        the stream position or the served value sequence.
+        """
+        if not _BUFFERING_ENABLED:
+            return None
+        buf = self._buf
+        if buf is None:
+            with owner_section(self._rng):
+                buf = self._sampler.sample_batch(self._rng, self._block)
+            self._buf = buf
+            self._pos = 0
+        while len(buf) - self._pos < n:
+            with owner_section(self._rng):
+                fresh = self._sampler.sample_batch(self._rng,
+                                                   self._block)
+            buf = np.concatenate((buf[self._pos:], fresh))
+            self._buf = buf
+            self._pos = 0
+        return buf[self._pos:self._pos + n]
+
+    def commit(self, n: int) -> None:
+        """Consume ``n`` values previously returned by :meth:`peek`."""
+        self._pos += n
+
+
+class LogNormalBlockServer:
+    """Serve scalar *lognormal* draws with arbitrary per-draw parameters
+    from pre-drawn blocks of standard normals.
+
+    :class:`BufferedSampler` can only buffer a stream whose draws all
+    come from **one** distribution — the block is pre-transformed.  The
+    per-component ``ue<N>`` and ``gnb`` streams interleave draws from
+    *several* lognormal distributions (one per stack layer) in
+    data-dependent order, which is why they stayed scalar until now.
+
+    This server exploits how numpy implements ``Generator.lognormal``:
+    each scalar call consumes exactly **one** ziggurat standard normal
+    ``z`` — independent of ``(mu, sigma)`` — and returns
+    ``exp(mu + sigma * z)`` computed with the C library's scalar
+    ``exp``.  So a block of ``standard_normal(n)`` variates can serve
+    *any* interleaving of lognormal draws bit-identically, as long as
+    the value is reconstructed with scalar :func:`math.exp` (the
+    vectorized ``np.exp`` differs from libm by up to 1 ulp on some
+    platforms, so the transform must stay scalar; both facts are pinned
+    by ``tests/sim/test_sampling.py``).
+
+    The ownership contract is the same as :class:`BufferedSampler`'s:
+    the server takes exclusive ownership of ``rng``; any other consumer
+    desynchronizes the pre-drawn block.
+    """
+
+    __slots__ = ("_rng", "_block", "_buf", "_pos", "_owner")
+
+    def __init__(self, rng: np.random.Generator, block: int = DEFAULT_BLOCK):
+        if block < 1:
+            raise ValueError(f"block size must be >= 1, got {block}")
+        self._rng = rng
+        self._block = block
+        self._buf: np.ndarray | None = None
+        self._pos = 0
+        if isinstance(rng, RecordingGenerator):
+            self._owner = f"{caller_qualname(1)} [{type(self).__name__}]"
+            claim_exclusive(rng, self._owner)
+        else:
+            self._owner = type(self).__name__
+
+    def owns(self, rng: np.random.Generator) -> bool:
+        return rng is self._rng
+
+    def sample(self, mu: float, sigma: float) -> float:
+        """One lognormal draw, bit-identical to ``rng.lognormal(mu,
+        sigma)`` on the owned stream."""
+        buf = self._buf
+        if buf is None or self._pos >= len(buf):
+            if not _BUFFERING_ENABLED:
+                if buf is not None and sanitize_active():
+                    raise DeterminismViolation(
+                        "force_sequential() entered mid-run: this "
+                        "block server already served pre-drawn "
+                        "normals; scalar draws would skip the "
+                        "unconsumed tail.  Wrap whole runs.",
+                        stream=getattr(self._rng, "stream_name", None),
+                        owner=self._owner, consumer=caller_qualname(1))
+                with owner_section(self._rng):
+                    return float(self._rng.lognormal(mu, sigma))
+            with owner_section(self._rng):
+                buf = self._rng.standard_normal(self._block)
+            self._buf = buf
+            self._pos = 0
+        z = buf[self._pos]
+        self._pos += 1
+        return math.exp(mu + sigma * z)
+
+    def peek(self, n: int) -> np.ndarray | None:
+        """The next ``n`` standard normals of the stream *without*
+        consuming them, or None when block drawing is disabled.
+
+        This is what lets the slotted engine speculatively evaluate a
+        whole per-packet draw chain and only commit it when the chain
+        provably does not interleave with other consumers of the same
+        stream (see :mod:`repro.sim.slotted`).  Refills happen in whole
+        ``block``-sized ``standard_normal`` calls — the same call grid
+        the serving path uses — so peeking never changes the stream
+        position or the served value sequence.
+        """
+        if not _BUFFERING_ENABLED:
+            return None
+        buf = self._buf
+        if buf is None:
+            with owner_section(self._rng):
+                buf = self._rng.standard_normal(self._block)
+            self._buf = buf
+            self._pos = 0
+        while len(buf) - self._pos < n:
+            with owner_section(self._rng):
+                fresh = self._rng.standard_normal(self._block)
+            buf = np.concatenate((buf[self._pos:], fresh))
+            self._buf = buf
+            self._pos = 0
+        return buf[self._pos:self._pos + n]
+
+    def commit(self, n: int) -> None:
+        """Consume ``n`` normals previously returned by :meth:`peek`."""
+        self._pos += n
 
 
 class UniformBuffer:

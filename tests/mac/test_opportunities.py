@@ -4,10 +4,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import numpy as np
+
 from repro.mac.opportunities import (
     OpportunityTimeline,
     PeriodicInstants,
     Window,
+    WindowIndex,
 )
 
 
@@ -237,3 +240,51 @@ def test_instants_are_periodic(t):
     instants = PeriodicInstants(100, [5, 55])
     assert instants.next_at_or_after(t + 100) == \
         instants.next_at_or_after(t) + 100
+
+
+# ---------------------------------------------------------------------------
+# WindowIndex (flat integer view used by the slotted engine)
+# ---------------------------------------------------------------------------
+@given(t=st.integers(-5, 1000))
+@settings(max_examples=200, deadline=None)
+def test_index_first_ending_after_matches_generator(t):
+    timeline = make_timeline()
+    index = timeline.index()
+    k = index.first_ending_after(t)
+    first = next(timeline.windows_from(t))
+    assert index.bounds(k) == (first.start, first.end)
+
+
+@given(k=st.integers(0, 50))
+@settings(max_examples=100, deadline=None)
+def test_index_bounds_and_duration_are_periodic(k):
+    index = make_timeline().index()
+    start, end = index.bounds(k)
+    start2, end2 = index.bounds(k + index.n_windows)
+    assert (start2 - start, end2 - end) == (100, 100)
+    assert end - start == index.duration(k)
+
+
+@given(times=st.lists(st.integers(-5, 1000), min_size=1, max_size=20),
+       min_duration=st.integers(1, 20))
+@settings(max_examples=200, deadline=None)
+def test_index_entries_joining_match_scalar(times, min_duration):
+    timeline = make_timeline()
+    index = timeline.index()
+    entries = index.earliest_entries_joining(np.asarray(times),
+                                             min_duration)
+    for t, entry in zip(times, entries.tolist()):
+        assert entry == timeline.earliest_entry_joining(t, min_duration)
+
+
+def test_index_entries_joining_unsatisfiable_raises():
+    index = make_timeline().index()
+    with pytest.raises(LookupError):
+        index.earliest_entries_joining(np.asarray([0]), 21)
+    with pytest.raises(LookupError):
+        make_timeline().earliest_entry_joining(0, 21)
+
+
+def test_index_rejects_empty_timeline():
+    with pytest.raises(ValueError):
+        WindowIndex(OpportunityTimeline(100, []))

@@ -16,6 +16,8 @@ CHEAP_SPECS = {
                             "packets": 10, "horizon_ms": 60.0,
                             "sim_seed": 171, "arrivals_seed": 172},
     "multi-ue": {"n_ues": 2, "packets_per_ue": 5, "horizon_ms": 60.0},
+    "multi-ue-massive": {"n_ues": 6, "packets_per_ue": 4,
+                         "horizon_ms": 60.0, "engine": "slotted"},
     "design-feasibility": {"index": 0, "mu": 2, "max_period_ms": 1.0,
                            "budget_ms": 0.5, "reliability": 0.99999},
     "chaos-latency": {"access": "grant-free", "direction": "dl",

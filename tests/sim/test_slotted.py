@@ -1,0 +1,225 @@
+"""Unit tests for the slotted engine's building blocks.
+
+End-to-end bit-identity is pinned by
+tests/integration/test_slotted_equivalence.py; this module covers the
+pieces in isolation: the columnar population store, the compact latency
+probe (vs the packet-holding scalar probe), engine selection and
+eligibility, and the peek/commit contract of the block samplers the
+plan pre-pass relies on.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mac.catalog import testbed_dddu
+from repro.mac.types import AccessMode, Direction
+from repro.net.probes import LatencyProbe
+from repro.net.session import RanConfig, RanSystem
+from repro.radio.interface import usb3
+from repro.radio.os_jitter import none as no_jitter
+from repro.radio.radio_head import RadioHead
+from repro.sim.distributions import Exponential, LogNormal
+from repro.sim.sampling import (
+    BufferedSampler,
+    LogNormalBlockServer,
+    force_sequential,
+)
+from repro.sim.slotted import ArrayLatencyProbe, UePopulation, ineligibility
+from repro.stack.packets import LatencySource, Packet, PacketKind
+
+
+# ---------------------------------------------------------------------------
+# UePopulation
+# ---------------------------------------------------------------------------
+def test_population_rejects_empty():
+    with pytest.raises(ValueError):
+        UePopulation(0)
+
+
+def test_population_add_packet_validation():
+    population = UePopulation(2)
+    with pytest.raises(ValueError):
+        population.add_packet(1, 0, 0, 10)
+    with pytest.raises(ValueError):
+        population.add_packet(1, 0, 32, -1)
+
+
+def test_population_rows_are_dense_and_parallel():
+    population = UePopulation(3)
+    rows = [population.add_packet(ue, pid, 32, 100 * pid)
+            for pid, ue in enumerate([1, 3, 1, 2], start=1)]
+    assert rows == [0, 1, 2, 3]
+    assert len(population) == 4
+    assert population.ue == [1, 3, 1, 2]
+    assert population.created == [100, 200, 300, 400]
+    assert population.queued == [0, 2, 1, 1]  # index 0 unused
+    # every per-packet column grew in lockstep
+    for column in (population.packet_id, population.payload,
+                   population.header, population.retx,
+                   population.dropped, population.budget_processing,
+                   population.budget_protocol, population.budget_radio,
+                   population.delivered_tc):
+        assert len(column) == 4
+
+
+# ---------------------------------------------------------------------------
+# ArrayLatencyProbe — read API must be bitwise the scalar probe's
+# ---------------------------------------------------------------------------
+def _delivered_packet(created_tc, delivered_tc, budgets):
+    packet = Packet(PacketKind.DATA, Direction.UL, 32,
+                    created_tc=created_tc)
+    packet.delivered_tc = delivered_tc
+    processing, protocol, radio = budgets
+    packet.budget[LatencySource.PROCESSING] = processing
+    packet.budget[LatencySource.PROTOCOL] = protocol
+    packet.budget[LatencySource.RADIO] = radio
+    return packet
+
+
+def test_array_probe_matches_scalar_probe_bitwise():
+    deliveries = [
+        (0, 150_000, (50_000, 60_000, 40_000)),
+        (10_000, 400_123, (100_000, 200_123, 90_000)),
+        (20_000, 90_021, (20_021, 30_000, 20_000)),
+    ]
+    scalar = LatencyProbe("ul")
+    compact = ArrayLatencyProbe("ul")
+    for created, delivered, budgets in deliveries:
+        scalar.record(_delivered_packet(created, delivered, budgets))
+        compact.record_tc(delivered - created, *budgets)
+    assert len(compact) == len(scalar)
+    assert compact.latencies_tc() == scalar.latencies_tc()
+    assert compact.latencies_us() == scalar.latencies_us()
+    assert compact.latencies_ms() == scalar.latencies_ms()
+    assert compact.summary() == scalar.summary()
+    assert compact.budget_means_us() == scalar.budget_means_us()
+    for budget_us in (0.0, 60.0, 500.0):
+        assert compact.fraction_within(budget_us) == \
+            scalar.fraction_within(budget_us)
+
+
+def test_array_probe_empty_edge_cases():
+    probe = ArrayLatencyProbe()
+    assert len(probe) == 0
+    assert probe.fraction_within(1e9) == 0.0
+    assert set(probe.budget_means_us().values()) == {0.0}
+    with pytest.raises(ValueError):
+        probe.summary()
+
+
+# ---------------------------------------------------------------------------
+# eligibility and engine selection
+# ---------------------------------------------------------------------------
+def _system(**overrides):
+    config = dict(access=AccessMode.GRANT_FREE, n_ues=2, seed=3,
+                  engine="scalar")
+    config.update(overrides)
+    return RanSystem(testbed_dddu(), RanConfig(**config))
+
+
+def test_ineligibility_reports_first_violation():
+    assert ineligibility(_system()) is None
+    assert "grant-free" in ineligibility(
+        _system(access=AccessMode.GRANT_BASED))
+    radio_head = RadioHead("rh", usb3(), no_jitter())
+    assert "radio head" in ineligibility(
+        _system(gnb_radio_head=radio_head))
+    assert "radio head" in ineligibility(
+        _system(ue_radio_head=radio_head))
+    assert "CPU" in ineligibility(_system(gnb_cpu_cores=4))
+
+
+def test_ineligibility_rejects_unsupported_sampler():
+    system = _system()
+    system.gnb.up_pipeline.layers[0].delay = Exponential(5.0)
+    assert "Exponential" in ineligibility(system)
+
+
+def test_engine_slotted_raises_for_unsupported_config():
+    with pytest.raises(ValueError, match="grant-free"):
+        RanSystem(testbed_dddu(),
+                  RanConfig(access=AccessMode.GRANT_BASED,
+                            engine="slotted"))
+
+
+def test_engine_name_is_validated():
+    with pytest.raises(ValueError, match="engine"):
+        RanSystem(testbed_dddu(), RanConfig(engine="vectorised"))
+
+
+def test_engine_auto_uses_threshold():
+    assert _system(engine="auto", n_ues=9,
+                   slotted_threshold=10).engine_mode == "scalar"
+    assert _system(engine="auto", n_ues=10,
+                   slotted_threshold=10).engine_mode == "slotted"
+    # ineligible configs fall back to scalar regardless of size
+    assert _system(engine="auto", n_ues=10, slotted_threshold=10,
+                   gnb_cpu_cores=2).engine_mode == "scalar"
+
+
+def test_engine_slotted_is_uplink_only():
+    system = _system(engine="slotted")
+    with pytest.raises(RuntimeError, match="uplink"):
+        system.run_downlink([1_000])
+    with pytest.raises(RuntimeError, match="uplink"):
+        system.run_ping([1_000])
+
+
+# ---------------------------------------------------------------------------
+# peek/commit — the guarded-fusion primitive of the plan pre-pass
+# ---------------------------------------------------------------------------
+def test_block_server_peek_does_not_consume():
+    server = LogNormalBlockServer(np.random.default_rng(5), block=8)
+    first = server.peek(4)
+    again = server.peek(4)
+    assert np.array_equal(first, again)
+    # a larger peek extends the view but keeps the prefix
+    assert np.array_equal(server.peek(10)[:4], first)
+
+
+def test_block_server_peek_commit_equals_serving():
+    served = LogNormalBlockServer(np.random.default_rng(5), block=8)
+    expected = [served.sample(1.5, 0.25) for _ in range(20)]
+    peeked = LogNormalBlockServer(np.random.default_rng(5), block=8)
+    values = []
+    consumed = 0
+    while consumed < 20:
+        take = min(7, 20 - consumed)
+        block = peeked.peek(take)
+        # reconstruct through scalar math.exp, as the engine does
+        values += [math.exp(1.5 + 0.25 * z) for z in block.tolist()]
+        peeked.commit(take)
+        consumed += take
+    assert values == expected
+
+
+def test_block_server_peek_is_none_when_sequential():
+    server = LogNormalBlockServer(np.random.default_rng(5))
+    with force_sequential():
+        assert server.peek(1) is None
+        # the scalar fallback still serves the stream
+        assert server.sample(1.0, 0.1) > 0
+
+
+def test_buffered_sampler_peek_commit_equals_serving():
+    rng_a = np.random.default_rng(9)
+    rng_b = np.random.default_rng(9)
+    sampler = LogNormal(mean_us=40.0, std_us=6.0)
+    served = BufferedSampler(sampler, rng_a, block=8)
+    expected = [served.sample(rng_a) for _ in range(12)]
+    peeked = BufferedSampler(sampler, rng_b, block=8)
+    values = []
+    for take in (5, 7):
+        chunk = peeked.peek(take)
+        values += [float(v) for v in chunk]
+        peeked.commit(take)
+    assert values == expected
+
+
+def test_buffered_sampler_peek_is_none_when_sequential():
+    sampler = BufferedSampler(LogNormal(mean_us=40.0, std_us=6.0),
+                              np.random.default_rng(9))
+    with force_sequential():
+        assert sampler.peek(1) is None
