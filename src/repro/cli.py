@@ -15,6 +15,7 @@ Usage (after installation)::
     urllc5g check --determinism   # same-seed trace-digest comparison
     urllc5g bench smoke           # run a named campaign (docs/CAMPAIGNS.md)
     urllc5g bench smoke --check benchmarks/baselines/smoke.json
+    urllc5g chaosdispatch --campaign smoke   # crash-point certification
 
 or ``python -m repro.cli <command>``.
 """
@@ -385,7 +386,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 2
         worker_id = args.worker_id or f"w{os.getpid()}"
         return run_worker(args.worker, worker_id,
-                          max_retries=args.retries)
+                          max_retries=args.retries,
+                          strikes=args.strikes)
     if args.list:
         for name in sorted(CAMPAIGNS):
             print(f"{name}: {len(build_campaign(name))} point(s)")
@@ -509,6 +511,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"steal(s), {stats['lease_expirations']} expired "
               f"lease(s), {stats['reclaims']} reclaim(s), "
               f"{stats['inline_points']} inline point(s)")
+        degraded = {key: stats.get(key, 0)
+                    for key in ("quarantined_files", "heartbeat_drops",
+                                "event_drops", "journal_drops")
+                    if stats.get(key)}
+        if degraded:
+            detail = ", ".join(f"{count} {name.replace('_', ' ')}"
+                               for name, count in degraded.items())
+            print(f"degraded: {detail} (run completed; see "
+                  "docs/ROBUSTNESS.md)")
     for warning in payload["warnings"]:
         print(f"warning: {warning}", file=sys.stderr)
     for failure in payload["failed_points"]:
@@ -532,6 +543,50 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(outcome.render())
         return 0 if outcome.ok and not failed else 1
     return 1 if failed else 0
+
+
+def _cmd_chaosdispatch(args: argparse.Namespace) -> int:
+    # Imported lazily so analysis commands stay import-light.
+    import json
+    import shutil
+    import tempfile
+
+    from repro.devtools.distcheck.manifest import (ManifestError,
+                                                   load_manifest)
+    from repro.runner import build_campaign
+    from repro.runner.chaos import certify_dispatch
+    try:
+        campaign = build_campaign(args.campaign)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        manifest = load_manifest(args.manifest)
+    except ManifestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    work_dir = args.work_dir or tempfile.mkdtemp(
+        prefix=f"urllc5g-chaos-{campaign.name}-")
+    try:
+        report = certify_dispatch(
+            campaign, manifest, work_dir=work_dir,
+            workers=args.workers, exhaustive=args.exhaustive,
+            seed=args.seed, log=print)
+    finally:
+        if args.work_dir is None:
+            shutil.rmtree(work_dir, ignore_errors=True)
+    output = args.output or f"CHAOS_{campaign.name}.json"
+    Path(output).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    failed = [entry["label"] for entry in report["schedules"]
+              if not (entry["converged"] and entry["identical"])]
+    total = len(report["schedules"])
+    print(f"chaos certification: {total - len(failed)}/{total} "
+          f"schedule(s) converged bit-identical to serial -> {output}")
+    for label in failed:
+        print(f"NOT CERTIFIED: {label}", file=sys.stderr)
+    return 0 if report["certified"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -767,7 +822,41 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--worker-id", default=None, metavar="ID",
                        help="worker identity inside the queue "
                             "(default: w<pid>)")
+    bench.add_argument("--strikes", type=int, default=8, metavar="N",
+                       help="worker mode only: heartbeat observations "
+                            "without progress before a peer is "
+                            "declared dead (default: 8)")
     bench.set_defaults(func=_cmd_bench)
+
+    chaos = sub.add_parser(
+        "chaosdispatch",
+        help="certify dispatch against filesystem faults and worker "
+             "crashes at every protocol crash point "
+             "(docs/ROBUSTNESS.md)")
+    chaos.add_argument("--campaign", default="smoke",
+                       help="campaign to certify (default: smoke)")
+    chaos.add_argument("--workers", type=int, default=2,
+                       help="worker processes per schedule "
+                            "(default: 2; minimum 2)")
+    chaos.add_argument("--manifest", default="distcheck-manifest.json",
+                       metavar="FILE",
+                       help="distcheck certification manifest gating "
+                            "dispatch (default: "
+                            "distcheck-manifest.json)")
+    chaos.add_argument("--output", default=None, metavar="FILE",
+                       help="certification document path "
+                            "(default: CHAOS_<campaign>.json)")
+    chaos.add_argument("--work-dir", default=None, metavar="DIR",
+                       help="queue/marker scratch directory (kept "
+                            "afterwards; default: a temp dir, "
+                            "removed)")
+    chaos.add_argument("--exhaustive", action="store_true",
+                       help="target every worker with every schedule "
+                            "(nightly mode) instead of the first only")
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="chaos RNG seed (default: the campaign "
+                            "seed)")
+    chaos.set_defaults(func=_cmd_chaosdispatch)
     return parser
 
 

@@ -23,7 +23,27 @@ from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Any, Mapping
 
-__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "PRESET_PLANS"]
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "PRESET_PLANS",
+    "scale_probability",
+]
+
+
+def scale_probability(probability: float, intensity: float) -> float:
+    """The canonical probability-times-intensity clamp all plans share.
+
+    Intensity 0 disarms (probability 0); intensity 1 is the spec as
+    written; larger intensities clamp at certainty.  Used by both the
+    simulation fault plans below and the dispatch chaos plans
+    (:mod:`repro.runner.chaos`), so the two fault layers scale with
+    one consistent rule.
+    """
+    if intensity < 0:
+        raise ValueError(f"intensity must be >= 0, got {intensity}")
+    return min(1.0, probability * intensity)
 
 
 class FaultKind(str, Enum):
@@ -90,11 +110,9 @@ class FaultSpec:
         written; probabilities clamp at 1.0 beyond that while the
         dilation factor keeps growing linearly.
         """
-        if intensity < 0:
-            raise ValueError(f"intensity must be >= 0, got {intensity}")
         return replace(
             self,
-            probability=min(1.0, self.probability * intensity),
+            probability=scale_probability(self.probability, intensity),
             factor=max(1.0, 1.0 + (self.factor - 1.0) * intensity))
 
     def to_dict(self) -> dict[str, Any]:

@@ -26,6 +26,13 @@ from repro.runner.cache import (
     atomic_write_text,
     source_fingerprint,
 )
+from repro.runner.chaos import (
+    ChaosFsOps,
+    ChaosPlan,
+    ChaosSpec,
+    certify_dispatch,
+    enumerate_schedules,
+)
 from repro.runner.dispatch import (
     DispatchCoordinator,
     DispatchRefusedError,
@@ -44,6 +51,7 @@ from repro.runner.executor import (
     CampaignRunner,
     PointResult,
 )
+from repro.runner.fsops import CRASH_POINTS, DEFAULT_FS, FsOps
 from repro.runner.journal import CampaignJournal
 from repro.runner.lease import QueueDir
 from repro.runner.merge import (
@@ -55,14 +63,20 @@ from repro.runner.scenarios import SCENARIOS, run_point, scenario
 
 __all__ = [
     "CAMPAIGNS",
+    "CRASH_POINTS",
     "Campaign",
     "CampaignJournal",
     "CampaignResult",
     "CampaignRunner",
+    "ChaosFsOps",
+    "ChaosPlan",
+    "ChaosSpec",
     "CheckOutcome",
+    "DEFAULT_FS",
     "DispatchCoordinator",
     "DispatchRefusedError",
     "DispatchStats",
+    "FsOps",
     "JournalMergeError",
     "PointResult",
     "QueueDir",
@@ -73,9 +87,11 @@ __all__ = [
     "bench_payload",
     "build_campaign",
     "canonical_params",
+    "certify_dispatch",
     "check_against_baseline",
     "derive_point_seed",
     "envconfig",
+    "enumerate_schedules",
     "grid_params",
     "load_baseline",
     "merge_worker_journals",

@@ -46,13 +46,14 @@ import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.devtools.distcheck.manifest import DistManifest
 from repro.runner import envconfig
 from repro.runner.cache import ResultCache, source_fingerprint
 from repro.runner.campaign import Campaign, ScenarioPoint
 from repro.runner.executor import CampaignResult, PointResult
+from repro.runner.fsops import FsOps
 from repro.runner.journal import CampaignJournal
 from repro.runner.lease import (
     QUEUE_MANIFEST_NAME,
@@ -70,6 +71,7 @@ from repro.runner.merge import (
     write_merged_journal,
 )
 from repro.runner.scenarios import run_point
+from repro.sim.rng import RngRegistry
 
 __all__ = [
     "DispatchCoordinator",
@@ -84,6 +86,45 @@ _COORDINATOR = "coordinator"
 
 #: Filename of the serial-equivalent merged journal inside the queue.
 MERGED_JOURNAL_NAME = "merged-journal.jsonl"
+
+
+class _Backoff:
+    """Bounded exponential backoff with deterministic per-actor jitter.
+
+    Replaces the fixed-interval claim/attach polls: each consecutive
+    empty poll doubles the delay up to ``cap_factor`` base intervals,
+    scaled by a jitter factor in ``[0.5, 1.5)`` drawn from the named
+    ``dispatch.backoff`` stream of a registry forked per actor id — so
+    a fleet of workers spun up together never polls in lockstep, yet
+    every worker's delay sequence is a pure function of its id.
+
+    :meth:`sleep` returns the *poll units* consumed (delay divided by
+    the base interval).  Callers budget liveness strikes and stall
+    detection in accumulated units, exactly as they previously counted
+    fixed polls — the protocol stays wall-clock-free even though the
+    sleeps themselves stretch.
+    """
+
+    def __init__(self, base_s: float, actor: str, cap_factor: int = 16):
+        self.base_s = base_s
+        self.cap_factor = cap_factor
+        self._rng = RngRegistry(0).fork(
+            f"backoff:{actor}").stream("dispatch.backoff")
+        self._attempt = 0
+
+    def reset(self) -> None:
+        """Work was found: drop back to the base interval."""
+        self._attempt = 0
+
+    def sleep(self) -> float:
+        """Sleep the current delay; returns poll units consumed."""
+        factor = min(float(self.cap_factor), float(2 ** self._attempt))
+        if self._attempt < 30:  # avoid pointless huge exponents
+            self._attempt += 1
+        units = factor * (0.5 + float(self._rng.random()))
+        if self.base_s > 0:
+            time.sleep(self.base_s * units)
+        return units
 
 
 class DispatchRefusedError(RuntimeError):
@@ -128,6 +169,15 @@ class DispatchStats:
     #: Points recomputed at collect because no merged payload survived
     #: (e.g. their journal was rejected).
     recovered_points: int
+    #: Corrupt job/lease files sidelined to ``*.corrupt-<digest>``.
+    quarantined_files: int
+    #: Heartbeat stamps workers failed to write (ENOSPC/EIO).
+    heartbeat_drops: int
+    #: Event-log records workers failed to append (ENOSPC/EIO).
+    event_drops: int
+    #: Journal appends that failed (the point still published a done
+    #: marker; its payload is recovered at collect).
+    journal_drops: int
     #: Done markers per worker id.
     per_worker_points: dict[str, int]
 
@@ -143,9 +193,23 @@ class DispatchStats:
             "journals_rejected": self.journals_rejected,
             "inline_points": self.inline_points,
             "recovered_points": self.recovered_points,
+            "quarantined_files": self.quarantined_files,
+            "heartbeat_drops": self.heartbeat_drops,
+            "event_drops": self.event_drops,
+            "journal_drops": self.journal_drops,
             "per_worker_points": dict(
                 sorted(self.per_worker_points.items())),
         }
+
+    def degraded(self) -> dict[str, int]:
+        """The nonzero degradation counters (empty on a clean run)."""
+        counters = {
+            "quarantined_files": self.quarantined_files,
+            "heartbeat_drops": self.heartbeat_drops,
+            "event_drops": self.event_drops,
+            "journal_drops": self.journal_drops,
+        }
+        return {key: value for key, value in counters.items() if value}
 
 
 def _execute_job(point: ScenarioPoint, max_retries: int
@@ -160,6 +224,33 @@ def _execute_job(point: ScenarioPoint, max_retries: int
     return None, max_retries + 1, error
 
 
+def _publish(queue: QueueDir, events: EventLog, job: Job,
+             worker_id: str, *, attempts: int,
+             error: str | None, stolen: bool) -> None:
+    """Publish the done marker, then drop the lease — fault-tolerantly.
+
+    A marker write that fails (ENOSPC/EIO) is retried a bounded number
+    of times; if it *keeps* failing the worker requeues its own lease
+    so the point is re-offered to the fleet rather than held hostage
+    by a host that can no longer write.  If even the requeue rename
+    fails, the lease stays put — a worker that cannot write also stops
+    heartbeating, so the orphan is reclaimed by a peer.
+    """
+    for _ in range(3):
+        try:
+            queue.mark_done(job.digest, worker_id, attempts=attempts,
+                            error=error, stolen=stolen)
+            queue.release(job.digest, worker_id)
+            return
+        except OSError:
+            continue
+    try:
+        queue.requeue(job.digest, worker_id, job.home)
+        events.emit("requeue", digest=job.digest)
+    except OSError:
+        events.emit("publish-stuck", digest=job.digest)
+
+
 def _process_job(queue: QueueDir, journal: CampaignJournal,
                  events: EventLog, job: Job, worker_id: str,
                  max_retries: int) -> None:
@@ -168,7 +259,10 @@ def _process_job(queue: QueueDir, journal: CampaignJournal,
     Order matters: the journal entry is flushed *before* the done
     marker is published, and the lease is dropped only after — so a
     done marker always implies a durable payload, and a crash at any
-    point leaves the job either reclaimable or fully published.
+    point leaves the job either reclaimable or fully published.  A
+    journal append that fails (ENOSPC/EIO) is dropped and counted:
+    the marker still goes out, and the coordinator recomputes the
+    point at collect from the campaign's own point list.
     """
     stolen = job.home != worker_id
     if stolen:
@@ -176,16 +270,17 @@ def _process_job(queue: QueueDir, journal: CampaignJournal,
     try:
         point = job.point()
     except ValueError as exc:
-        queue.mark_done(job.digest, worker_id, attempts=1,
-                        error=str(exc), stolen=stolen)
-        queue.release(job.digest, worker_id)
+        _publish(queue, events, job, worker_id, attempts=1,
+                 error=str(exc), stolen=stolen)
         return
     result, attempts, error = _execute_job(point, max_retries)
     if result is not None:
-        journal.record(job.digest, result, attempts)
-    queue.mark_done(job.digest, worker_id, attempts=attempts,
-                    error=error, stolen=stolen)
-    queue.release(job.digest, worker_id)
+        try:
+            journal.record(job.digest, result, attempts)
+        except OSError:
+            events.emit("journal-drop", digest=job.digest)
+    _publish(queue, events, job, worker_id, attempts=attempts,
+             error=error, stolen=stolen)
 
 
 # ----------------------------------------------------------------------
@@ -195,7 +290,8 @@ def run_worker(queue_dir: str | Path, worker_id: str, *,
                max_retries: int = 2, poll_interval_s: float = 0.05,
                strikes: int = 8, heartbeat_interval_s: float = 0.05,
                fingerprint: str | None = None,
-               attach_polls: int = 200) -> int:
+               attach_polls: int = 200,
+               fs: FsOps | None = None) -> int:
     """Attach one worker to a queue directory; returns an exit code.
 
     The worker claims own-shard jobs first, steals other shards when
@@ -205,15 +301,31 @@ def run_worker(queue_dir: str | Path, worker_id: str, *,
     source fingerprint differing from the coordinator's (mixed code
     versions would silently poison the document — merge-time journal
     rejection is the backstop, this is the front door).
+
+    ``fs`` is the filesystem seam for every queue operation.  When it
+    is None and the environment snapshot carries a chaos plan
+    (``URLLC5G_CHAOS_PLAN``, set by ``urllc5g chaosdispatch`` in the
+    worker's environment only), the worker runs under a fault-
+    injecting :class:`~repro.runner.chaos.ChaosFsOps`; otherwise the
+    zero-overhead passthrough.
     """
-    queue = QueueDir(queue_dir)
+    # One consistent URLLC5G_* reading for this worker's whole run.
+    config = envconfig.refresh()
+    if fs is None and config.chaos_plan:
+        from repro.runner.chaos import ChaosFsOps, ChaosPlan
+        fs = ChaosFsOps(ChaosPlan.from_json(config.chaos_plan),
+                        worker_id)
+    queue = QueueDir(queue_dir, fs=fs)
+    backoff = _Backoff(poll_interval_s, worker_id)
     manifest: dict[str, Any] | None = None
-    for _ in range(max(1, attach_polls)):
+    budget = float(max(1, attach_polls))
+    waited = 0.0
+    while waited < budget:
         try:
             manifest = read_queue_manifest(queue)
             break
         except ValueError:
-            time.sleep(poll_interval_s)
+            waited += backoff.sleep()
     if manifest is None:
         print(f"worker {worker_id}: no readable queue manifest in "
               f"{queue.root}; not a dispatch queue directory (or the "
@@ -228,11 +340,10 @@ def run_worker(queue_dir: str | Path, worker_id: str, *,
               "running different code than the coordinator; refusing "
               "to compute points", file=sys.stderr)
         return 2
-    # One consistent URLLC5G_* reading for this worker's whole run.
-    envconfig.refresh()
     expected = set(manifest.get("enqueued") or manifest["digests"])
     events = EventLog(queue, worker_id)
-    journal = CampaignJournal(queue.journals / f"{worker_id}.jsonl")
+    journal = CampaignJournal(queue.journals / f"{worker_id}.jsonl",
+                              fs=queue.fs)
     journal.start_raw(name=str(manifest["campaign"]),
                       seed=int(manifest["seed"]),
                       fingerprint=str(manifest["fingerprint"]),
@@ -242,20 +353,24 @@ def run_worker(queue_dir: str | Path, worker_id: str, *,
     completed = 0
     try:
         with HeartbeatWriter(queue, worker_id,
-                             interval_s=heartbeat_interval_s):
+                             interval_s=heartbeat_interval_s) as heart:
             events.emit("start")
+            backoff.reset()
             while True:
-                job = queue.claim(worker_id)
+                job = queue.claim(worker_id, events)
                 if job is not None:
                     _process_job(queue, journal, events, job,
                                  worker_id, max_retries)
                     completed += 1
+                    backoff.reset()
                     continue
                 if expected <= queue.done_markers().keys():
                     break
                 tracker.reclaim_dead(tracker.observe(), events)
-                time.sleep(poll_interval_s)
-            events.emit("exit", points=completed)
+                backoff.sleep()
+            events.emit("exit", points=completed,
+                        heartbeat_drops=heart.dropped,
+                        event_drops=events.dropped)
     finally:
         journal.close()
     return 0
@@ -285,7 +400,8 @@ class DispatchCoordinator:
                  poll_interval_s: float = 0.05,
                  strikes: int = 8,
                  stall_polls: int = 6000,
-                 spawn_command: Callable[[str], list[str]] | None = None):
+                 spawn_command: Callable[[str], list[str]] | None = None,
+                 worker_env: Mapping[str, str] | None = None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_retries < 0:
@@ -302,6 +418,10 @@ class DispatchCoordinator:
         self.strikes = strikes
         self.stall_polls = stall_polls
         self.spawn_command = spawn_command
+        #: Extra environment for spawned workers only (the chaos
+        #: explorer plants URLLC5G_CHAOS_PLAN here, so the coordinator
+        #: process itself always runs the passthrough seam).
+        self.worker_env = dict(worker_env or {})
         self._fingerprint = fingerprint
 
     @property
@@ -411,6 +531,7 @@ class DispatchCoordinator:
         parts = [p for p in existing.split(os.pathsep) if p]
         if source_root not in parts:
             env["PYTHONPATH"] = os.pathsep.join([source_root] + parts)
+        env.update(self.worker_env)
         procs = []
         for worker_id in worker_ids:
             command = (self.spawn_command(worker_id)
@@ -432,10 +553,11 @@ class DispatchCoordinator:
         """
         expected = {point.digest() for point in pending}
         tracker = LivenessTracker(self.queue, strikes=self.strikes)
+        backoff = _Backoff(self.poll_interval_s, _COORDINATOR)
         inline_journal: CampaignJournal | None = None
         inline_points = 0
         reaped: set[str] = set()
-        stall = 0
+        stall = 0.0
         last_done = -1
         try:
             while True:
@@ -455,7 +577,7 @@ class DispatchCoordinator:
                 alive = any(proc.returncode is None
                             for proc, _ in procs)
                 if not alive:
-                    job = self.queue.claim(_COORDINATOR)
+                    job = self.queue.claim(_COORDINATOR, events)
                     if job is not None:
                         if inline_journal is None:
                             inline_journal = self._start_inline_journal(
@@ -464,20 +586,37 @@ class DispatchCoordinator:
                                      events, job, _COORDINATOR,
                                      self.max_retries)
                         inline_points += 1
+                        backoff.reset()
                         continue
                 if len(done) == last_done:
-                    stall += 1
+                    stall += 1.0
                 else:
-                    last_done, stall = len(done), 0
-                if stall >= self.stall_polls and alive:
-                    warnings.append(
-                        f"dispatch made no progress for "
-                        f"{self.stall_polls} polls; killing local "
-                        "workers and finishing inline")
-                    for proc, _ in procs:
-                        proc.kill()
-                    stall = 0
-                time.sleep(self.poll_interval_s)
+                    last_done, stall = len(done), 0.0
+                    backoff.reset()
+                if stall >= self.stall_polls:
+                    if alive:
+                        warnings.append(
+                            f"dispatch made no progress for "
+                            f"{self.stall_polls} polls; killing local "
+                            "workers and finishing inline")
+                        for proc, _ in procs:
+                            proc.kill()
+                        stall = 0.0
+                    else:
+                        # Every worker is gone and nothing is
+                        # claimable or completing: some digest can
+                        # never earn a marker (e.g. its done-marker
+                        # write was faulted away after the job file
+                        # was retired).  Collect recomputes the
+                        # missing points, so bail out rather than
+                        # poll forever.
+                        warnings.append(
+                            f"dispatch stalled with no live workers "
+                            f"for {self.stall_polls} polls; "
+                            "abandoning the queue and recovering "
+                            "missing points at collect")
+                        break
+                stall += max(0.0, backoff.sleep() - 1.0)
         finally:
             if inline_journal is not None:
                 inline_journal.close()
@@ -578,18 +717,33 @@ class DispatchCoordinator:
             per_worker[worker] = per_worker.get(worker, 0) + 1
             if marker.get("stolen"):
                 steals += 1
+
+        def _count(event: str) -> int:
+            return sum(1 for e in all_events if e.get("event") == event)
+
+        def _exit_total(field: str) -> int:
+            total = 0
+            for e in all_events:
+                if e.get("event") != "exit":
+                    continue
+                value = e.get(field)
+                total += value if isinstance(value, int) else 0
+            return total
+
         stats = DispatchStats(
             workers=self.workers,
             jobs=len(pending),
             steals=steals,
-            lease_expirations=sum(
-                1 for e in all_events if e.get("event") == "expire"),
-            reclaims=sum(
-                1 for e in all_events if e.get("event") == "reclaim"),
+            lease_expirations=_count("expire"),
+            reclaims=_count("reclaim"),
             duplicate_points=merge.duplicate_points,
             journals_rejected=merge.journals_rejected,
             inline_points=inline_points,
             recovered_points=recovered,
+            quarantined_files=_count("quarantine"),
+            heartbeat_drops=_exit_total("heartbeat_drops"),
+            event_drops=_exit_total("event_drops"),
+            journal_drops=_count("journal-drop"),
             per_worker_points=per_worker,
         )
         return point_results, stats

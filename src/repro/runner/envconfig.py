@@ -31,6 +31,9 @@ BENCH_NO_CACHE = "URLLC5G_BENCH_NO_CACHE"
 SANITIZE = "URLLC5G_SANITIZE"
 #: "1" arms the chaos-selftest scenario's failure modes.
 CHAOS = "URLLC5G_CHAOS"
+#: Canonical ChaosPlan JSON installing filesystem fault injection in
+#: dispatch workers (see repro.runner.chaos); empty/unset = no chaos.
+CHAOS_PLAN = "URLLC5G_CHAOS_PLAN"
 
 
 @dataclass(frozen=True)
@@ -41,6 +44,7 @@ class EnvSnapshot:
     bench_no_cache: bool = False
     sanitize: bool = False
     chaos: bool = False
+    chaos_plan: str | None = None
 
 
 def snapshot() -> EnvSnapshot:
@@ -59,6 +63,7 @@ def snapshot() -> EnvSnapshot:
         bench_no_cache=bool(os.environ.get(BENCH_NO_CACHE)),
         sanitize=os.environ.get(SANITIZE) == "1",
         chaos=os.environ.get(CHAOS) == "1",
+        chaos_plan=os.environ.get(CHAOS_PLAN) or None,
     )
 
 

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Mapping, TextIO
+from typing import TYPE_CHECKING, Any, Mapping
 
-from repro.runner.cache import RUNNER_VERSION, atomic_write_text
+from repro.runner.cache import RUNNER_VERSION
+from repro.runner.fsops import DEFAULT_FS, FsOps
 
 if TYPE_CHECKING:
     from repro.runner.campaign import Campaign
@@ -32,14 +33,21 @@ __all__ = ["CampaignJournal"]
 
 
 class CampaignJournal:
-    """Crash-safe record of completed points for one campaign run."""
+    """Crash-safe record of completed points for one campaign run.
 
-    def __init__(self, path: str | Path):
+    Every write goes through the ``fs`` seam (passthrough by default)
+    so dispatch workers under a chaos plan can have journal appends
+    fail with EIO/ENOSPC — or die at the ``journal.pre-flush`` crash
+    point — exactly where a real filesystem would fail them.
+    """
+
+    def __init__(self, path: str | Path, fs: FsOps | None = None):
         self.path = Path(path)
+        self.fs = fs if fs is not None else DEFAULT_FS
         #: Anomalies met while reading a prior journal (mismatched
         #: header, truncated tail...), surfaced in bench documents.
         self.warnings: list[str] = []
-        self._handle: TextIO | None = None
+        self._started = False
 
     # ------------------------------------------------------------------
     def start(self, campaign: "Campaign", fingerprint: str,
@@ -88,24 +96,23 @@ class CampaignJournal:
         lines = [json.dumps(header, sort_keys=True)]
         for digest, (result, attempts) in replayed.items():
             lines.append(self._entry_line(digest, result, attempts))
-        atomic_write_text(self.path, "\n".join(lines) + "\n")
-        self._handle = open(self.path, "a", encoding="utf-8")
+        self.fs.write_text(self.path, "\n".join(lines) + "\n")
+        self._started = True
         return replayed
 
     def record(self, digest: str, result: Mapping[str, Any],
                attempts: int = 1) -> None:
-        """Checkpoint one completed point (written and flushed now)."""
-        if self._handle is None:
+        """Checkpoint one completed point (appended and flushed now)."""
+        if not self._started:
             raise RuntimeError("journal not started; call start() first")
-        self._handle.write(self._entry_line(digest, result, attempts)
-                           + "\n")
-        self._handle.flush()
+        self.fs.crash_point("journal.pre-flush")
+        self.fs.append_text(self.path,
+                            self._entry_line(digest, result, attempts)
+                            + "\n")
 
     def close(self) -> None:
-        """Close the underlying file handle (idempotent)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        """End the recording session (idempotent)."""
+        self._started = False
 
     def __enter__(self) -> "CampaignJournal":
         return self

@@ -22,6 +22,19 @@ Every protocol transition is a single atomic ``os.replace``:
   its original home shard, so a crashed worker's points are re-run by
   whoever steals them next.
 
+Every filesystem operation routes through an injectable
+:class:`~repro.runner.fsops.FsOps` seam (passthrough by default), and
+every transition is bracketed by named crash points — which is how
+``urllc5g chaosdispatch`` certifies that a worker killed at *any*
+instant, or fed EIO/ENOSPC/stale listings, still leaves a queue that
+converges to the serial document (docs/ROBUSTNESS.md).
+
+A corrupt job or lease file (torn write that half-landed, bitrot on a
+shared filesystem) is *quarantined* — renamed to
+``<name>.corrupt-<content-digest>`` exactly like the ResultCache does —
+and its point recomputed by the coordinator at collect, rather than
+letting one bad file livelock the claim loop.
+
 Liveness is *stamp-based*, never wall-clock-based: each worker's
 heartbeat thread rewrites ``hearts/<worker>.json`` with a monotonically
 increasing counter, and an observer decides a worker is dead when the
@@ -39,8 +52,8 @@ layer (:mod:`repro.runner.merge`) deduplicates identical entries.
 
 from __future__ import annotations
 
+import hashlib
 import json
-import os
 import re
 import threading
 from dataclasses import dataclass
@@ -49,6 +62,7 @@ from typing import Any, Iterator, Mapping
 
 from repro.runner.cache import atomic_write_text
 from repro.runner.campaign import ScenarioPoint, canonical_params
+from repro.runner.fsops import DEFAULT_FS, FsOps
 
 __all__ = [
     "EventLog",
@@ -104,10 +118,17 @@ class Job:
 
 
 class QueueDir:
-    """Path helpers plus the atomic claim/reclaim/done transitions."""
+    """Path helpers plus the atomic claim/reclaim/done transitions.
 
-    def __init__(self, root: str | Path):
+    ``fs`` is the filesystem seam every operation goes through; the
+    default passthrough keeps the protocol byte-for-byte what it was
+    before the seam existed.  A worker running under a chaos plan
+    passes a ``ChaosFsOps`` instead (see :mod:`repro.runner.chaos`).
+    """
+
+    def __init__(self, root: str | Path, fs: FsOps | None = None):
         self.root = Path(root)
+        self.fs = fs if fs is not None else DEFAULT_FS
         self.jobs = self.root / "jobs"
         self.leases = self.root / "leases"
         self.done = self.root / "done"
@@ -119,7 +140,7 @@ class QueueDir:
         """Create the directory skeleton (idempotent)."""
         for directory in (self.root, self.jobs, self.leases, self.done,
                           self.hearts, self.events, self.journals):
-            directory.mkdir(parents=True, exist_ok=True)
+            self.fs.mkdir(directory)
 
     # ------------------------------------------------------------------
     # jobs
@@ -131,14 +152,14 @@ class QueueDir:
         job = Job(digest=digest, scenario=point.scenario,
                   params=point.params_dict(), seed=point.seed,
                   home=home)
-        atomic_write_text(self.jobs / f"{digest}{_SEP}{home}.json",
-                          json.dumps(job.payload(), sort_keys=True))
+        self.fs.write_text(self.jobs / f"{digest}{_SEP}{home}.json",
+                           json.dumps(job.payload(), sort_keys=True))
 
     def _iter_names(self, directory: Path) -> Iterator[tuple[str, str]]:
         """(digest, id) pairs parsed from a queue directory, sorted."""
         try:
-            names = sorted(p.name for p in directory.iterdir()
-                           if p.name.endswith(".json"))
+            names = [name for name in self.fs.listdir(directory)
+                     if name.endswith(".json")]
         except OSError:
             return
         for name in names:
@@ -155,13 +176,21 @@ class QueueDir:
         """In-flight ``(digest, worker)`` pairs, in sorted order."""
         return list(self._iter_names(self.leases))
 
-    def claim(self, worker_id: str) -> Job | None:
+    def claim(self, worker_id: str,
+              events: "EventLog | None" = None) -> Job | None:
         """Atomically claim the next job for ``worker_id``.
 
         Own-shard jobs are preferred (in sorted digest order); when the
         shard is empty the worker *steals* the first other-shard job.
         Returns None when nothing was claimable — either the queue is
         empty or every candidate was won by a faster worker.
+
+        A lease whose payload reads but does not parse is *corrupt*
+        (not torn — the rename was atomic): it is quarantined and its
+        digest marked done with no payload, so the claim loop cannot
+        livelock on one bad file and the coordinator recomputes the
+        point at collect.  A lease whose payload cannot be *read*
+        (transient EIO) is surrendered back to the queue unchanged.
         """
         _check_worker_id(worker_id)
         candidates = self.pending()
@@ -172,61 +201,121 @@ class QueueDir:
                 # Already completed by a worker whose lease was
                 # (falsely) reclaimed: retire the duplicate job file.
                 try:
-                    os.unlink(self.jobs / f"{digest}{_SEP}{home}.json")
+                    self.fs.unlink(
+                        self.jobs / f"{digest}{_SEP}{home}.json")
                 except OSError:
                     pass
                 continue
             source = self.jobs / f"{digest}{_SEP}{home}.json"
             target = self.leases / f"{digest}{_SEP}{worker_id}.json"
+            self.fs.crash_point("claim.pre-rename")
             try:
-                os.replace(source, target)
+                self.fs.replace(source, target)
             except OSError:
                 continue  # lost the race: try the next candidate
+            self.fs.crash_point("claim.post-rename")
             try:
-                payload = json.loads(
-                    target.read_text(encoding="utf-8"))
+                raw = self.fs.read_text(target)
+            except OSError:
+                # Transient read failure: surrender the lease so the
+                # job stays claimable, and keep scanning.
+                try:
+                    self.fs.replace(target, source)
+                except OSError:
+                    pass
+                continue
+            try:
+                payload = json.loads(raw)
                 return Job(digest=str(payload["digest"]),
                            scenario=str(payload["scenario"]),
                            params=dict(payload["params"]),
                            seed=int(payload["seed"]),
                            home=str(payload["home"]))
-            except (OSError, ValueError, KeyError, TypeError):
-                # Torn/unreadable job file: surrender the lease so the
-                # defect is visible in the queue, and keep scanning.
-                try:
-                    os.replace(target,
-                               self.jobs / f"{digest}{_SEP}{home}.json")
-                except OSError:
-                    pass
+            except (ValueError, KeyError, TypeError):
+                # The payload read fine but is not a job: the file is
+                # corrupt, and re-reading can never heal it.
+                self._quarantine(target, raw, digest,
+                                 worker=worker_id, events=events)
                 continue
         return None
 
     def release(self, digest: str, worker_id: str) -> None:
         """Drop a completed claim's lease file (idempotent)."""
+        self.fs.crash_point("release.pre")
         try:
-            os.unlink(self.leases / f"{digest}{_SEP}{worker_id}.json")
+            self.fs.unlink(self.leases / f"{digest}{_SEP}{worker_id}.json")
         except OSError:
             pass
 
-    def reclaim(self, digest: str, worker_id: str) -> bool:
+    def requeue(self, digest: str, worker_id: str, home: str) -> None:
+        """Return a *live* worker's own lease to the job queue.
+
+        The escape hatch of a worker that computed a point but cannot
+        publish its done marker (persistent ENOSPC): renaming its own
+        lease back re-offers the job to the fleet instead of holding
+        it hostage.  Raises ``OSError`` when even the rename fails.
+        """
+        _check_worker_id(home)
+        self.fs.replace(self.leases / f"{digest}{_SEP}{worker_id}.json",
+                        self.jobs / f"{digest}{_SEP}{home}.json")
+
+    def reclaim(self, digest: str, worker_id: str,
+                events: "EventLog | None" = None) -> bool:
         """Return an orphaned lease to the job queue.
 
         The lease file still holds the original job payload (claim is
         a pure rename), so renaming it back under its *home* shard
         re-publishes the job unchanged.  Returns False when another
-        reclaimer won the race.
+        reclaimer won the race.  A lease that reads but does not parse
+        is quarantined (see :meth:`claim`) instead of being retried
+        forever by every observer.
         """
         lease = self.leases / f"{digest}{_SEP}{worker_id}.json"
         try:
-            payload = json.loads(lease.read_text(encoding="utf-8"))
-            home = _check_worker_id(str(payload["home"]))
-        except (OSError, ValueError, KeyError, TypeError):
-            return False
-        try:
-            os.replace(lease, self.jobs / f"{digest}{_SEP}{home}.json")
+            raw = self.fs.read_text(lease)
         except OSError:
             return False
+        try:
+            payload = json.loads(raw)
+            home = _check_worker_id(str(payload["home"]))
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(lease, raw, digest, worker=worker_id,
+                             events=events)
+            return False
+        self.fs.crash_point("reclaim.pre-rename")
+        try:
+            self.fs.replace(lease, self.jobs / f"{digest}{_SEP}{home}.json")
+        except OSError:
+            return False
+        self.fs.crash_point("reclaim.post-rename")
         return True
+
+    def _quarantine(self, path: Path, raw: str, digest: str, *,
+                    worker: str,
+                    events: "EventLog | None" = None) -> None:
+        """Sideline one corrupt queue file and retire its digest.
+
+        Mirrors the ResultCache pattern: the file is renamed to
+        ``<name>.corrupt-<content-digest>`` (which no scan picks up —
+        it no longer ends in ``.json``) so the defect stays on disk
+        for forensics.  A done marker *without* an error is published
+        for the digest, which is exactly the shape collect recomputes
+        from the campaign's own point list — so the document stays
+        bit-identical to serial.
+        """
+        content = hashlib.sha256(raw.encode("utf-8")).hexdigest()[:12]
+        try:
+            self.fs.replace(path,
+                            path.with_name(f"{path.name}"
+                                           f".corrupt-{content}"))
+        except OSError:
+            return  # someone else moved it first; nothing to retire
+        if events is not None:
+            events.emit("quarantine", digest=digest, file=path.name)
+        try:
+            self.mark_done(digest, worker, attempts=1)
+        except OSError:
+            pass  # no marker: the stall backstop recovers the point
 
     # ------------------------------------------------------------------
     # done markers
@@ -235,24 +324,27 @@ class QueueDir:
                   error: str | None = None,
                   stolen: bool = False) -> None:
         """Publish the completion marker for one point, atomically."""
-        atomic_write_text(
+        self.fs.crash_point("done-marker.pre")
+        self.fs.write_text(
             self.done / f"{digest}.json",
             json.dumps({"digest": digest, "worker": worker_id,
                         "attempts": attempts, "error": error,
                         "stolen": stolen}, sort_keys=True))
+        self.fs.crash_point("done-marker.post")
 
     def done_markers(self) -> dict[str, dict[str, Any]]:
         """digest -> completion marker, for every finished point."""
         markers: dict[str, dict[str, Any]] = {}
         try:
-            paths = sorted(self.done.iterdir())
+            names = self.fs.listdir(self.done)
         except OSError:
             return markers
-        for path in paths:
-            if not path.name.endswith(".json"):
+        for name in names:
+            if not name.endswith(".json"):
                 continue
             try:
-                payload = json.loads(path.read_text(encoding="utf-8"))
+                payload = json.loads(
+                    self.fs.read_text(self.done / name))
             except (OSError, ValueError):
                 continue  # torn write in progress: next poll sees it
             if isinstance(payload, dict) \
@@ -272,6 +364,12 @@ class HeartbeatWriter:
     consults the wall clock.  The thread is a daemon: a SIGKILLed
     worker stops stamping instantly, which is exactly the signal the
     reclaimers key on.
+
+    A stamp that cannot be written (ENOSPC, EIO) is *dropped and
+    counted* (:attr:`dropped`), never allowed to kill the pump thread:
+    a worker on a briefly-full disk keeps processing, pays at most a
+    false-positive reclaim — which is safe by construction — and
+    surfaces the drops in the bench dispatch block.
     """
 
     def __init__(self, queue: QueueDir, worker_id: str,
@@ -279,13 +377,20 @@ class HeartbeatWriter:
         self.path = queue.hearts / f"{_check_worker_id(worker_id)}.json"
         self.worker_id = worker_id
         self.interval_s = interval_s
+        #: Heartbeat stamps lost to write failures (ENOSPC/EIO).
+        self.dropped = 0
+        self._fs = queue.fs
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
 
     def beat(self, stamp: int) -> None:
-        atomic_write_text(self.path,
-                          json.dumps({"worker": self.worker_id,
-                                      "stamp": stamp}, sort_keys=True))
+        try:
+            self._fs.write_text(self.path,
+                                json.dumps({"worker": self.worker_id,
+                                            "stamp": stamp},
+                                           sort_keys=True))
+        except OSError:
+            self.dropped += 1
 
     def start(self) -> None:
         if self._thread is not None:
@@ -338,17 +443,18 @@ class LivenessTracker:
 
     def _stamps(self) -> dict[str, int]:
         stamps: dict[str, int] = {}
+        fs = self.queue.fs
         try:
-            paths = sorted(self.queue.hearts.iterdir())
+            names = fs.listdir(self.queue.hearts)
         except OSError:
             return stamps
-        for path in paths:
-            if not path.name.endswith(".json"):
+        for name in names:
+            if not name.endswith(".json"):
                 continue
             try:
-                payload = json.loads(path.read_text(encoding="utf-8"))
-                stamps[path.name[:-len(".json")]] = int(
-                    payload["stamp"])
+                payload = json.loads(
+                    fs.read_text(self.queue.hearts / name))
+                stamps[name[:-len(".json")]] = int(payload["stamp"])
             except (OSError, ValueError, KeyError, TypeError):
                 continue
         return stamps
@@ -387,7 +493,7 @@ class LivenessTracker:
                 continue
             if events is not None:
                 events.emit("expire", digest=digest, owner=worker)
-            if self.queue.reclaim(digest, worker):
+            if self.queue.reclaim(digest, worker, events):
                 reclaimed += 1
                 if events is not None:
                     events.emit("reclaim", digest=digest, owner=worker)
@@ -404,32 +510,42 @@ class EventLog:
     from these logs at collect time.  Each actor owns exactly one file,
     so no two processes ever write the same log — there is nothing to
     lock even on filesystems without atomic appends.  Events feed the
-    ``DispatchStats`` block only; they never influence results.
+    ``DispatchStats`` block only; they never influence results — which
+    is also why an event that cannot be *written* (ENOSPC/EIO) is
+    dropped and counted (:attr:`dropped`) rather than allowed to crash
+    the worker that tried to emit it.
     """
 
     def __init__(self, queue: QueueDir, actor: str):
         self.path = queue.events / f"{_check_worker_id(actor)}.jsonl"
         self.actor = actor
+        #: Events lost to write failures (ENOSPC/EIO).
+        self.dropped = 0
+        self._fs = queue.fs
 
     def emit(self, event: str, **fields: Any) -> None:
         record = {"event": event, "actor": self.actor, **fields}
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
+        try:
+            self._fs.append_text(self.path,
+                                 json.dumps(record, sort_keys=True)
+                                 + "\n")
+        except OSError:
+            self.dropped += 1
 
     @staticmethod
     def read_all(queue: QueueDir) -> list[dict[str, Any]]:
         """Every event from every actor, in (actor, order) order."""
         events: list[dict[str, Any]] = []
         try:
-            paths = sorted(queue.events.iterdir())
+            names = queue.fs.listdir(queue.events)
         except OSError:
             return events
-        for path in paths:
-            if not path.name.endswith(".jsonl"):
+        for name in names:
+            if not name.endswith(".jsonl"):
                 continue
             try:
-                lines = path.read_text(encoding="utf-8").splitlines()
+                lines = queue.fs.read_text(
+                    queue.events / name).splitlines()
             except OSError:
                 continue
             for line in lines:

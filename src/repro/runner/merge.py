@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Any, Iterable
 
 from repro.runner.cache import RUNNER_VERSION
+from repro.runner.fsops import DEFAULT_FS, FsOps
 from repro.runner.journal import CampaignJournal
 
 __all__ = [
@@ -74,17 +75,20 @@ def _parse(line: str) -> Any:
 
 def merge_worker_journals(paths: Iterable[str | Path], *,
                           name: str, seed: int, fingerprint: str,
-                          digests: set[str]) -> MergeOutcome:
+                          digests: set[str],
+                          fs: FsOps | None = None) -> MergeOutcome:
     """Merge worker journals into one digest-keyed result map.
 
     ``digests`` is the campaign's full point-digest set; entries
     outside it are ignored (a reused queue directory cannot smuggle
-    stale points into the document).
+    stale points into the document).  Reads go through the ``fs``
+    seam (passthrough by default) like every other queue operation.
     """
+    fs = fs if fs is not None else DEFAULT_FS
     outcome = MergeOutcome()
     for path in sorted(Path(p) for p in paths):
         try:
-            lines = path.read_text(encoding="utf-8").splitlines()
+            lines = fs.read_text(path).splitlines()
         except OSError as exc:
             outcome.warnings.append(
                 f"worker journal {path.name} is unreadable ({exc}); "
@@ -150,7 +154,8 @@ def merge_worker_journals(paths: Iterable[str | Path], *,
 def write_merged_journal(path: str | Path, *, name: str, seed: int,
                          fingerprint: str,
                          ordered_digests: Iterable[str],
-                         entries: dict[str, MergedEntry]) -> None:
+                         entries: dict[str, MergedEntry],
+                         fs: FsOps | None = None) -> None:
     """Write the bit-identical-to-serial merged journal.
 
     Entries land in campaign order (``ordered_digests``), behind a
@@ -159,7 +164,7 @@ def write_merged_journal(path: str | Path, *, name: str, seed: int,
     into ``urllc5g bench --resume``.
     """
     digests = list(ordered_digests)
-    journal = CampaignJournal(path)
+    journal = CampaignJournal(path, fs=fs)
     journal.start_raw(name=name, seed=seed, fingerprint=fingerprint,
                       points=len(digests), digests=set(digests))
     try:

@@ -10,7 +10,8 @@ from repro.runner.envconfig import EnvSnapshot, refresh, snapshot
 def clean_snapshot(monkeypatch):
     """Each test starts from an unset snapshot and a clean env."""
     for name in (envconfig.BENCH_WORKERS, envconfig.BENCH_NO_CACHE,
-                 envconfig.SANITIZE, envconfig.CHAOS):
+                 envconfig.SANITIZE, envconfig.CHAOS,
+                 envconfig.CHAOS_PLAN):
         monkeypatch.delenv(name, raising=False)
     monkeypatch.setattr(envconfig, "_current", None)
     yield
@@ -20,7 +21,7 @@ def clean_snapshot(monkeypatch):
 def test_defaults_with_no_knobs_set():
     assert snapshot() == EnvSnapshot(
         bench_workers=None, bench_no_cache=False,
-        sanitize=False, chaos=False)
+        sanitize=False, chaos=False, chaos_plan=None)
 
 
 def test_every_knob_is_read(monkeypatch):
@@ -28,9 +29,10 @@ def test_every_knob_is_read(monkeypatch):
     monkeypatch.setenv(envconfig.BENCH_NO_CACHE, "yes")
     monkeypatch.setenv(envconfig.SANITIZE, "1")
     monkeypatch.setenv(envconfig.CHAOS, "1")
+    monkeypatch.setenv(envconfig.CHAOS_PLAN, '{"specs":[]}')
     assert snapshot() == EnvSnapshot(
         bench_workers=6, bench_no_cache=True,
-        sanitize=True, chaos=True)
+        sanitize=True, chaos=True, chaos_plan='{"specs":[]}')
 
 
 def test_flags_require_exactly_one(monkeypatch):
